@@ -1,0 +1,184 @@
+// Command apriori mines association rules from a database file (or a
+// freshly generated synthetic database) using the sequential algorithm or
+// the parallel CCPD/PCCD algorithms, with every optimization switchable
+// from the command line.
+//
+// Examples:
+//
+//	apriori -db T10.I4.D100K.ardb -support 0.005 -procs 8
+//	apriori -gen T10.I4.D10K -support 0.01 -algo pccd -rules 0.9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+
+	"repro/internal/apriori"
+	"repro/internal/baseline"
+	"repro/internal/ccpd"
+	"repro/internal/db"
+	"repro/internal/gen"
+	"repro/internal/hashtree"
+	"repro/internal/rules"
+)
+
+var genRe = regexp.MustCompile(`^T(\d+)\.I(\d+)\.D(\d+)([KM]?)$`)
+
+func parseGenSpec(s string) (gen.Params, error) {
+	m := genRe.FindStringSubmatch(s)
+	if m == nil {
+		return gen.Params{}, fmt.Errorf("bad -gen spec %q (want e.g. T10.I4.D100K)", s)
+	}
+	t, _ := strconv.Atoi(m[1])
+	i, _ := strconv.Atoi(m[2])
+	d, _ := strconv.Atoi(m[3])
+	switch m[4] {
+	case "K":
+		d *= 1000
+	case "M":
+		d *= 1000000
+	}
+	return gen.Params{T: t, I: i, D: d, Seed: 1}, nil
+}
+
+func main() {
+	dbPath := flag.String("db", "", "database file (binary format)")
+	genSpec := flag.String("gen", "", "generate a synthetic database, e.g. T10.I4.D10K")
+	support := flag.Float64("support", 0.005, "minimum support fraction")
+	algo := flag.String("algo", "ccpd", "algorithm: seq | ccpd | pccd | dhp | partition | countdist")
+	procs := flag.Int("procs", 4, "processors (parallel algorithms)")
+	balance := flag.String("balance", "bitonic", "computation balancing: block | interleaved | bitonic")
+	hash := flag.String("hash", "bitonic", "hash tree balancing: interleaved | bitonic")
+	counter := flag.String("counter", "private", "counter mode: locked | atomic | private")
+	sc := flag.Bool("shortcircuit", true, "short-circuited subset checking")
+	threshold := flag.Int("threshold", 8, "hash tree leaf threshold")
+	fanout := flag.Int("fanout", 0, "hash tree fanout (0 = adaptive)")
+	ruleConf := flag.Float64("rules", 0, "generate rules at this min confidence (0 = skip)")
+	topN := flag.Int("top", 10, "rules to print")
+	verbose := flag.Bool("v", false, "per-iteration details")
+	flag.Parse()
+
+	if err := run(*dbPath, *genSpec, *support, *algo, *procs, *balance, *hash,
+		*counter, *sc, *threshold, *fanout, *ruleConf, *topN, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "apriori:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dbPath, genSpec string, support float64, algo string, procs int,
+	balance, hash, counter string, sc bool, threshold, fanout int,
+	ruleConf float64, topN int, verbose bool) error {
+
+	var d *db.Database
+	switch {
+	case dbPath != "":
+		var err error
+		if d, err = db.ReadFile(dbPath); err != nil {
+			return err
+		}
+	case genSpec != "":
+		p, err := parseGenSpec(genSpec)
+		if err != nil {
+			return err
+		}
+		if d, err = gen.Generate(p); err != nil {
+			return err
+		}
+		fmt.Printf("generated %s: %d transactions\n", p.Name(), d.Len())
+	default:
+		return fmt.Errorf("need -db or -gen")
+	}
+
+	opts := apriori.Options{
+		MinSupport: support, Threshold: threshold, Fanout: fanout, ShortCircuit: sc,
+	}
+	if hash == "bitonic" {
+		opts.Hash = hashtree.HashBitonic
+	}
+
+	var res *apriori.Result
+	var stats *ccpd.Stats
+	var err error
+	switch algo {
+	case "seq":
+		res, err = apriori.Mine(d, opts)
+	case "dhp":
+		var st *baseline.DHPStats
+		res, st, err = baseline.MineDHP(d, baseline.DHPOptions{Mining: opts})
+		if err == nil {
+			fmt.Printf("dhp filter: %d -> %d candidates\n", st.CandidatesBefore, st.CandidatesAfter)
+		}
+	case "partition":
+		var st *baseline.PartitionStats
+		res, st, err = baseline.MinePartition(d, baseline.PartitionOptions{Mining: opts, Chunks: procs})
+		if err == nil {
+			fmt.Printf("partition: %d chunks, %d local candidates, %d scans\n",
+				st.Chunks, st.LocalCandidates, st.Scans)
+		}
+	case "countdist":
+		var st *baseline.CDStats
+		res, st, err = baseline.MineCD(d, baseline.CDOptions{Mining: opts, Procs: procs})
+		if err == nil {
+			fmt.Printf("count distribution: %d all-reduce rounds, %.1f KB exchanged\n",
+				st.Rounds, float64(st.BytesExchanged)/1024)
+		}
+	case "ccpd", "pccd":
+		po := ccpd.Options{Options: opts, Procs: procs}
+		switch balance {
+		case "interleaved":
+			po.Balance = ccpd.BalanceInterleaved
+		case "bitonic":
+			po.Balance = ccpd.BalanceBitonic
+		}
+		switch counter {
+		case "locked":
+			po.Counter = hashtree.CounterLocked
+		case "atomic":
+			po.Counter = hashtree.CounterAtomic
+		case "private":
+			po.Counter = hashtree.CounterPrivate
+		}
+		if algo == "ccpd" {
+			res, stats, err = ccpd.Mine(d, po)
+		} else {
+			res, stats, err = ccpd.MinePCCD(d, po)
+		}
+	default:
+		return fmt.Errorf("unknown -algo %q", algo)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("min support: %d transactions (%.3f%%)\n", res.MinCount, support*100)
+	fmt.Printf("frequent itemsets: %d\n", res.NumFrequent())
+	for k := 1; k < len(res.ByK); k++ {
+		if len(res.ByK[k]) > 0 {
+			fmt.Printf("  F%-2d %6d\n", k, len(res.ByK[k]))
+		}
+	}
+	if stats != nil {
+		fmt.Printf("total time: %v (counting %v)\n", stats.Total, stats.TotalCount())
+		if verbose {
+			for _, it := range stats.PerIter {
+				fmt.Printf("  k=%-2d cands=%-7d freq=%-7d gen=%v build=%v count=%v reduce=%v\n",
+					it.K, it.Candidates, it.Frequent, it.CandGen, it.TreeBuild, it.Count, it.Reduce)
+			}
+		}
+	}
+
+	if ruleConf > 0 {
+		rs := rules.Generate(res, rules.Options{MinConfidence: ruleConf, DBSize: d.Len()})
+		fmt.Printf("rules at confidence >= %.2f: %d\n", ruleConf, len(rs))
+		for i, r := range rs {
+			if i >= topN {
+				break
+			}
+			fmt.Printf("  %v\n", r)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestParseGenSpec(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    gen.Params
+		wantErr bool
+	}{
+		{"T10.I4.D100K", gen.Params{T: 10, I: 4, D: 100000, Seed: 1}, false},
+		{"T5.I2.D250", gen.Params{T: 5, I: 2, D: 250, Seed: 1}, false},
+		{"T10.I6.D2M", gen.Params{T: 10, I: 6, D: 2000000, Seed: 1}, false},
+		{"bogus", gen.Params{}, true},
+		{"T10.I4", gen.Params{}, true},
+		{"T10.I4.D100X", gen.Params{}, true},
+	}
+	for _, c := range cases {
+		got, err := parseGenSpec(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parseGenSpec(%q) should fail", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseGenSpec(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("parseGenSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	// Suppress the informational prints.
+	old := os.Stdout
+	null, _ := os.Open(os.DevNull)
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; null.Close(); devnull.Close() }()
+
+	for _, algo := range []string{"seq", "ccpd", "pccd", "dhp", "partition", "countdist"} {
+		if err := run("", "T5.I2.D300", 0.02, algo, 2, "bitonic", "bitonic",
+			"private", true, 8, 0, 0.8, 3, true); err != nil {
+			t.Errorf("algo %s: %v", algo, err)
+		}
+	}
+	// Database file path.
+	d, err := gen.Generate(gen.Params{T: 5, I: 2, D: 200, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "d.ardb")
+	if err := d.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "", 0.02, "seq", 1, "block", "interleaved",
+		"locked", false, 4, 8, 0, 0, false); err != nil {
+		t.Error(err)
+	}
+	// Error paths.
+	if err := run("", "", 0.02, "seq", 1, "", "", "", false, 0, 0, 0, 0, false); err == nil {
+		t.Error("missing -db/-gen should fail")
+	}
+	if err := run("", "T5.I2.D200", 0.02, "nope", 1, "", "", "", false, 0, 0, 0, 0, false); err == nil {
+		t.Error("unknown algo should fail")
+	}
+	if err := run("/nonexistent/x.ardb", "", 0.02, "seq", 1, "", "", "", false, 0, 0, 0, 0, false); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,88 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (Section 6) on scaled-down synthetic databases.
+//
+// Usage:
+//
+//	experiments -all                 # every table and figure
+//	experiments -figure 8            # one figure
+//	experiments -table 2 -scale 0.1  # bigger databases
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.02, "database scale factor (1.0 = paper sizes)")
+	figure := flag.Int("figure", 0, "regenerate one figure (4, 6, 7, 8, 9, 10, 11, 12, 13)")
+	table := flag.Int("table", 0, "regenerate one table (1, 2)")
+	all := flag.Bool("all", false, "regenerate everything")
+	maxTrace := flag.Int("maxtrace", 200, "transactions traced per processor in placement studies")
+	flag.Parse()
+
+	if !*all && *figure == 0 && *table == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, *scale, *figure, *table, *all, *maxTrace); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, scale float64, figure, table int, all bool, maxTrace int) error {
+	r := expt.NewRunner(scale)
+	r.MaxTraceTx = maxTrace
+
+	type step struct {
+		name string
+		fn   func(io.Writer) error
+	}
+	steps := map[string]step{
+		"t1":  {"Table 1", func(w io.Writer) error { return expt.Table1(w) }},
+		"t2":  {"Table 2", r.Table2},
+		"f4":  {"Figure 4", func(w io.Writer) error { return expt.Figure4(w) }},
+		"f6":  {"Figure 6", r.Figure6},
+		"f7":  {"Figure 7", r.Figure7},
+		"f8":  {"Figure 8", r.Figure8},
+		"f9":  {"Figure 9", r.Figure9},
+		"f10": {"Figure 10", r.Figure10},
+		"f11": {"Figure 11", r.Figure11},
+		"f12": {"Figure 12", r.Figure12},
+		"f13": {"Figure 13", r.Figure13},
+	}
+	order := []string{"t1", "t2", "f4", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "f13"}
+
+	var selected []string
+	switch {
+	case all:
+		selected = order
+	case table != 0:
+		key := fmt.Sprintf("t%d", table)
+		if _, ok := steps[key]; !ok {
+			return fmt.Errorf("unknown table %d", table)
+		}
+		selected = []string{key}
+	case figure != 0:
+		key := fmt.Sprintf("f%d", figure)
+		if _, ok := steps[key]; !ok {
+			return fmt.Errorf("unknown figure %d", figure)
+		}
+		selected = []string{key}
+	}
+
+	for i, key := range selected {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		if err := steps[key].fn(w); err != nil {
+			return fmt.Errorf("%s: %w", steps[key].name, err)
+		}
+	}
+	return nil
+}

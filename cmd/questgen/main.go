@@ -1,0 +1,48 @@
+// Command questgen generates IBM Quest-style synthetic basket databases in
+// the repository's binary format (Table 2 of the paper).
+//
+// Usage:
+//
+//	questgen -T 10 -I 4 -D 100000 -o T10.I4.D100K.ardb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+)
+
+func main() {
+	var p gen.Params
+	flag.IntVar(&p.N, "N", 1000, "number of items")
+	flag.IntVar(&p.L, "L", 2000, "number of maximal potentially frequent itemsets")
+	flag.IntVar(&p.I, "I", 4, "average size of the maximal itemsets")
+	flag.IntVar(&p.T, "T", 10, "average transaction size")
+	flag.IntVar(&p.D, "D", 100000, "number of transactions")
+	flag.Int64Var(&p.Seed, "seed", 1, "random seed")
+	out := flag.String("o", "", "output file (default <name>.ardb)")
+	flag.Parse()
+
+	if err := run(p, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "questgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(p gen.Params, out string) error {
+	if out == "" {
+		out = p.Name() + ".ardb"
+	}
+	d, err := gen.Generate(p)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d transactions, %d items, avg len %.2f, %.1f MB -> %s\n",
+		p.Name(), d.Len(), d.NumItems(), d.AvgLen(), float64(d.SizeBytes())/(1<<20), out)
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/gen"
+)
+
+func TestRunWritesDatabase(t *testing.T) {
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	dir := t.TempDir()
+	out := filepath.Join(dir, "tiny.ardb")
+	p := gen.Params{N: 100, L: 20, T: 5, I: 2, D: 300, Seed: 4}
+	if err := run(p, out); err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 300 {
+		t.Errorf("read back %d transactions", d.Len())
+	}
+	if err := d.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunDefaultName(t *testing.T) {
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	dir := t.TempDir()
+	cwd, _ := os.Getwd()
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+
+	p := gen.Params{N: 50, L: 10, T: 4, I: 2, D: 250, Seed: 9}
+	if err := run(p, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat("T4.I2.D250.ardb"); err != nil {
+		t.Errorf("default-named file missing: %v", err)
+	}
+}
+
+func TestRunBadParams(t *testing.T) {
+	if err := run(gen.Params{N: 10, L: 5, T: 0, I: 2, D: 10}, "x.ardb"); err == nil {
+		t.Error("invalid params should fail")
+	}
+	if err := run(gen.Params{N: 100, L: 20, T: 5, I: 2, D: 10, Seed: 1}, "/nonexistent-dir/x.ardb"); err == nil {
+		t.Error("unwritable path should fail")
+	}
+}

@@ -1,0 +1,117 @@
+// Clickstream analysis with the Section 8 extension tasks: sequential
+// patterns over user event streams, multi-level associations over a page
+// taxonomy, and quantitative associations over session statistics — all
+// driven by the same mining machinery as the basket case.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	armine "repro"
+)
+
+func main() {
+	sequentialPatterns()
+	taxonomyMining()
+	quantitativeMining()
+}
+
+func sequentialPatterns() {
+	fmt.Println("=== sequential patterns (user event streams) ===")
+	data, planted, err := armine.GenerateSequences(armine.SequenceGenParams{
+		C: 3000, SeqLen: 12, NP: 15, PatLen: 3, N: 200, Seed: 31,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := armine.MineSequences(data, armine.SequenceOptions{
+		MinSupport: 0.03, Procs: 4, Hash: armine.SeqHashBitonic,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("customers: %d, planted patterns: %d\n", data.Len(), len(planted))
+	for l := 1; l < len(res.ByLen); l++ {
+		fmt.Printf("  length %d: %d frequent patterns\n", l, len(res.ByLen[l]))
+	}
+	for l := len(res.ByLen) - 1; l >= 2; l-- {
+		if len(res.ByLen[l]) > 0 {
+			f := res.ByLen[l][0]
+			fmt.Printf("  deepest example: %v (%d customers)\n\n", f.Pattern, f.Count)
+			return
+		}
+	}
+	fmt.Println()
+}
+
+func taxonomyMining() {
+	fmt.Println("=== multi-level associations (page taxonomy) ===")
+	// 120 leaf pages under a 2-level category tree.
+	tx, err := armine.GenerateTaxonomy(armine.TaxonomyGenParams{
+		NumLeaves: 120, Fanout: 6, Levels: 2, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := armine.Generate(armine.GenParams{N: 120, L: 40, T: 6, I: 3, D: 4000, Seed: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := armine.MineGeneralized(d, tx, armine.TaxonomyOptions{
+		Mining: armine.MiningOptions{MinSupport: 0.02}, Procs: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generalized frequent itemsets: %d (%d ancestor pairs pruned)\n",
+		res.NumFrequent(), res.PrunedAncestorPairs)
+	shown := 0
+	for _, f := range res.ByK[2] {
+		// Show only itemsets involving a category (item ≥ 120).
+		if f.Items[1] >= 120 {
+			fmt.Printf("  %v  support %d\n", f.Items, f.Count)
+			if shown++; shown == 3 {
+				break
+			}
+		}
+	}
+	fmt.Println()
+}
+
+func quantitativeMining() {
+	fmt.Println("=== quantitative associations (session statistics) ===")
+	rng := rand.New(rand.NewSource(13))
+	const rows = 3000
+	dur := make([]float64, rows)   // session duration
+	pages := make([]float64, rows) // pages viewed (tracks duration)
+	conv := make([]float64, rows)  // converted? (long sessions convert)
+	for i := range dur {
+		d := rng.ExpFloat64() * 10
+		dur[i] = d
+		pages[i] = d/2 + rng.Float64()*3
+		if d > 12 && rng.Float64() < 0.7 {
+			conv[i] = 1
+		}
+	}
+	tab := &armine.QuantTable{Cols: []armine.QuantColumn{
+		{Name: "duration", Kind: armine.Numeric, Values: dur},
+		{Name: "pages", Kind: armine.Numeric, Values: pages},
+		{Name: "converted", Kind: armine.Categorical, Values: conv},
+	}}
+	res, err := armine.MineQuantitative(tab, armine.QuantOptions{
+		Intervals: 4, MaxMerge: 2,
+		Mining: armine.MiningOptions{MinSupport: 0.05},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("frequent quantitative pairs: %d; examples:\n", len(res.Frequent(2)))
+	for i, q := range res.Frequent(2) {
+		if i == 4 {
+			break
+		}
+		fmt.Printf("  %v + %v  support %d\n", q.Predicates[0], q.Predicates[1], q.Count)
+	}
+}

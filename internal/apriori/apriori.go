@@ -1,0 +1,308 @@
+// Package apriori implements the sequential association mining algorithm of
+// Section 2 (Agrawal et al. 1996): level-wise candidate generation with the
+// optimized equivalence-class join and pruning of Section 3.1.1, hash-tree
+// support counting, and frequent itemset extraction. The parallel CCPD/PCCD
+// algorithms in internal/ccpd build on the same pieces.
+package apriori
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/hashtree"
+	"repro/internal/itemset"
+)
+
+// Options configures a mining run.
+type Options struct {
+	// MinSupport is the minimum support as a fraction of |D| (e.g. 0.005
+	// for the paper's 0.5%). Ignored if AbsSupport > 0.
+	MinSupport float64
+	// AbsSupport is the minimum support as an absolute transaction count.
+	AbsSupport int64
+	// MaxK bounds the iteration count; 0 means run to fixpoint.
+	MaxK int
+
+	// Threshold is the hash-tree leaf split threshold T (default 8).
+	Threshold int
+	// Fanout fixes the hash-table size H; ≤0 selects adaptively per
+	// iteration from the candidate count (Section 3.1.1).
+	Fanout int
+	// Hash selects the tree hash function; HashBitonic enables the
+	// tree-balancing optimization of Section 4.1.
+	Hash hashtree.HashKind
+	// ShortCircuit enables the subset-checking optimization of Section 4.2.
+	ShortCircuit bool
+	// NaiveJoin disables the equivalence-class join and considers all
+	// C(|F|,2) pairs — the ablation baseline.
+	NaiveJoin bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threshold <= 0 {
+		o.Threshold = 8
+	}
+	return o
+}
+
+// MinCount resolves the support threshold against a database size.
+func (o Options) MinCount(dbLen int) int64 {
+	if o.AbsSupport > 0 {
+		return o.AbsSupport
+	}
+	c := int64(o.MinSupport * float64(dbLen))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// FrequentItemset pairs an itemset with its support count.
+type FrequentItemset struct {
+	Items itemset.Itemset
+	Count int64
+}
+
+// IterStats records one iteration of the level-wise loop — the raw series
+// behind Figs. 6 and 7.
+type IterStats struct {
+	K              int
+	Candidates     int
+	Frequent       int
+	JoinPairs      int64 // join pairs considered (equivalence-class or naive)
+	PrunedBySubset int   // candidates removed by the (k-1)-subset test
+	TreeStats      hashtree.Stats
+}
+
+// Result is the output of a mining run.
+type Result struct {
+	MinCount int64
+	// ByK[k] holds the frequent k-itemsets (ByK[0] is empty padding).
+	ByK   [][]FrequentItemset
+	Iters []IterStats
+}
+
+// All flattens the frequent itemsets over every k.
+func (r *Result) All() []FrequentItemset {
+	var out []FrequentItemset
+	for _, fk := range r.ByK {
+		out = append(out, fk...)
+	}
+	return out
+}
+
+// NumFrequent returns the total number of frequent itemsets.
+func (r *Result) NumFrequent() int {
+	n := 0
+	for _, fk := range r.ByK {
+		n += len(fk)
+	}
+	return n
+}
+
+// SupportOf looks up the support of an itemset, or 0.
+func (r *Result) SupportOf(s itemset.Itemset) int64 {
+	k := s.K()
+	if k >= len(r.ByK) {
+		return 0
+	}
+	for _, f := range r.ByK[k] {
+		if f.Items.Equal(s) {
+			return f.Count
+		}
+	}
+	return 0
+}
+
+// Maximal returns the maximal frequent itemsets — those with no frequent
+// superset (the sets All-MFS / Pincer-Search / MaxMiner in Section 7 aim
+// for directly). Every frequent itemset is a subset of some maximal one.
+func (r *Result) Maximal() []FrequentItemset {
+	var out []FrequentItemset
+	for k := 1; k < len(r.ByK); k++ {
+		var super []FrequentItemset
+		if k+1 < len(r.ByK) {
+			super = r.ByK[k+1]
+		}
+		for _, f := range r.ByK[k] {
+			maximal := true
+			for _, g := range super {
+				if g.Items.Contains(f.Items) {
+					maximal = false
+					break
+				}
+			}
+			if maximal {
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// FrequentOne scans the database once and returns the frequent 1-itemsets
+// in lexicographic order with their supports.
+func FrequentOne(d *db.Database, minCount int64) []FrequentItemset {
+	counts := make([]int64, d.NumItems())
+	for i := 0; i < d.Len(); i++ {
+		for _, it := range d.Items(i) {
+			counts[it]++
+		}
+	}
+	var out []FrequentItemset
+	for it, c := range counts {
+		if c >= minCount {
+			out = append(out, FrequentItemset{Items: itemset.New(itemset.Item(it)), Count: c})
+		}
+	}
+	return out
+}
+
+// LabelsFromF1 builds the item→lexicographic-rank vector of Section 4.1
+// (Table 1's labels): the i-th frequent 1-item gets label i; everything
+// else gets -1. The bitonic hash tree hashes these labels.
+func LabelsFromF1(f1 []FrequentItemset, numItems int) []int32 {
+	labels := make([]int32, numItems)
+	for i := range labels {
+		labels[i] = -1
+	}
+	for rank, f := range f1 {
+		it := f.Items[0]
+		if int(it) < numItems {
+			labels[it] = int32(rank)
+		}
+	}
+	return labels
+}
+
+// GenerateCandidates joins sorted F_{k-1} with itself and prunes candidates
+// with an infrequent (k-1)-subset (Section 3.1.1). It returns the candidate
+// (k)-itemsets in lexicographic order plus join/prune accounting.
+func GenerateCandidates(fkPrev []itemset.Itemset, naive bool) (cands []itemset.Itemset, joinPairs int64, pruned int) {
+	if len(fkPrev) == 0 {
+		return nil, 0, 0
+	}
+	k := fkPrev[0].K() + 1
+	inPrev := make(map[string]bool, len(fkPrev))
+	for _, s := range fkPrev {
+		inPrev[s.Key()] = true
+	}
+	emit := func(cand itemset.Itemset) {
+		// Prune: the two subsets that formed the candidate are frequent by
+		// construction; test the remaining k-2 (all except dropping the
+		// last two positions).
+		ok := true
+		for drop := 0; drop < k-2; drop++ {
+			if !inPrev[cand.WithoutIndex(drop).Key()] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			cands = append(cands, cand)
+		} else {
+			pruned++
+		}
+	}
+	if naive {
+		// Ablation: all C(|F|,2) pairs, joining only when the k-2 prefixes
+		// match (checked pairwise, not via classes).
+		for i := 0; i < len(fkPrev); i++ {
+			for j := i + 1; j < len(fkPrev); j++ {
+				joinPairs++
+				a, b := fkPrev[i], fkPrev[j]
+				if !a[:k-2].Equal(b[:k-2]) {
+					continue
+				}
+				cand := a.Union(b)
+				if cand.K() == k {
+					emit(cand)
+				}
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].Less(cands[j]) })
+		return cands, joinPairs, pruned
+	}
+	classes := itemset.Classes(fkPrev)
+	for ci := range classes {
+		cl := &classes[ci]
+		for i := 0; i < len(cl.Tails); i++ {
+			for j := i + 1; j < len(cl.Tails); j++ {
+				joinPairs++
+				cand := make(itemset.Itemset, 0, k)
+				cand = append(cand, cl.Prefix...)
+				cand = append(cand, cl.Tails[i], cl.Tails[j])
+				emit(cand)
+			}
+		}
+	}
+	return cands, joinPairs, pruned
+}
+
+// Mine runs the sequential Apriori loop on the database.
+func Mine(d *db.Database, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	minCount := opts.MinCount(d.Len())
+	res := &Result{MinCount: minCount, ByK: make([][]FrequentItemset, 2)}
+
+	f1 := FrequentOne(d, minCount)
+	res.ByK[1] = f1
+	res.Iters = append(res.Iters, IterStats{K: 1, Candidates: d.NumItems(), Frequent: len(f1)})
+	labels := LabelsFromF1(f1, d.NumItems())
+
+	prev := make([]itemset.Itemset, len(f1))
+	for i, f := range f1 {
+		prev[i] = f.Items
+	}
+
+	for k := 2; len(prev) > 0 && (opts.MaxK == 0 || k <= opts.MaxK); k++ {
+		cands, joinPairs, pruned := GenerateCandidates(prev, opts.NaiveJoin)
+		if len(cands) == 0 {
+			break
+		}
+		cfg := hashtree.Config{
+			K:         k,
+			Fanout:    opts.Fanout,
+			Threshold: opts.Threshold,
+			Hash:      opts.Hash,
+			NumItems:  d.NumItems(),
+			Labels:    labels,
+		}
+		tree, err := hashtree.Build(cfg, cands)
+		if err != nil {
+			return nil, fmt.Errorf("apriori: iteration %d: %w", k, err)
+		}
+		counters := hashtree.NewCounters(hashtree.CounterAtomic, tree.NumCandidates(), 1)
+		ctx := tree.NewCountCtx(counters, hashtree.CountOpts{ShortCircuit: opts.ShortCircuit})
+		for i := 0; i < d.Len(); i++ {
+			ctx.CountTransaction(d.Items(i))
+		}
+		fk := ExtractFrequent(tree, counters, minCount)
+		res.ByK = append(res.ByK, fk)
+		res.Iters = append(res.Iters, IterStats{
+			K: k, Candidates: len(cands), Frequent: len(fk),
+			JoinPairs: joinPairs, PrunedBySubset: pruned,
+			TreeStats: tree.ComputeStats(),
+		})
+		prev = prev[:0]
+		for _, f := range fk {
+			prev = append(prev, f.Items)
+		}
+	}
+	return res, nil
+}
+
+// ExtractFrequent walks the tree in depth-first order (Section 2.1.3) and
+// returns the candidates meeting minCount, sorted lexicographically (the
+// order the next join requires).
+func ExtractFrequent(tree *hashtree.Tree, counters *hashtree.Counters, minCount int64) []FrequentItemset {
+	var out []FrequentItemset
+	tree.ForEachCandidate(func(id int32) {
+		if c := counters.Count(id); c >= minCount {
+			out = append(out, FrequentItemset{Items: tree.Candidate(id).Clone(), Count: c})
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Items.Less(out[j].Items) })
+	return out
+}

@@ -1,0 +1,322 @@
+package apriori
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/gen"
+	"repro/internal/hashtree"
+	"repro/internal/itemset"
+)
+
+// exampleDB is the Section 2.1.3 worked example.
+func exampleDB() *db.Database {
+	d := db.New(6)
+	d.Append(1, itemset.New(1, 4, 5))
+	d.Append(2, itemset.New(1, 2))
+	d.Append(3, itemset.New(3, 4, 5))
+	d.Append(4, itemset.New(1, 2, 4, 5))
+	return d
+}
+
+// TestSequentialExampleSection213 reproduces the paper's worked example:
+// F1={1,2,4,5}, C2 all pairs, F2={12,14,15,45}, C3={145}, F3={145}.
+func TestSequentialExampleSection213(t *testing.T) {
+	res, err := Mine(exampleDB(), Options{AbsSupport: 2, ShortCircuit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF1 := []itemset.Itemset{itemset.New(1), itemset.New(2), itemset.New(4), itemset.New(5)}
+	if len(res.ByK[1]) != len(wantF1) {
+		t.Fatalf("F1 = %v", res.ByK[1])
+	}
+	for i, f := range res.ByK[1] {
+		if !f.Items.Equal(wantF1[i]) {
+			t.Errorf("F1[%d] = %v, want %v", i, f.Items, wantF1[i])
+		}
+	}
+	wantF2 := []itemset.Itemset{
+		itemset.New(1, 2), itemset.New(1, 4), itemset.New(1, 5), itemset.New(4, 5),
+	}
+	if len(res.ByK[2]) != len(wantF2) {
+		t.Fatalf("F2 = %v", res.ByK[2])
+	}
+	for i, f := range res.ByK[2] {
+		if !f.Items.Equal(wantF2[i]) {
+			t.Errorf("F2[%d] = %v, want %v", i, f.Items, wantF2[i])
+		}
+	}
+	if len(res.ByK) < 4 || len(res.ByK[3]) != 1 || !res.ByK[3][0].Items.Equal(itemset.New(1, 4, 5)) {
+		t.Fatalf("F3 = %v", res.ByK[3])
+	}
+	if res.ByK[3][0].Count != 2 {
+		t.Errorf("support(145) = %d, want 2", res.ByK[3][0].Count)
+	}
+	// The C3 join must have produced exactly one candidate after pruning
+	// (124 and 125 are pruned because 24 and 25 are infrequent).
+	if res.Iters[2].Candidates != 1 {
+		t.Errorf("C3 candidates = %d, want 1", res.Iters[2].Candidates)
+	}
+	if res.Iters[2].PrunedBySubset != 2 {
+		t.Errorf("C3 pruned = %d, want 2", res.Iters[2].PrunedBySubset)
+	}
+}
+
+func TestGenerateCandidatesJoin(t *testing.T) {
+	f2 := []itemset.Itemset{
+		itemset.New(1, 2), itemset.New(1, 4), itemset.New(1, 5), itemset.New(4, 5),
+	}
+	cands, pairs, pruned := GenerateCandidates(f2, false)
+	if len(cands) != 1 || !cands[0].Equal(itemset.New(1, 4, 5)) {
+		t.Fatalf("cands = %v", cands)
+	}
+	// Class (1): tails {2,4,5} → 3 pairs; class (4): tails {5} → 0 pairs.
+	if pairs != 3 {
+		t.Errorf("join pairs = %d, want 3", pairs)
+	}
+	if pruned != 2 {
+		t.Errorf("pruned = %d, want 2", pruned)
+	}
+}
+
+func TestGenerateCandidatesNaiveMatchesOptimized(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		k := 2 + rng.Intn(2)
+		seen := map[string]bool{}
+		var fk []itemset.Itemset
+		for i := 0; i < 40; i++ {
+			m := map[itemset.Item]bool{}
+			for len(m) < k {
+				m[itemset.Item(rng.Intn(15))] = true
+			}
+			var s itemset.Itemset
+			for it := range m {
+				s = append(s, it)
+			}
+			c := itemset.New(s...)
+			if !seen[c.Key()] {
+				seen[c.Key()] = true
+				fk = append(fk, c)
+			}
+		}
+		sort.Slice(fk, func(i, j int) bool { return fk[i].Less(fk[j]) })
+		opt, optPairs, _ := GenerateCandidates(fk, false)
+		nai, naiPairs, _ := GenerateCandidates(fk, true)
+		if len(opt) != len(nai) {
+			t.Fatalf("trial %d: %d vs %d candidates", trial, len(opt), len(nai))
+		}
+		for i := range opt {
+			if !opt[i].Equal(nai[i]) {
+				t.Fatalf("trial %d: candidate %d differs: %v vs %v", trial, i, opt[i], nai[i])
+			}
+		}
+		if optPairs > naiPairs {
+			t.Errorf("trial %d: optimized join considered more pairs (%d > %d)", trial, optPairs, naiPairs)
+		}
+	}
+}
+
+func TestGenerateCandidatesEmpty(t *testing.T) {
+	cands, pairs, pruned := GenerateCandidates(nil, false)
+	if cands != nil || pairs != 0 || pruned != 0 {
+		t.Error("empty input should yield nothing")
+	}
+}
+
+func TestFrequentOne(t *testing.T) {
+	d := exampleDB()
+	f1 := FrequentOne(d, 2)
+	if len(f1) != 4 {
+		t.Fatalf("F1 = %v", f1)
+	}
+	if f1[0].Count != 3 { // item 1 appears in T1, T2, T4
+		t.Errorf("support(1) = %d", f1[0].Count)
+	}
+	// Threshold 4: nothing qualifies.
+	if got := FrequentOne(d, 4); len(got) != 0 {
+		t.Errorf("minCount=4 → %v", got)
+	}
+}
+
+func TestMinCount(t *testing.T) {
+	o := Options{MinSupport: 0.005}
+	if got := o.MinCount(100000); got != 500 {
+		t.Errorf("MinCount = %d, want 500", got)
+	}
+	o = Options{MinSupport: 0.0000001}
+	if got := o.MinCount(100); got != 1 {
+		t.Errorf("tiny support should clamp to 1, got %d", got)
+	}
+	o = Options{MinSupport: 0.5, AbsSupport: 7}
+	if got := o.MinCount(1000); got != 7 {
+		t.Errorf("AbsSupport should win, got %d", got)
+	}
+}
+
+// bruteForceFrequent enumerates all frequent itemsets by exhaustive search.
+func bruteForceFrequent(d *db.Database, minCount int64, maxK int) map[string]int64 {
+	out := map[string]int64{}
+	// Start from frequent single items and grow (exact because of
+	// downward closure).
+	var frontier []itemset.Itemset
+	counts := make([]int64, d.NumItems())
+	for i := 0; i < d.Len(); i++ {
+		for _, it := range d.Items(i) {
+			counts[it]++
+		}
+	}
+	for it, c := range counts {
+		if c >= minCount {
+			s := itemset.New(itemset.Item(it))
+			out[s.Key()] = c
+			frontier = append(frontier, s)
+		}
+	}
+	for k := 2; len(frontier) > 0 && (maxK == 0 || k <= maxK); k++ {
+		next := map[string]itemset.Itemset{}
+		for _, base := range frontier {
+			for it := itemset.Item(0); int(it) < d.NumItems(); it++ {
+				if base.ContainsItem(it) || it <= base[base.K()-1] {
+					continue
+				}
+				cand := base.Union(itemset.New(it))
+				next[cand.Key()] = cand
+			}
+		}
+		frontier = frontier[:0]
+		for _, cand := range next {
+			var c int64
+			for i := 0; i < d.Len(); i++ {
+				if d.Items(i).Contains(cand) {
+					c++
+				}
+			}
+			if c >= minCount {
+				out[cand.Key()] = c
+				frontier = append(frontier, cand)
+			}
+		}
+	}
+	return out
+}
+
+func TestMineMatchesBruteForce(t *testing.T) {
+	d, err := gen.Generate(gen.Params{N: 40, L: 12, I: 3, T: 6, D: 300, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const minCount = 15
+	want := bruteForceFrequent(d, minCount, 0)
+	for _, naive := range []bool{false, true} {
+		for _, sc := range []bool{false, true} {
+			for _, hash := range []hashtree.HashKind{hashtree.HashInterleaved, hashtree.HashBitonic} {
+				res, err := Mine(d, Options{
+					AbsSupport: minCount, ShortCircuit: sc, NaiveJoin: naive,
+					Hash: hash, Threshold: 3,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := map[string]int64{}
+				for _, f := range res.All() {
+					got[f.Items.Key()] = f.Count
+				}
+				if len(got) != len(want) {
+					t.Fatalf("naive=%v sc=%v hash=%v: %d frequent, want %d",
+						naive, sc, hash, len(got), len(want))
+				}
+				for key, c := range want {
+					if got[key] != c {
+						ks, _ := itemset.ParseKey(key)
+						t.Fatalf("naive=%v sc=%v hash=%v: %v = %d, want %d",
+							naive, sc, hash, ks, got[key], c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMineMaxK(t *testing.T) {
+	d := exampleDB()
+	res, err := Mine(d, Options{AbsSupport: 2, MaxK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ByK) > 3 {
+		t.Errorf("MaxK=2 produced %d levels", len(res.ByK)-1)
+	}
+}
+
+func TestMineEmptyDatabase(t *testing.T) {
+	d := db.New(10)
+	res, err := Mine(d, Options{MinSupport: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumFrequent() != 0 {
+		t.Errorf("empty db yielded %d frequent", res.NumFrequent())
+	}
+}
+
+func TestSupportOf(t *testing.T) {
+	res, _ := Mine(exampleDB(), Options{AbsSupport: 2})
+	if got := res.SupportOf(itemset.New(4, 5)); got != 3 {
+		t.Errorf("SupportOf(45) = %d, want 3", got)
+	}
+	if got := res.SupportOf(itemset.New(2, 4)); got != 0 {
+		t.Errorf("SupportOf(24) = %d, want 0", got)
+	}
+	if got := res.SupportOf(itemset.New(1, 2, 3, 4, 5, 6, 7)); got != 0 {
+		t.Errorf("SupportOf(huge) = %d", got)
+	}
+}
+
+func TestIterStatsSeries(t *testing.T) {
+	d, err := gen.Generate(gen.Params{N: 60, L: 15, I: 4, T: 8, D: 400, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Mine(d, Options{MinSupport: 0.02, ShortCircuit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iters) < 2 {
+		t.Fatalf("only %d iterations", len(res.Iters))
+	}
+	for i, it := range res.Iters {
+		if it.K != i+1 {
+			t.Errorf("iteration %d has K=%d", i, it.K)
+		}
+		if it.Frequent > it.Candidates {
+			t.Errorf("K=%d: frequent %d > candidates %d", it.K, it.Frequent, it.Candidates)
+		}
+		if it.K >= 2 && it.TreeStats.Bytes <= 0 {
+			t.Errorf("K=%d: tree bytes %d", it.K, it.TreeStats.Bytes)
+		}
+	}
+	// The frequent-per-iteration series should rise then fall (unimodal-ish);
+	// we only assert it eventually reaches zero growth, i.e. terminates.
+	last := res.Iters[len(res.Iters)-1]
+	if last.Frequent > 0 && last.Candidates == 0 {
+		t.Error("loop terminated inconsistently")
+	}
+}
+
+func TestExtractFrequentSorted(t *testing.T) {
+	d, _ := gen.Generate(gen.Params{N: 30, L: 10, I: 3, T: 6, D: 200, Seed: 8})
+	res, err := Mine(d, Options{MinSupport: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, fk := range res.ByK {
+		for i := 1; i < len(fk); i++ {
+			if !fk[i-1].Items.Less(fk[i].Items) {
+				t.Errorf("F%d not sorted at %d: %v !< %v", k, i, fk[i-1].Items, fk[i].Items)
+			}
+		}
+	}
+}

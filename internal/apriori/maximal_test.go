@@ -1,0 +1,81 @@
+package apriori
+
+import (
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/gen"
+	"repro/internal/itemset"
+)
+
+func TestMaximalWorkedExample(t *testing.T) {
+	// Section 2.1.3: frequent sets are {1},{2},{4},{5}, {12},{14},{15},{45},
+	// {145}. Maximal: {12} and {145} (plus {2} is covered by {12}; all
+	// singletons are covered).
+	d := db.New(6)
+	d.Append(1, itemset.New(1, 4, 5))
+	d.Append(2, itemset.New(1, 2))
+	d.Append(3, itemset.New(3, 4, 5))
+	d.Append(4, itemset.New(1, 2, 4, 5))
+	res, err := Mine(d, Options{AbsSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxes := res.Maximal()
+	got := map[string]bool{}
+	for _, m := range maxes {
+		got[m.Items.Key()] = true
+	}
+	if len(maxes) != 2 {
+		t.Fatalf("maximal = %v", maxes)
+	}
+	if !got[itemset.New(1, 2).Key()] || !got[itemset.New(1, 4, 5).Key()] {
+		t.Errorf("maximal set wrong: %v", maxes)
+	}
+}
+
+func TestMaximalCoversAllFrequent(t *testing.T) {
+	d, err := gen.Generate(gen.Params{N: 50, L: 12, I: 3, T: 7, D: 500, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Mine(d, Options{MinSupport: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxes := res.Maximal()
+	if len(maxes) == 0 {
+		t.Fatal("no maximal itemsets")
+	}
+	// Every frequent itemset must be a subset of some maximal one, and no
+	// maximal itemset may contain another.
+	for _, f := range res.All() {
+		covered := false
+		for _, m := range maxes {
+			if m.Items.Contains(f.Items) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("frequent %v not covered by any maximal itemset", f.Items)
+		}
+	}
+	for i := range maxes {
+		for j := range maxes {
+			if i != j && maxes[i].Items.Contains(maxes[j].Items) {
+				t.Fatalf("maximal %v contains maximal %v", maxes[i].Items, maxes[j].Items)
+			}
+		}
+	}
+	if len(maxes) >= res.NumFrequent() {
+		t.Errorf("maximal set (%d) not smaller than frequent set (%d)", len(maxes), res.NumFrequent())
+	}
+}
+
+func TestMaximalEmpty(t *testing.T) {
+	res := &Result{ByK: make([][]FrequentItemset, 2)}
+	if got := res.Maximal(); len(got) != 0 {
+		t.Errorf("Maximal on empty = %v", got)
+	}
+}

@@ -1,0 +1,179 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/apriori"
+	"repro/internal/db"
+	"repro/internal/gen"
+	"repro/internal/hashtree"
+	"repro/internal/itemset"
+)
+
+func testDB(t *testing.T) *db.Database {
+	t.Helper()
+	d, err := gen.Generate(gen.Params{N: 60, L: 15, I: 4, T: 8, D: 600, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func flat(res *apriori.Result) map[string]int64 {
+	out := map[string]int64{}
+	for _, f := range res.All() {
+		out[f.Items.Key()] = f.Count
+	}
+	return out
+}
+
+func assertSame(t *testing.T, label string, got, want map[string]int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d frequent, want %d", label, len(got), len(want))
+	}
+	for k, c := range want {
+		if got[k] != c {
+			s, _ := itemset.ParseKey(k)
+			t.Fatalf("%s: %v = %d, want %d", label, s, got[k], c)
+		}
+	}
+}
+
+func TestCountDistributionMatchesApriori(t *testing.T) {
+	d := testDB(t)
+	ref, err := apriori.Mine(d, apriori.Options{MinSupport: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := flat(ref)
+	for _, procs := range []int{1, 3, 8} {
+		res, stats, err := MineCD(d, CDOptions{
+			Mining: apriori.Options{MinSupport: 0.02, Hash: hashtree.HashBitonic, ShortCircuit: true},
+			Procs:  procs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSame(t, "CD", flat(res), want)
+		if stats.Rounds < 2 {
+			t.Errorf("procs=%d: only %d all-reduce rounds", procs, stats.Rounds)
+		}
+		if stats.BytesExchanged <= 0 {
+			t.Errorf("procs=%d: no communication recorded", procs)
+		}
+	}
+}
+
+func TestCDCommunicationScalesWithProcs(t *testing.T) {
+	d := testDB(t)
+	_, s2, err := MineCD(d, CDOptions{Mining: apriori.Options{MinSupport: 0.02}, Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s8, err := MineCD(d, CDOptions{Mining: apriori.Options{MinSupport: 0.02}, Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same candidates per iteration, 4× the nodes → 4× the traffic.
+	if s8.BytesExchanged != 4*s2.BytesExchanged {
+		t.Errorf("traffic %d at 8 procs, %d at 2 — expected 4×", s8.BytesExchanged, s2.BytesExchanged)
+	}
+}
+
+func TestCommBytesPerIteration(t *testing.T) {
+	if got := CommBytesPerIteration(1000, 8); got != 64000 {
+		t.Errorf("CommBytes = %d", got)
+	}
+}
+
+func TestDHPMatchesApriori(t *testing.T) {
+	d := testDB(t)
+	ref, err := apriori.Mine(d, apriori.Options{MinSupport: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := flat(ref)
+	for _, buckets := range []int{1 << 8, 1 << 16} {
+		res, stats, err := MineDHP(d, DHPOptions{
+			Mining:  apriori.Options{MinSupport: 0.02, ShortCircuit: true},
+			Buckets: buckets,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSame(t, "DHP", flat(res), want)
+		if stats.CandidatesAfter > stats.CandidatesBefore {
+			t.Errorf("buckets=%d: filter added candidates?!", buckets)
+		}
+	}
+}
+
+func TestDHPPrunesCandidates(t *testing.T) {
+	// With ample buckets (few collisions) DHP must prune a meaningful
+	// share of C2 at a support level where many pairs are infrequent.
+	d := testDB(t)
+	_, stats, err := MineDHP(d, DHPOptions{
+		Mining:  apriori.Options{MinSupport: 0.05},
+		Buckets: 1 << 18,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CandidatesAfter >= stats.CandidatesBefore {
+		t.Errorf("no pruning: %d → %d", stats.CandidatesBefore, stats.CandidatesAfter)
+	}
+}
+
+func TestPartitionMatchesApriori(t *testing.T) {
+	d := testDB(t)
+	ref, err := apriori.Mine(d, apriori.Options{MinSupport: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := flat(ref)
+	for _, chunks := range []int{1, 3, 7} {
+		res, stats, err := MinePartition(d, PartitionOptions{
+			Mining: apriori.Options{MinSupport: 0.02, ShortCircuit: true},
+			Chunks: chunks,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSame(t, "Partition", flat(res), want)
+		if stats.Scans != 2 {
+			t.Errorf("chunks=%d: %d scans", chunks, stats.Scans)
+		}
+		if stats.LocalCandidates < len(want) {
+			t.Errorf("chunks=%d: local union %d smaller than frequent set %d",
+				chunks, stats.LocalCandidates, len(want))
+		}
+	}
+}
+
+func TestPartitionAbsSupport(t *testing.T) {
+	// AbsSupport path: local thresholds derive from the implied fraction.
+	d := testDB(t)
+	ref, _ := apriori.Mine(d, apriori.Options{AbsSupport: 20})
+	res, _, err := MinePartition(d, PartitionOptions{
+		Mining: apriori.Options{AbsSupport: 20},
+		Chunks: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSame(t, "Partition/abs", flat(res), flat(ref))
+}
+
+func TestBaselinesOnEmptyDB(t *testing.T) {
+	d := db.New(10)
+	if res, _, err := MineCD(d, CDOptions{Mining: apriori.Options{MinSupport: 0.5}, Procs: 3}); err != nil || res.NumFrequent() != 0 {
+		t.Errorf("CD on empty: %v, %d", err, res.NumFrequent())
+	}
+	if res, _, err := MineDHP(d, DHPOptions{Mining: apriori.Options{MinSupport: 0.5}}); err != nil || res.NumFrequent() != 0 {
+		t.Errorf("DHP on empty: %v, %d", err, res.NumFrequent())
+	}
+	if res, _, err := MinePartition(d, PartitionOptions{Mining: apriori.Options{MinSupport: 0.5}}); err != nil || res.NumFrequent() != 0 {
+		t.Errorf("Partition on empty: %v, %d", err, res.NumFrequent())
+	}
+}

@@ -1,0 +1,164 @@
+// Package baseline implements the comparison algorithms the paper
+// positions CCPD against in Section 7: Count Distribution (Agrawal &
+// Shafer 1996), the best of the three IBM-SP2 distributed-memory
+// parallelizations of Apriori, here simulated on shared memory with
+// channel-based message passing; and DHP (Park et al. 1995), the
+// hash-based sequential algorithm whose direct-hashing step prunes C2.
+// Both produce exactly the frequent itemsets of Apriori and exist to
+// reproduce the cost structures the paper argues about (communication
+// volume for CD, candidate reduction for DHP).
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/apriori"
+	"repro/internal/db"
+	"repro/internal/hashtree"
+	"repro/internal/itemset"
+)
+
+// CDOptions configures a Count Distribution run.
+type CDOptions struct {
+	// Mining carries support and tree knobs.
+	Mining apriori.Options
+	// Procs is the number of simulated distributed nodes.
+	Procs int
+}
+
+// CDStats records the simulated communication of a run: in Count
+// Distribution every node broadcasts its partial counts for every
+// candidate each iteration (an all-reduce), so traffic is
+// |C_k| × 8 bytes × P per iteration — the overhead the paper's
+// shared-memory CCPD avoids entirely.
+type CDStats struct {
+	Procs int
+	// BytesExchanged is the total all-reduce volume over all iterations.
+	BytesExchanged int64
+	// Rounds is the number of all-reduce rounds (one per iteration ≥ 2).
+	Rounds int
+}
+
+// MineCD runs Count Distribution: each node owns a horizontal database
+// partition and a full replica of the candidate hash tree; after local
+// counting, partial counts are exchanged (here: summed through a channel
+// fan-in standing in for the SP2 message layer) and every node selects the
+// same frequent set.
+func MineCD(d *db.Database, opts CDOptions) (*apriori.Result, *CDStats, error) {
+	if opts.Procs < 1 {
+		opts.Procs = 1
+	}
+	minCount := opts.Mining.MinCount(d.Len())
+	res := &apriori.Result{MinCount: minCount, ByK: make([][]apriori.FrequentItemset, 2)}
+	stats := &CDStats{Procs: opts.Procs}
+
+	slices := d.BlockPartition(opts.Procs)
+
+	// Iteration 1: local item counts, then all-reduce.
+	type countMsg struct {
+		proc   int
+		counts []int64
+	}
+	ch := make(chan countMsg, opts.Procs)
+	for p := 0; p < opts.Procs; p++ {
+		go func(p int) {
+			counts := make([]int64, d.NumItems())
+			slices[p].ForEach(func(_ int64, items itemset.Itemset) {
+				for _, it := range items {
+					counts[it]++
+				}
+			})
+			ch <- countMsg{p, counts}
+		}(p)
+	}
+	global := make([]int64, d.NumItems())
+	for p := 0; p < opts.Procs; p++ {
+		m := <-ch
+		for i, c := range m.counts {
+			global[i] += c
+		}
+	}
+	stats.BytesExchanged += int64(d.NumItems()) * 8 * int64(opts.Procs)
+	stats.Rounds++
+
+	var f1 []apriori.FrequentItemset
+	for it, c := range global {
+		if c >= minCount {
+			f1 = append(f1, apriori.FrequentItemset{Items: itemset.New(itemset.Item(it)), Count: c})
+		}
+	}
+	res.ByK[1] = f1
+	labels := apriori.LabelsFromF1(f1, d.NumItems())
+	prev := make([]itemset.Itemset, len(f1))
+	for i, f := range f1 {
+		prev[i] = f.Items
+	}
+
+	for k := 2; len(prev) > 0 && (opts.Mining.MaxK == 0 || k <= opts.Mining.MaxK); k++ {
+		// Every node generates the identical candidate set independently
+		// (no communication needed — the hallmark of Count Distribution).
+		cands, _, _ := apriori.GenerateCandidates(prev, opts.Mining.NaiveJoin)
+		if len(cands) == 0 {
+			break
+		}
+		cfg := hashtree.Config{
+			K: k, Fanout: opts.Mining.Fanout, Threshold: opts.Mining.Threshold,
+			Hash: opts.Mining.Hash, NumItems: d.NumItems(), Labels: labels,
+		}
+		// Per-node replica trees and local counting; the replicas are
+		// identical, so one shared immutable tree stands in for P copies
+		// (the counts are what get exchanged).
+		tree, err := hashtree.Build(cfg, cands)
+		if err != nil {
+			return nil, nil, fmt.Errorf("countdist: iteration %d: %w", k, err)
+		}
+		partial := make([][]int64, opts.Procs)
+		var wg sync.WaitGroup
+		for p := 0; p < opts.Procs; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				local := hashtree.NewCounters(hashtree.CounterAtomic, tree.NumCandidates(), 1)
+				ctx := tree.NewCountCtx(local, hashtree.CountOpts{ShortCircuit: opts.Mining.ShortCircuit})
+				slices[p].ForEach(func(_ int64, items itemset.Itemset) {
+					ctx.CountTransaction(items)
+				})
+				partial[p] = append([]int64(nil), local.Counts()...)
+			}(p)
+		}
+		wg.Wait()
+
+		// All-reduce of partial counts.
+		total := hashtree.NewCounters(hashtree.CounterAtomic, tree.NumCandidates(), 1)
+		sum := total.Counts()
+		for p := 0; p < opts.Procs; p++ {
+			for i, c := range partial[p] {
+				sum[i] += c
+			}
+		}
+		stats.BytesExchanged += int64(tree.NumCandidates()) * 8 * int64(opts.Procs)
+		stats.Rounds++
+
+		fk := apriori.ExtractFrequent(tree, total, minCount)
+		res.ByK = append(res.ByK, fk)
+		prev = prev[:0]
+		for _, f := range fk {
+			prev = append(prev, f.Items)
+		}
+	}
+	return res, stats, nil
+}
+
+// CommBytesPerIteration returns the modelled all-reduce volume for a
+// candidate count — useful for the communication-vs-shared-memory
+// comparison in docs and tests.
+func CommBytesPerIteration(numCandidates, procs int) int64 {
+	return int64(numCandidates) * 8 * int64(procs)
+}
+
+// sortFrequent orders a frequent list lexicographically (shared helper).
+func sortFrequent(fk []apriori.FrequentItemset) {
+	sort.Slice(fk, func(i, j int) bool { return fk[i].Items.Less(fk[j].Items) })
+}

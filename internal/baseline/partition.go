@@ -1,0 +1,138 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/apriori"
+	"repro/internal/db"
+	"repro/internal/hashtree"
+	"repro/internal/itemset"
+)
+
+// PartitionOptions configures the Partition algorithm (Savasere, Omiecinski
+// & Navathe 1995): the database is split into chunks small enough to mine
+// in memory; phase 1 mines each chunk at the scaled-down local support and
+// unions the locally frequent itemsets into a global candidate set; phase 2
+// counts every candidate in one more full scan. Exactly two database scans
+// total — the I/O structure the paper's related-work section contrasts
+// with Apriori's k scans.
+type PartitionOptions struct {
+	Mining apriori.Options
+	// Chunks is the number of partitions (default 4).
+	Chunks int
+}
+
+// PartitionStats reports phase sizes.
+type PartitionStats struct {
+	Chunks          int
+	LocalCandidates int // distinct locally-frequent itemsets (phase 1 union)
+	Scans           int // always 2
+}
+
+// MinePartition runs the two-scan Partition algorithm. Results match
+// Apriori exactly (the local-support union is a superset of the global
+// frequent set).
+func MinePartition(d *db.Database, opts PartitionOptions) (*apriori.Result, *PartitionStats, error) {
+	if opts.Chunks < 1 {
+		opts.Chunks = 4
+	}
+	minCount := opts.Mining.MinCount(d.Len())
+	frac := float64(minCount) / float64(max(1, d.Len()))
+	stats := &PartitionStats{Chunks: opts.Chunks, Scans: 2}
+
+	// Phase 1: mine each chunk locally; union locally frequent itemsets.
+	candidates := map[string]itemset.Itemset{}
+	maxK := 1
+	for _, s := range d.BlockPartition(opts.Chunks) {
+		if s.Len() == 0 {
+			continue
+		}
+		chunk := db.New(d.NumItems())
+		s.ForEach(func(tid int64, items itemset.Itemset) {
+			chunk.Append(tid, items)
+		})
+		localMin := int64(math.Ceil(frac * float64(chunk.Len())))
+		if localMin < 1 {
+			localMin = 1
+		}
+		localOpts := opts.Mining
+		localOpts.AbsSupport = localMin
+		localOpts.MinSupport = 0
+		localRes, err := apriori.Mine(chunk, localOpts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("partition: phase 1: %w", err)
+		}
+		for _, f := range localRes.All() {
+			candidates[f.Items.Key()] = f.Items
+			if f.Items.K() > maxK {
+				maxK = f.Items.K()
+			}
+		}
+	}
+	stats.LocalCandidates = len(candidates)
+
+	// Phase 2: count the global support of every candidate in one scan,
+	// one hash tree per candidate size.
+	byK := make([][]itemset.Itemset, maxK+1)
+	for _, c := range candidates {
+		byK[c.K()] = append(byK[c.K()], c)
+	}
+	res := &apriori.Result{MinCount: minCount, ByK: make([][]apriori.FrequentItemset, maxK+1)}
+
+	// Size-1 candidates are counted directly.
+	counts1 := make([]int64, d.NumItems())
+	trees := make([]*hashtree.Tree, maxK+1)
+	counters := make([]*hashtree.Counters, maxK+1)
+	ctxs := make([]*hashtree.CountCtx, maxK+1)
+	for k := 2; k <= maxK; k++ {
+		if len(byK[k]) == 0 {
+			continue
+		}
+		sort.Slice(byK[k], func(i, j int) bool { return byK[k][i].Less(byK[k][j]) })
+		cfg := hashtree.Config{
+			K: k, Fanout: opts.Mining.Fanout, Threshold: opts.Mining.Threshold,
+			Hash: opts.Mining.Hash, NumItems: d.NumItems(),
+		}
+		tr, err := hashtree.Build(cfg, byK[k])
+		if err != nil {
+			return nil, nil, fmt.Errorf("partition: phase 2: %w", err)
+		}
+		trees[k] = tr
+		counters[k] = hashtree.NewCounters(hashtree.CounterAtomic, tr.NumCandidates(), 1)
+		ctxs[k] = tr.NewCountCtx(counters[k], hashtree.CountOpts{ShortCircuit: opts.Mining.ShortCircuit})
+	}
+	for i := 0; i < d.Len(); i++ {
+		items := d.Items(i)
+		for _, it := range items {
+			counts1[it]++
+		}
+		for k := 2; k <= maxK; k++ {
+			if ctxs[k] != nil {
+				ctxs[k].CountTransaction(items)
+			}
+		}
+	}
+
+	for _, c := range byK[1] {
+		if cnt := counts1[c[0]]; cnt >= minCount {
+			res.ByK[1] = append(res.ByK[1], apriori.FrequentItemset{Items: c, Count: cnt})
+		}
+	}
+	sortFrequent(res.ByK[1])
+	for k := 2; k <= maxK; k++ {
+		if trees[k] == nil {
+			continue
+		}
+		res.ByK[k] = apriori.ExtractFrequent(trees[k], counters[k], minCount)
+	}
+	return res, stats, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,502 @@
+// Package cachesim simulates per-processor set-associative caches kept
+// coherent with a snooping MESI protocol. It replays the memory access
+// traces produced by the support-counting phase (internal/trace) and
+// reports hits, misses, coherence invalidations — split into true and false
+// sharing — and a modelled execution time, reproducing the locality /
+// false-sharing evaluation of Section 6.4 without requiring control over
+// the real heap.
+//
+// False-sharing classification follows Torrellas et al. (1990): an
+// invalidation received by processor Q because P wrote word w is *false*
+// if Q never accessed word w while it held the line, and *true* otherwise.
+package cachesim
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Config sizes the simulated memory system. The defaults approximate one
+// node of the paper's SGI Power Challenge (1 MB secondary cache, long
+// miss penalty relative to hits).
+type Config struct {
+	Procs     int
+	LineSize  int // bytes per coherence block (power of two)
+	CacheSize int // bytes per processor (the coherent L2 level)
+	Ways      int // associativity
+
+	// Optional private first-level cache in front of the coherent level
+	// (the SGI node pairs a 16 KB primary with the 1 MB secondary).
+	// L1Size 0 disables it. The L1 is kept inclusive: remote
+	// invalidations and L2 evictions clear the L1 copy.
+	L1Size int
+	L1Ways int
+
+	// Latency model (cycles). HitCycles is the L2 (coherent-level) hit
+	// cost; L1HitCycles the first-level hit cost.
+	L1HitCycles      int
+	HitCycles        int
+	MissCycles       int // memory access on miss
+	InvalidateCycles int // bus transaction charged to the writer
+	ComputeCycles    int // fixed per-access compute overlap
+}
+
+// DefaultConfig mirrors the evaluation platform closely enough for relative
+// comparisons: a 16 KB direct-mapped primary over a 1 MB 4-way coherent
+// secondary with 64 B lines.
+func DefaultConfig(procs int) Config {
+	return Config{
+		Procs:            procs,
+		LineSize:         64,
+		CacheSize:        1 << 20,
+		Ways:             4,
+		L1Size:           16 << 10,
+		L1Ways:           1,
+		L1HitCycles:      1,
+		HitCycles:        8,
+		MissCycles:       60,
+		InvalidateCycles: 20,
+		ComputeCycles:    1,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Procs < 1 {
+		return fmt.Errorf("cachesim: need ≥1 processor, got %d", c.Procs)
+	}
+	if c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cachesim: line size %d not a power of two", c.LineSize)
+	}
+	if c.Ways < 1 || c.CacheSize < c.LineSize*c.Ways {
+		return fmt.Errorf("cachesim: cache %dB/%d-way too small for line %dB", c.CacheSize, c.Ways, c.LineSize)
+	}
+	if c.L1Size > 0 && (c.L1Ways < 1 || c.L1Size < c.LineSize*c.L1Ways) {
+		return fmt.Errorf("cachesim: L1 %dB/%d-way too small for line %dB", c.L1Size, c.L1Ways, c.LineSize)
+	}
+	return nil
+}
+
+// state is the MESI line state.
+type state uint8
+
+const (
+	invalid state = iota
+	shared
+	exclusive
+	modified
+)
+
+// line is one cache way.
+type line struct {
+	tag   uint64
+	state state
+	// wordMask records which 4-byte words this processor touched since the
+	// line was loaded; used for true/false sharing classification.
+	wordMask uint64
+	lru      uint64
+}
+
+// cache is one processor's coherent-level cache.
+type cache struct {
+	sets [][]line
+}
+
+// l1line is one way of the private first-level cache (no protocol state of
+// its own; inclusion keeps it consistent with the coherent level).
+type l1line struct {
+	tag   uint64
+	valid bool
+	lru   uint64
+}
+
+// l1cache is one processor's first-level cache.
+type l1cache struct {
+	sets [][]l1line
+}
+
+// Stats aggregates results for one processor.
+type Stats struct {
+	Accesses           int64
+	L1Hits             int64 // satisfied by the private first-level cache
+	Hits               int64
+	Misses             int64
+	ColdMisses         int64 // first touch of a line anywhere
+	CoherenceMisses    int64 // miss on a line this cache held but lost to an invalidation
+	InvalidationsRecv  int64
+	FalseSharingInvals int64
+	TrueSharingInvals  int64
+	InvalidationsSent  int64
+	Writebacks         int64
+	Cycles             int64
+}
+
+// Result is the outcome of replaying a workload.
+type Result struct {
+	PerProc []Stats
+	// Time is the modelled parallel execution time: the max per-processor
+	// cycle count (processors run concurrently).
+	Time int64
+}
+
+// Totals sums the per-processor stats.
+func (r *Result) Totals() Stats {
+	var t Stats
+	for _, s := range r.PerProc {
+		t.Accesses += s.Accesses
+		t.L1Hits += s.L1Hits
+		t.Hits += s.Hits
+		t.Misses += s.Misses
+		t.ColdMisses += s.ColdMisses
+		t.CoherenceMisses += s.CoherenceMisses
+		t.InvalidationsRecv += s.InvalidationsRecv
+		t.FalseSharingInvals += s.FalseSharingInvals
+		t.TrueSharingInvals += s.TrueSharingInvals
+		t.InvalidationsSent += s.InvalidationsSent
+		t.Writebacks += s.Writebacks
+		t.Cycles += s.Cycles
+	}
+	return t
+}
+
+// MissRate returns misses/accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Sim is the multi-processor cache simulator.
+type Sim struct {
+	cfg       Config
+	caches    []cache
+	l1        []l1cache
+	numL1Sets int
+	stats     []Stats
+	lineShift uint
+	setsMask  uint64
+	numSets   int
+	clock     uint64
+	// touched records lines ever loaded anywhere, for cold-miss accounting.
+	touched map[uint64]bool
+	// lost records lines a processor once cached but lost to invalidation.
+	lost []map[uint64]bool
+}
+
+// New builds a simulator.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineSize {
+		shift++
+	}
+	numSets := cfg.CacheSize / (cfg.LineSize * cfg.Ways)
+	if numSets == 0 {
+		numSets = 1
+	}
+	s := &Sim{
+		cfg:       cfg,
+		caches:    make([]cache, cfg.Procs),
+		stats:     make([]Stats, cfg.Procs),
+		lineShift: shift,
+		numSets:   numSets,
+		touched:   make(map[uint64]bool),
+		lost:      make([]map[uint64]bool, cfg.Procs),
+	}
+	for p := range s.caches {
+		s.caches[p].sets = make([][]line, numSets)
+		for i := range s.caches[p].sets {
+			s.caches[p].sets[i] = make([]line, cfg.Ways)
+		}
+		s.lost[p] = make(map[uint64]bool)
+	}
+	if cfg.L1Size > 0 {
+		s.numL1Sets = cfg.L1Size / (cfg.LineSize * cfg.L1Ways)
+		if s.numL1Sets == 0 {
+			s.numL1Sets = 1
+		}
+		s.l1 = make([]l1cache, cfg.Procs)
+		for p := range s.l1 {
+			s.l1[p].sets = make([][]l1line, s.numL1Sets)
+			for i := range s.l1[p].sets {
+				s.l1[p].sets[i] = make([]l1line, cfg.L1Ways)
+			}
+		}
+	}
+	return s, nil
+}
+
+// l1Lookup returns the way index of ln in proc's L1, or -1.
+func (s *Sim) l1Lookup(proc int, ln uint64) int {
+	if s.l1 == nil {
+		return -1
+	}
+	set := s.l1[proc].sets[int(ln%uint64(s.numL1Sets))]
+	for w := range set {
+		if set[w].valid && set[w].tag == ln {
+			return w
+		}
+	}
+	return -1
+}
+
+// l1Install places ln into proc's L1, evicting LRU.
+func (s *Sim) l1Install(proc int, ln uint64) {
+	if s.l1 == nil {
+		return
+	}
+	set := s.l1[proc].sets[int(ln%uint64(s.numL1Sets))]
+	best, bestLRU := 0, ^uint64(0)
+	for w := range set {
+		if !set[w].valid {
+			best = w
+			break
+		}
+		if set[w].lru < bestLRU {
+			best, bestLRU = w, set[w].lru
+		}
+	}
+	set[best] = l1line{tag: ln, valid: true, lru: s.clock}
+}
+
+// l1Invalidate drops ln from proc's L1 (inclusion maintenance).
+func (s *Sim) l1Invalidate(proc int, ln uint64) {
+	if s.l1 == nil {
+		return
+	}
+	set := s.l1[proc].sets[int(ln%uint64(s.numL1Sets))]
+	for w := range set {
+		if set[w].valid && set[w].tag == ln {
+			set[w].valid = false
+		}
+	}
+}
+
+func (s *Sim) lineOf(a mem.Addr) uint64 { return uint64(a) >> s.lineShift }
+
+func (s *Sim) setOf(ln uint64) int { return int(ln % uint64(s.numSets)) }
+
+// wordBit returns the word-mask bit for byte offset off within a line.
+func wordBit(off uint64) uint64 { return 1 << ((off / 4) & 63) }
+
+// find returns the way index holding ln in proc's cache, or -1.
+func (s *Sim) find(proc int, ln uint64) int {
+	set := s.caches[proc].sets[s.setOf(ln)]
+	for w := range set {
+		if set[w].state != invalid && set[w].tag == ln {
+			return w
+		}
+	}
+	return -1
+}
+
+// victim picks the LRU way in the set (preferring invalid ways).
+func (s *Sim) victim(proc int, ln uint64) int {
+	set := s.caches[proc].sets[s.setOf(ln)]
+	best, bestLRU := 0, ^uint64(0)
+	for w := range set {
+		if set[w].state == invalid {
+			return w
+		}
+		if set[w].lru < bestLRU {
+			best, bestLRU = w, set[w].lru
+		}
+	}
+	return best
+}
+
+// access replays one reference by processor proc.
+func (s *Sim) access(proc int, a trace.Access) {
+	st := &s.stats[proc]
+	// A reference spanning multiple lines is split.
+	first := s.lineOf(a.Addr)
+	last := s.lineOf(a.Addr + mem.Addr(a.Size) - 1)
+	if a.Size == 0 {
+		last = first
+	}
+	for ln := first; ln <= last; ln++ {
+		s.clock++
+		st.Accesses++
+		st.Cycles += int64(s.cfg.ComputeCycles)
+		off := uint64(0)
+		if ln == first {
+			off = uint64(a.Addr) & uint64(s.cfg.LineSize-1)
+		}
+		bit := wordBit(off)
+		// First-level lookup: reads are satisfied privately; writes must
+		// still run the coherent-level protocol.
+		if a.Op == trace.Read {
+			if lw := s.l1Lookup(proc, ln); lw >= 0 {
+				// Accesses and compute cycles were charged at loop entry.
+				st.L1Hits++
+				st.Cycles += int64(s.cfg.L1HitCycles)
+				set := s.l1[proc].sets[int(ln%uint64(s.numL1Sets))]
+				set[lw].lru = s.clock
+				// Keep the coherent level's word mask (sharing
+				// classification) and recency up to date.
+				if w2 := s.find(proc, ln); w2 >= 0 {
+					l2set := s.caches[proc].sets[s.setOf(ln)]
+					l2set[w2].wordMask |= bit
+					l2set[w2].lru = s.clock
+				}
+				continue
+			}
+		}
+		w := s.find(proc, ln)
+		if w >= 0 {
+			set := s.caches[proc].sets[s.setOf(ln)]
+			l := &set[w]
+			if a.Op == trace.Read || l.state == modified || l.state == exclusive {
+				// Hit, possibly with a silent E→M upgrade.
+				if a.Op == trace.Write {
+					l.state = modified
+				}
+				l.wordMask |= bit
+				l.lru = s.clock
+				st.Hits++
+				st.Cycles += int64(s.cfg.HitCycles)
+				s.l1Install(proc, ln)
+				continue
+			}
+			// Write hit on a shared line: upgrade, invalidate other copies.
+			s.invalidateOthers(proc, ln, bit)
+			l.state = modified
+			l.wordMask |= bit
+			l.lru = s.clock
+			st.Hits++
+			st.Cycles += int64(s.cfg.HitCycles + s.cfg.InvalidateCycles)
+			st.InvalidationsSent++
+			s.l1Install(proc, ln)
+			continue
+		}
+		// Miss path.
+		st.Misses++
+		st.Cycles += int64(s.cfg.MissCycles)
+		if !s.touched[ln] {
+			st.ColdMisses++
+			s.touched[ln] = true
+		} else if s.lost[proc][ln] {
+			st.CoherenceMisses++
+			delete(s.lost[proc], ln)
+		}
+		sharedElsewhere := false
+		if a.Op == trace.Write {
+			s.invalidateOthers(proc, ln, bit)
+			st.InvalidationsSent++
+			st.Cycles += int64(s.cfg.InvalidateCycles)
+		} else {
+			sharedElsewhere = s.downgradeOthers(proc, ln)
+		}
+		v := s.victim(proc, ln)
+		set := s.caches[proc].sets[s.setOf(ln)]
+		if set[v].state != invalid {
+			// Inclusion: evicting a coherent-level line drops the L1 copy.
+			s.l1Invalidate(proc, set[v].tag)
+		}
+		if set[v].state == modified {
+			st.Writebacks++
+		}
+		ns := exclusive
+		switch {
+		case a.Op == trace.Write:
+			ns = modified
+		case sharedElsewhere:
+			ns = shared
+		}
+		set[v] = line{tag: ln, state: ns, wordMask: bit, lru: s.clock}
+		s.l1Install(proc, ln)
+	}
+}
+
+// invalidateOthers removes ln from every other cache, classifying each
+// invalidation as true or false sharing against the victim's word mask.
+func (s *Sim) invalidateOthers(writer int, ln uint64, bit uint64) {
+	for p := range s.caches {
+		if p == writer {
+			continue
+		}
+		w := s.find(p, ln)
+		if w < 0 {
+			continue
+		}
+		set := s.caches[p].sets[s.setOf(ln)]
+		if set[w].state == modified {
+			s.stats[p].Writebacks++
+		}
+		s.stats[p].InvalidationsRecv++
+		if set[w].wordMask&bit != 0 {
+			s.stats[p].TrueSharingInvals++
+		} else {
+			s.stats[p].FalseSharingInvals++
+		}
+		set[w].state = invalid
+		s.l1Invalidate(p, ln)
+		s.lost[p][ln] = true
+	}
+}
+
+// downgradeOthers moves M/E copies to S for a read miss, returning whether
+// any other cache holds the line.
+func (s *Sim) downgradeOthers(reader int, ln uint64) bool {
+	any := false
+	for p := range s.caches {
+		if p == reader {
+			continue
+		}
+		w := s.find(p, ln)
+		if w < 0 {
+			continue
+		}
+		set := s.caches[p].sets[s.setOf(ln)]
+		if set[w].state == modified {
+			s.stats[p].Writebacks++
+		}
+		if set[w].state != invalid {
+			set[w].state = shared
+			any = true
+		}
+	}
+	return any
+}
+
+// Run replays the per-processor buffers with round-robin interleaving at
+// single-access granularity, approximating concurrent execution, and
+// returns the statistics. Buffers may have different lengths.
+func (s *Sim) Run(bufs []*trace.Buffer) *Result {
+	idx := make([]int, len(bufs))
+	remaining := 0
+	for _, b := range bufs {
+		remaining += b.Len()
+	}
+	for remaining > 0 {
+		for bi, b := range bufs {
+			if idx[bi] >= b.Len() {
+				continue
+			}
+			s.access(b.Proc, b.Accesses[idx[bi]])
+			idx[bi]++
+			remaining--
+		}
+	}
+	res := &Result{PerProc: make([]Stats, len(s.stats))}
+	copy(res.PerProc, s.stats)
+	for _, st := range res.PerProc {
+		if st.Cycles > res.Time {
+			res.Time = st.Cycles
+		}
+	}
+	return res
+}
+
+// Replay is the one-shot convenience: build a simulator and run the buffers.
+func Replay(cfg Config, bufs []*trace.Buffer) (*Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(bufs), nil
+}

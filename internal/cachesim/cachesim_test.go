@@ -1,0 +1,254 @@
+package cachesim
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func tinyConfig(procs int) Config {
+	return Config{
+		Procs: procs, LineSize: 64, CacheSize: 1024, Ways: 2,
+		HitCycles: 1, MissCycles: 50, InvalidateCycles: 10, ComputeCycles: 1,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Procs: 0, LineSize: 64, CacheSize: 1024, Ways: 2},
+		{Procs: 1, LineSize: 48, CacheSize: 1024, Ways: 2},
+		{Procs: 1, LineSize: 64, CacheSize: 64, Ways: 2},
+		{Procs: 1, LineSize: 64, CacheSize: 1024, Ways: 0},
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+	if _, err := New(DefaultConfig(4)); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	b := trace.NewBuffer(0, 4)
+	b.Load(0x1000, 4)
+	b.Load(0x1000, 4)
+	b.Load(0x1004, 4) // same line
+	res, err := Replay(tinyConfig(1), []*trace.Buffer{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.PerProc[0]
+	if s.Accesses != 3 || s.Misses != 1 || s.Hits != 2 || s.ColdMisses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	// 1KB, 2-way, 64B lines → 8 sets. 3 lines mapping to the same set force
+	// an eviction; re-touching the first line misses again (not cold).
+	b := trace.NewBuffer(0, 8)
+	set0 := func(i int) mem.Addr { return mem.Addr(0x10000 + i*8*64) } // stride 8 lines = same set
+	b.Load(set0(0), 4)
+	b.Load(set0(1), 4)
+	b.Load(set0(2), 4) // evicts set0(0) (LRU)
+	b.Load(set0(0), 4) // miss again
+	res, _ := Replay(tinyConfig(1), []*trace.Buffer{b})
+	s := res.PerProc[0]
+	if s.Misses != 4 {
+		t.Errorf("expected 4 misses, got %+v", s)
+	}
+	if s.ColdMisses != 3 {
+		t.Errorf("expected 3 cold misses, got %d", s.ColdMisses)
+	}
+}
+
+func TestLRUKeepsHotLine(t *testing.T) {
+	b := trace.NewBuffer(0, 16)
+	set0 := func(i int) mem.Addr { return mem.Addr(0x10000 + i*8*64) }
+	b.Load(set0(0), 4)
+	b.Load(set0(1), 4)
+	b.Load(set0(0), 4) // refresh 0 → LRU victim is 1
+	b.Load(set0(2), 4) // evicts 1
+	b.Load(set0(0), 4) // still cached → hit
+	res, _ := Replay(tinyConfig(1), []*trace.Buffer{b})
+	s := res.PerProc[0]
+	if s.Hits != 2 {
+		t.Errorf("expected 2 hits (refresh + final), got %+v", s)
+	}
+}
+
+func TestWriteUpgradeInvalidates(t *testing.T) {
+	// P0 and P1 read the same line (→ shared), then P0 writes it: P1 must
+	// receive an invalidation, and its next read is a coherence miss.
+	b0 := trace.NewBuffer(0, 4)
+	b1 := trace.NewBuffer(1, 4)
+	b0.Load(0x2000, 4)
+	b1.Load(0x2000, 4)
+	b0.Store(0x2000, 4)
+	b1.Load(0x2000, 4)
+	res, _ := Replay(tinyConfig(2), []*trace.Buffer{b0, b1})
+	s0, s1 := res.PerProc[0], res.PerProc[1]
+	if s0.InvalidationsSent != 1 {
+		t.Errorf("P0 sent %d invalidations, want 1", s0.InvalidationsSent)
+	}
+	if s1.InvalidationsRecv != 1 {
+		t.Errorf("P1 received %d invalidations, want 1", s1.InvalidationsRecv)
+	}
+	if s1.CoherenceMisses != 1 {
+		t.Errorf("P1 coherence misses = %d, want 1", s1.CoherenceMisses)
+	}
+}
+
+func TestTrueVsFalseSharing(t *testing.T) {
+	// True sharing: both touch word 0, P0 writes word 0.
+	b0 := trace.NewBuffer(0, 4)
+	b1 := trace.NewBuffer(1, 4)
+	b0.Load(0x3000, 4)
+	b1.Load(0x3000, 4)
+	b0.Store(0x3000, 4)
+	res, _ := Replay(tinyConfig(2), []*trace.Buffer{b0, b1})
+	if res.PerProc[1].TrueSharingInvals != 1 || res.PerProc[1].FalseSharingInvals != 0 {
+		t.Errorf("true-sharing case: %+v", res.PerProc[1])
+	}
+
+	// False sharing: P1 touches word 8 (byte 32), P0 writes word 0 of the
+	// same line.
+	b0 = trace.NewBuffer(0, 4)
+	b1 = trace.NewBuffer(1, 4)
+	b0.Load(0x4000, 4)
+	b1.Load(0x4020, 4) // same 64B line, different word
+	b0.Store(0x4000, 4)
+	res, _ = Replay(tinyConfig(2), []*trace.Buffer{b0, b1})
+	if res.PerProc[1].FalseSharingInvals != 1 || res.PerProc[1].TrueSharingInvals != 0 {
+		t.Errorf("false-sharing case: %+v", res.PerProc[1])
+	}
+}
+
+func TestExclusiveSilentUpgrade(t *testing.T) {
+	// A sole reader that then writes should not send invalidations (E→M).
+	b := trace.NewBuffer(0, 2)
+	b.Load(0x5000, 4)
+	b.Store(0x5000, 4)
+	res, _ := Replay(tinyConfig(2), []*trace.Buffer{b, trace.NewBuffer(1, 0)})
+	s := res.PerProc[0]
+	if s.InvalidationsSent != 0 {
+		t.Errorf("silent upgrade sent %d invalidations", s.InvalidationsSent)
+	}
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestWritebackOnEvictionOfModified(t *testing.T) {
+	b := trace.NewBuffer(0, 8)
+	set0 := func(i int) mem.Addr { return mem.Addr(0x10000 + i*8*64) }
+	b.Store(set0(0), 4)
+	b.Load(set0(1), 4)
+	b.Load(set0(2), 4) // evicts modified set0(0) → writeback
+	res, _ := Replay(tinyConfig(1), []*trace.Buffer{b})
+	if res.PerProc[0].Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", res.PerProc[0].Writebacks)
+	}
+}
+
+func TestReadSharingNoInvalidation(t *testing.T) {
+	// Pure read sharing must not create invalidations.
+	b0 := trace.NewBuffer(0, 4)
+	b1 := trace.NewBuffer(1, 4)
+	for i := 0; i < 3; i++ {
+		b0.Load(0x6000, 4)
+		b1.Load(0x6000, 4)
+	}
+	res, _ := Replay(tinyConfig(2), []*trace.Buffer{b0, b1})
+	tot := res.Totals()
+	if tot.InvalidationsRecv != 0 || tot.InvalidationsSent != 0 {
+		t.Errorf("read sharing produced invalidations: %+v", tot)
+	}
+	if tot.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (one cold each)", tot.Misses)
+	}
+}
+
+func TestMultiLineAccessSplit(t *testing.T) {
+	// A 128-byte access spans two 64B lines → two references.
+	b := trace.NewBuffer(0, 1)
+	b.Load(0x7000, 128)
+	res, _ := Replay(tinyConfig(1), []*trace.Buffer{b})
+	if res.PerProc[0].Accesses != 2 || res.PerProc[0].Misses != 2 {
+		t.Errorf("multi-line stats = %+v", res.PerProc[0])
+	}
+}
+
+func TestTimeIsMaxOverProcs(t *testing.T) {
+	b0 := trace.NewBuffer(0, 10)
+	b1 := trace.NewBuffer(1, 1)
+	for i := 0; i < 10; i++ {
+		b0.Load(mem.Addr(0x8000+i*64), 4)
+	}
+	b1.Load(0x9000, 4)
+	res, _ := Replay(tinyConfig(2), []*trace.Buffer{b0, b1})
+	if res.Time != res.PerProc[0].Cycles {
+		t.Errorf("Time = %d, P0 cycles = %d", res.Time, res.PerProc[0].Cycles)
+	}
+	if res.PerProc[0].Cycles <= res.PerProc[1].Cycles {
+		t.Error("P0 should dominate")
+	}
+}
+
+func TestContiguousBeatsScattered(t *testing.T) {
+	// The core premise of the placement study: sequential accesses over a
+	// compact region produce fewer misses than the same count of accesses
+	// scattered across lines.
+	compact := trace.NewBuffer(0, 256)
+	for i := 0; i < 256; i++ {
+		compact.Load(mem.Addr(0x10000+i*4), 4)
+	}
+	scattered := trace.NewBuffer(0, 256)
+	for i := 0; i < 256; i++ {
+		scattered.Load(mem.Addr(0x10000+i*256), 4)
+	}
+	cfg := tinyConfig(1)
+	r1, _ := Replay(cfg, []*trace.Buffer{compact})
+	r2, _ := Replay(cfg, []*trace.Buffer{scattered})
+	if r1.PerProc[0].Misses >= r2.PerProc[0].Misses {
+		t.Errorf("compact misses %d !< scattered misses %d", r1.PerProc[0].Misses, r2.PerProc[0].Misses)
+	}
+	if r1.Time >= r2.Time {
+		t.Errorf("compact time %d !< scattered time %d", r1.Time, r2.Time)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Error("zero-access miss rate should be 0")
+	}
+	s = Stats{Accesses: 10, Misses: 3}
+	if got := s.MissRate(); got != 0.3 {
+		t.Errorf("MissRate = %f", got)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	b0 := trace.NewBuffer(0, 2)
+	b1 := trace.NewBuffer(1, 2)
+	b0.Load(0xA000, 4)
+	b1.Load(0xB000, 4)
+	res, _ := Replay(tinyConfig(2), []*trace.Buffer{b0, b1})
+	tot := res.Totals()
+	if tot.Accesses != 2 || tot.Misses != 2 {
+		t.Errorf("totals = %+v", tot)
+	}
+}
+
+func TestZeroSizeAccess(t *testing.T) {
+	b := trace.NewBuffer(0, 1)
+	b.Accesses = append(b.Accesses, trace.Access{Addr: 0xC000, Size: 0, Op: trace.Read})
+	res, _ := Replay(tinyConfig(1), []*trace.Buffer{b})
+	if res.PerProc[0].Accesses != 1 {
+		t.Errorf("zero-size access should count once, got %+v", res.PerProc[0])
+	}
+}

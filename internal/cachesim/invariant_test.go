@@ -1,0 +1,117 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// checkMESIInvariants verifies the single-writer / multi-reader protocol
+// invariants over all caches: a line in M or E in one cache must be Invalid
+// everywhere else; S copies may coexist but never alongside M/E.
+func checkMESIInvariants(t *testing.T, s *Sim) {
+	t.Helper()
+	type holder struct {
+		proc int
+		st   state
+	}
+	lines := map[uint64][]holder{}
+	for p := range s.caches {
+		for si := range s.caches[p].sets {
+			for _, l := range s.caches[p].sets[si] {
+				if l.state != invalid {
+					lines[l.tag] = append(lines[l.tag], holder{p, l.state})
+				}
+			}
+		}
+	}
+	for ln, hs := range lines {
+		exclusiveHolders := 0
+		sharedHolders := 0
+		for _, h := range hs {
+			switch h.st {
+			case modified, exclusive:
+				exclusiveHolders++
+			case shared:
+				sharedHolders++
+			}
+		}
+		if exclusiveHolders > 1 {
+			t.Fatalf("line %#x held M/E by %d caches", ln, exclusiveHolders)
+		}
+		if exclusiveHolders == 1 && sharedHolders > 0 {
+			t.Fatalf("line %#x held M/E alongside %d S copies", ln, sharedHolders)
+		}
+	}
+}
+
+// TestMESIInvariantRandom hammers the simulator with random interleaved
+// reads and writes and checks protocol invariants and stats consistency
+// after every burst.
+func TestMESIInvariantRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	for trial := 0; trial < 10; trial++ {
+		procs := 2 + rng.Intn(4)
+		cfg := Config{
+			Procs: procs, LineSize: 64, CacheSize: 2048, Ways: 2,
+			HitCycles: 1, MissCycles: 30, InvalidateCycles: 10, ComputeCycles: 1,
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for burst := 0; burst < 20; burst++ {
+			bufs := make([]*trace.Buffer, procs)
+			for p := 0; p < procs; p++ {
+				b := trace.NewBuffer(p, 32)
+				for i := 0; i < 32; i++ {
+					addr := mem.Addr(0x10000 + rng.Intn(40)*16) // heavy sharing
+					if rng.Intn(3) == 0 {
+						b.Store(addr, 4)
+					} else {
+						b.Load(addr, 4)
+					}
+				}
+				bufs[p] = b
+			}
+			res := s.Run(bufs)
+			checkMESIInvariants(t, s)
+			tot := res.Totals()
+			if tot.Hits+tot.Misses != tot.Accesses {
+				t.Fatalf("hits %d + misses %d != accesses %d", tot.Hits, tot.Misses, tot.Accesses)
+			}
+			if tot.TrueSharingInvals+tot.FalseSharingInvals != tot.InvalidationsRecv {
+				t.Fatalf("sharing classification doesn't sum: %d + %d != %d",
+					tot.TrueSharingInvals, tot.FalseSharingInvals, tot.InvalidationsRecv)
+			}
+			if tot.ColdMisses+tot.CoherenceMisses > tot.Misses {
+				t.Fatalf("miss classification exceeds misses")
+			}
+		}
+	}
+}
+
+// TestRunAccumulates verifies consecutive Run calls keep cache state (warm
+// second pass).
+func TestRunAccumulates(t *testing.T) {
+	cfg := tinyConfig(1)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := trace.NewBuffer(0, 4)
+	b.Load(0x100, 4)
+	r1 := s.Run([]*trace.Buffer{b})
+	if r1.PerProc[0].Misses != 1 {
+		t.Fatalf("first pass: %+v", r1.PerProc[0])
+	}
+	b2 := trace.NewBuffer(0, 4)
+	b2.Load(0x100, 4)
+	r2 := s.Run([]*trace.Buffer{b2})
+	// Cumulative stats: second run adds a hit.
+	if r2.PerProc[0].Hits != 1 || r2.PerProc[0].Misses != 1 {
+		t.Fatalf("second pass (cumulative): %+v", r2.PerProc[0])
+	}
+}

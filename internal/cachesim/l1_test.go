@@ -1,0 +1,154 @@
+package cachesim
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func l1Config(procs int) Config {
+	c := tinyConfig(procs)
+	c.L1Size = 256 // 4 lines
+	c.L1Ways = 1
+	c.L1HitCycles = 1
+	c.HitCycles = 8
+	return c
+}
+
+func TestL1ReadHit(t *testing.T) {
+	b := trace.NewBuffer(0, 3)
+	b.Load(0x1000, 4) // cold miss, fills L2 and L1
+	b.Load(0x1000, 4) // L1 hit
+	b.Load(0x1004, 4) // same line, L1 hit
+	res, err := Replay(l1Config(1), []*trace.Buffer{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.PerProc[0]
+	if s.L1Hits != 2 {
+		t.Errorf("L1Hits = %d, want 2", s.L1Hits)
+	}
+	if s.Misses != 1 {
+		t.Errorf("Misses = %d", s.Misses)
+	}
+	// Hit accounting: accesses = L1 hits + L2 hits + misses.
+	if s.Accesses != s.L1Hits+s.Hits+s.Misses {
+		t.Errorf("accounting: %d != %d + %d + %d", s.Accesses, s.L1Hits, s.Hits, s.Misses)
+	}
+}
+
+func TestL1HitCheaperThanL2(t *testing.T) {
+	cfg := l1Config(1)
+	// Same access twice: second via L1.
+	b := trace.NewBuffer(0, 2)
+	b.Load(0x2000, 4)
+	b.Load(0x2000, 4)
+	res, _ := Replay(cfg, []*trace.Buffer{b})
+	withL1 := res.PerProc[0].Cycles
+
+	cfg2 := cfg
+	cfg2.L1Size = 0 // disabled
+	b2 := trace.NewBuffer(0, 2)
+	b2.Load(0x2000, 4)
+	b2.Load(0x2000, 4)
+	res2, _ := Replay(cfg2, []*trace.Buffer{b2})
+	without := res2.PerProc[0].Cycles
+	if withL1 >= without {
+		t.Errorf("L1 should reduce cycles: %d vs %d", withL1, without)
+	}
+}
+
+func TestL1WritesGoThroughProtocol(t *testing.T) {
+	// P0 and P1 read-share a line (both have it in L1+L2). P0's write must
+	// still invalidate P1 even though P0 has an L1 copy.
+	b0 := trace.NewBuffer(0, 4)
+	b1 := trace.NewBuffer(1, 4)
+	b0.Load(0x3000, 4)
+	b1.Load(0x3000, 4)
+	b0.Store(0x3000, 4)
+	b1.Load(0x3000, 4) // must miss: L1 copy was invalidated via inclusion
+	res, _ := Replay(l1Config(2), []*trace.Buffer{b0, b1})
+	s1 := res.PerProc[1]
+	if s1.InvalidationsRecv != 1 {
+		t.Errorf("P1 invalidations = %d", s1.InvalidationsRecv)
+	}
+	if s1.CoherenceMisses != 1 {
+		t.Errorf("P1 must re-miss after invalidation; stats %+v", s1)
+	}
+	if s1.L1Hits != 0 {
+		t.Errorf("stale L1 hit after invalidation: %+v", s1)
+	}
+}
+
+func TestL1InclusionOnL2Eviction(t *testing.T) {
+	// Evict a line from L2 by conflict; its L1 copy must die with it.
+	cfg := l1Config(1)
+	// L2: 1024B/2-way/64B → 8 sets; same-set stride 8*64.
+	// L1: 256B direct-mapped → 4 sets; stride for L1 set 0 is 4*64.
+	set0 := func(i int) mem.Addr { return mem.Addr(0x10000 + i*8*64) }
+	b := trace.NewBuffer(0, 8)
+	b.Load(set0(0), 4)
+	b.Load(set0(1), 4)
+	b.Load(set0(2), 4) // evicts set0(0) from L2 (LRU) → L1 copy must go
+	b.Load(set0(0), 4) // must be an L2 miss, not an L1 hit
+	res, _ := Replay(cfg, []*trace.Buffer{b})
+	s := res.PerProc[0]
+	if s.Misses != 4 {
+		t.Errorf("expected 4 misses (incl. re-fetch), got %+v", s)
+	}
+	if s.L1Hits != 0 {
+		t.Errorf("stale L1 hit across L2 eviction: %+v", s)
+	}
+}
+
+func TestL1ValidatesConfig(t *testing.T) {
+	cfg := l1Config(1)
+	cfg.L1Ways = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("L1Size>0 with L1Ways=0 should be rejected")
+	}
+	cfg = l1Config(1)
+	cfg.L1Size = 32 // smaller than one line
+	if _, err := New(cfg); err == nil {
+		t.Error("L1 smaller than a line should be rejected")
+	}
+}
+
+func TestDefaultConfigHasL1(t *testing.T) {
+	cfg := DefaultConfig(2)
+	if cfg.L1Size != 16<<10 || cfg.L1Ways != 1 {
+		t.Errorf("default L1 = %d/%d", cfg.L1Size, cfg.L1Ways)
+	}
+	if _, err := New(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMESIInvariantsWithL1(t *testing.T) {
+	// Rerun the random invariant hammer with an L1 in front.
+	cfg := l1Config(3)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := uint64(99)
+	next := func() uint64 { seed = seed*6364136223846793005 + 1; return seed >> 33 }
+	for burst := 0; burst < 30; burst++ {
+		bufs := make([]*trace.Buffer, 3)
+		for p := 0; p < 3; p++ {
+			b := trace.NewBuffer(p, 16)
+			for i := 0; i < 16; i++ {
+				addr := mem.Addr(0x20000 + next()%30*16)
+				if next()%3 == 0 {
+					b.Store(addr, 4)
+				} else {
+					b.Load(addr, 4)
+				}
+			}
+			bufs[p] = b
+		}
+		s.Run(bufs)
+		checkMESIInvariants(t, s)
+	}
+}

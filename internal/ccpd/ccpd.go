@@ -1,0 +1,386 @@
+// Package ccpd implements the paper's shared-memory parallel association
+// mining algorithms: CCPD (Common Candidate Partitioned Database — a shared
+// hash tree built in parallel with per-node locks, the database logically
+// split across processors) and PCCD (Partitioned Candidate Common Database —
+// per-processor local trees, every processor scanning the whole database).
+// Computation balancing for candidate generation (Section 3.1.2), adaptive
+// parallelism (Section 3.1.3), database partitioning (Section 3.2.2) and the
+// counter update modes of Section 5.2 are all selectable.
+package ccpd
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/apriori"
+	"repro/internal/db"
+	"repro/internal/hashtree"
+	"repro/internal/itemset"
+	"repro/internal/partition"
+)
+
+// BalanceScheme selects the candidate-generation partitioning of
+// Section 3.1.2.
+type BalanceScheme int
+
+const (
+	// BalanceBlock is the naive contiguous split (the unoptimized base).
+	BalanceBlock BalanceScheme = iota
+	// BalanceInterleaved assigns unit i to processor i mod P.
+	BalanceInterleaved
+	// BalanceBitonic is the greedy bitonic scheme over all equivalence
+	// classes (the COMP optimization).
+	BalanceBitonic
+)
+
+func (b BalanceScheme) String() string {
+	switch b {
+	case BalanceInterleaved:
+		return "interleaved"
+	case BalanceBitonic:
+		return "bitonic"
+	}
+	return "block"
+}
+
+// DBPartition selects how the database is split for counting.
+type DBPartition int
+
+const (
+	// PartitionBlock splits by equal transaction counts.
+	PartitionBlock DBPartition = iota
+	// PartitionWorkload splits by the estimated Σ C(|t|,k)/T counting cost
+	// (the static heuristic of Section 3.2.2).
+	PartitionWorkload
+)
+
+func (p DBPartition) String() string {
+	if p == PartitionWorkload {
+		return "workload"
+	}
+	return "block"
+}
+
+// Options configures a parallel run.
+type Options struct {
+	apriori.Options
+
+	// Procs is the number of worker goroutines ("processors").
+	Procs int
+	// Counter selects the shared-counter update mode.
+	Counter hashtree.CounterMode
+	// Balance selects candidate-generation computation balancing.
+	Balance BalanceScheme
+	// DBPart selects the counting-phase database split.
+	DBPart DBPartition
+	// AdaptiveMinUnits is the Section 3.1.3 adaptive-parallelism cutoff:
+	// when F_{k-1} has fewer join units than this, candidate generation
+	// runs sequentially (parallelization overhead would dominate).
+	// 0 uses 4×Procs.
+	AdaptiveMinUnits int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threshold <= 0 {
+		o.Threshold = 8
+	}
+	if o.Procs < 1 {
+		o.Procs = 1
+	}
+	if o.AdaptiveMinUnits == 0 {
+		o.AdaptiveMinUnits = 4 * o.Procs
+	}
+	return o
+}
+
+// PhaseTiming records wall-clock and modelled work per phase of one
+// iteration. The Work fields count deterministic work units (see the
+// hashtree cost model); on hosts without enough real cores the harness uses
+// max-over-processors work as the parallel time model.
+type PhaseTiming struct {
+	K          int
+	CandGen    time.Duration // join + prune
+	TreeBuild  time.Duration // parallel insert
+	Count      time.Duration // support counting
+	Reduce     time.Duration // counter reduction + frequent extraction
+	Candidates int
+	Frequent   int
+	// GenSequential reports whether adaptive parallelism chose a
+	// sequential candidate generation this iteration.
+	GenSequential bool
+
+	// GenWork[p] is processor p's candidate-generation work; for a
+	// sequential generation all work lands on processor 0.
+	GenWork []int64
+	// CountWork[p] is processor p's support-counting work.
+	CountWork []int64
+	// BuildWork is the total tree-insertion work (parallelized evenly).
+	BuildWork int64
+	// ReduceWork is the master's serial reduction/extraction work.
+	ReduceWork int64
+}
+
+// ModelTime returns the modelled parallel time of the iteration: serial
+// reduce plus the per-processor maxima of the parallel phases.
+func (pt *PhaseTiming) ModelTime(procs int) int64 {
+	var t int64
+	t += maxOf(pt.GenWork)
+	if procs > 0 {
+		t += pt.BuildWork / int64(procs)
+	}
+	t += maxOf(pt.CountWork)
+	t += pt.ReduceWork
+	return t
+}
+
+func maxOf(v []int64) int64 {
+	var m int64
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Stats aggregates a run.
+type Stats struct {
+	Procs   int
+	PerIter []PhaseTiming
+	Total   time.Duration
+}
+
+// ModelTime sums the per-iteration modelled parallel times.
+func (s *Stats) ModelTime() int64 {
+	var t int64
+	for i := range s.PerIter {
+		t += s.PerIter[i].ModelTime(s.Procs)
+	}
+	return t
+}
+
+// TotalCount returns the summed counting time (the phase the paper reports
+// dominates at ~85%).
+func (s *Stats) TotalCount() time.Duration {
+	var t time.Duration
+	for _, it := range s.PerIter {
+		t += it.Count
+	}
+	return t
+}
+
+// Mine runs CCPD on the database and returns the frequent itemsets plus
+// per-phase timings.
+func Mine(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	minCount := opts.MinCount(d.Len())
+	res := &apriori.Result{MinCount: minCount, ByK: make([][]apriori.FrequentItemset, 2)}
+	stats := &Stats{Procs: opts.Procs}
+
+	// Iteration 1: parallel item counting with private arrays + reduction.
+	t0 := time.Now()
+	f1 := parallelFrequentOne(d, minCount, opts.Procs)
+	res.ByK[1] = f1
+	it1 := PhaseTiming{
+		K: 1, Count: time.Since(t0), Candidates: d.NumItems(), Frequent: len(f1),
+		CountWork: make([]int64, opts.Procs),
+	}
+	for p, s := range d.BlockPartition(opts.Procs) {
+		it1.CountWork[p] = s.EstimatedWork(1) * hashtree.WorkItemScan
+	}
+	it1.ReduceWork = int64(d.NumItems())
+	stats.PerIter = append(stats.PerIter, it1)
+	labels := apriori.LabelsFromF1(f1, d.NumItems())
+
+	prev := make([]itemset.Itemset, len(f1))
+	for i, f := range f1 {
+		prev[i] = f.Items
+	}
+
+	for k := 2; len(prev) > 0 && (opts.MaxK == 0 || k <= opts.MaxK); k++ {
+		var pt PhaseTiming
+		pt.K = k
+
+		t0 = time.Now()
+		cands, seq, genWork := generateParallel(prev, opts)
+		pt.CandGen = time.Since(t0)
+		pt.GenSequential = seq
+		pt.GenWork = genWork
+		pt.Candidates = len(cands)
+		pt.BuildWork = int64(len(cands)) * hashtree.WorkInsert
+		if len(cands) == 0 {
+			stats.PerIter = append(stats.PerIter, pt)
+			break
+		}
+
+		t0 = time.Now()
+		cfg := hashtree.Config{
+			K: k, Fanout: opts.Fanout, Threshold: opts.Threshold,
+			Hash: opts.Hash, NumItems: d.NumItems(), Labels: labels,
+		}
+		tree, err := hashtree.ParallelBuild(cfg, cands, opts.Procs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("ccpd: iteration %d: %w", k, err)
+		}
+		pt.TreeBuild = time.Since(t0)
+
+		t0 = time.Now()
+		counters := hashtree.NewCounters(opts.Counter, tree.NumCandidates(), opts.Procs)
+		var slices []db.Slice
+		if opts.DBPart == PartitionWorkload {
+			slices = d.WorkloadPartition(opts.Procs, k)
+		} else {
+			slices = d.BlockPartition(opts.Procs)
+		}
+		pt.CountWork = make([]int64, opts.Procs)
+		var wg sync.WaitGroup
+		for p := 0; p < opts.Procs; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				ctx := tree.NewCountCtx(counters, hashtree.CountOpts{
+					ShortCircuit: opts.ShortCircuit, Proc: p,
+				})
+				slices[p].ForEach(func(_ int64, items itemset.Itemset) {
+					ctx.CountTransaction(items)
+				})
+				pt.CountWork[p] = ctx.Work
+			}(p)
+		}
+		wg.Wait()
+		pt.Count = time.Since(t0)
+
+		// Master phase: reduction and frequent selection.
+		t0 = time.Now()
+		counters.Reduce()
+		fk := apriori.ExtractFrequent(tree, counters, minCount)
+		pt.Reduce = time.Since(t0)
+		pt.ReduceWork = int64(len(cands))
+		pt.Frequent = len(fk)
+
+		res.ByK = append(res.ByK, fk)
+		stats.PerIter = append(stats.PerIter, pt)
+		prev = prev[:0]
+		for _, f := range fk {
+			prev = append(prev, f.Items)
+		}
+	}
+	stats.Total = time.Since(start)
+	return res, stats, nil
+}
+
+// parallelFrequentOne counts 1-itemsets with per-processor count arrays.
+func parallelFrequentOne(d *db.Database, minCount int64, procs int) []apriori.FrequentItemset {
+	local := make([][]int64, procs)
+	slices := d.BlockPartition(procs)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			counts := make([]int64, d.NumItems())
+			slices[p].ForEach(func(_ int64, items itemset.Itemset) {
+				for _, it := range items {
+					counts[it]++
+				}
+			})
+			local[p] = counts
+		}(p)
+	}
+	wg.Wait()
+	var out []apriori.FrequentItemset
+	for it := 0; it < d.NumItems(); it++ {
+		var c int64
+		for p := 0; p < procs; p++ {
+			c += local[p][it]
+		}
+		if c >= minCount {
+			out = append(out, apriori.FrequentItemset{Items: itemset.New(itemset.Item(it)), Count: c})
+		}
+	}
+	return out
+}
+
+// generateParallel partitions the join units of F_{k-1}'s equivalence
+// classes across processors per the balance scheme, generates and prunes in
+// parallel, and merges the per-processor candidate lists in lexicographic
+// order. Adaptive parallelism (Section 3.1.3) falls back to the sequential
+// join when there is too little work.
+func generateParallel(prev []itemset.Itemset, opts Options) ([]itemset.Itemset, bool, []int64) {
+	classes := itemset.Classes(prev)
+	var sizes []int
+	for i := range classes {
+		sizes = append(sizes, classes[i].Size())
+	}
+	costs, units := partition.MultiClassCosts(sizes)
+	k0 := prev[0].K() + 1
+	perPair := int64(hashtree.WorkJoinPair + (k0-2)*hashtree.WorkPruneCheck)
+	if opts.Procs == 1 || len(units) < opts.AdaptiveMinUnits {
+		cands, joinPairs, _ := apriori.GenerateCandidates(prev, opts.NaiveJoin)
+		// Sequential generation: all work on processor 0.
+		work := make([]int64, opts.Procs)
+		work[0] = joinPairs * perPair
+		return cands, true, work
+	}
+
+	var assign *partition.Assignment
+	switch opts.Balance {
+	case BalanceInterleaved:
+		assign = partition.Interleaved(len(units), opts.Procs)
+	case BalanceBitonic:
+		assign = partition.GreedyBitonic(costs, opts.Procs)
+	default:
+		assign = partition.Block(len(units), opts.Procs)
+	}
+
+	inPrev := make(map[string]bool, len(prev))
+	for _, s := range prev {
+		inPrev[s.Key()] = true
+	}
+	k := prev[0].K() + 1
+
+	locals := make([][]itemset.Itemset, opts.Procs)
+	genWork := make([]int64, opts.Procs)
+	var wg sync.WaitGroup
+	for p := 0; p < opts.Procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var out []itemset.Itemset
+			for u, b := range assign.Bucket {
+				if b != p {
+					continue
+				}
+				cu := units[u]
+				cl := &classes[cu.Class]
+				genWork[p] += int64(len(cl.Tails)-cu.Pos-1) * perPair
+				for j := cu.Pos + 1; j < len(cl.Tails); j++ {
+					cand := make(itemset.Itemset, 0, k)
+					cand = append(cand, cl.Prefix...)
+					cand = append(cand, cl.Tails[cu.Pos], cl.Tails[j])
+					ok := true
+					for drop := 0; drop < k-2; drop++ {
+						if !inPrev[cand.WithoutIndex(drop).Key()] {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						out = append(out, cand)
+					}
+				}
+			}
+			locals[p] = out
+		}(p)
+	}
+	wg.Wait()
+	var all []itemset.Itemset
+	for _, l := range locals {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Less(all[j]) })
+	return all, false, genWork
+}

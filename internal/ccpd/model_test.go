@@ -1,0 +1,82 @@
+package ccpd
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/apriori"
+)
+
+// optsFor builds mining options at a support fraction.
+func optsFor(sup float64) apriori.Options {
+	return apriori.Options{MinSupport: sup, ShortCircuit: true}
+}
+
+func TestPhaseTimingModelTime(t *testing.T) {
+	pt := PhaseTiming{
+		GenWork:    []int64{10, 30, 20},
+		CountWork:  []int64{100, 150, 120},
+		BuildWork:  90,
+		ReduceWork: 5,
+	}
+	// max(gen)=30 + build/3=30 + max(count)=150 + reduce=5 = 215.
+	if got := pt.ModelTime(3); got != 215 {
+		t.Errorf("ModelTime = %d, want 215", got)
+	}
+	// Zero procs: build term skipped.
+	if got := pt.ModelTime(0); got != 185 {
+		t.Errorf("ModelTime(0) = %d, want 185", got)
+	}
+	// Empty phases.
+	empty := PhaseTiming{}
+	if got := empty.ModelTime(4); got != 0 {
+		t.Errorf("empty ModelTime = %d", got)
+	}
+}
+
+func TestStatsModelTimeSums(t *testing.T) {
+	s := Stats{
+		Procs: 2,
+		PerIter: []PhaseTiming{
+			{CountWork: []int64{10, 20}},
+			{CountWork: []int64{5, 5}, ReduceWork: 1},
+		},
+	}
+	if got := s.ModelTime(); got != 20+5+1 {
+		t.Errorf("Stats.ModelTime = %d", got)
+	}
+}
+
+func TestModelTimeDecreasesWithProcs(t *testing.T) {
+	d := testDB(t)
+	var prev int64
+	for i, procs := range []int{1, 2, 4, 8} {
+		_, st, err := Mine(d, Options{
+			Options: optsFor(0.01), Procs: procs,
+			Balance: BalanceBitonic, AdaptiveMinUnits: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mt := st.ModelTime()
+		if i > 0 && mt >= prev {
+			t.Errorf("ModelTime did not shrink at P=%d: %d >= %d", procs, mt, prev)
+		}
+		prev = mt
+	}
+}
+
+func TestTotalTimePositive(t *testing.T) {
+	d := testDB(t)
+	_, st, err := Mine(d, Options{Options: optsFor(0.02), Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var phases time.Duration
+	for _, it := range st.PerIter {
+		phases += it.CandGen + it.TreeBuild + it.Count + it.Reduce
+	}
+	if phases <= 0 || st.Total < phases/2 {
+		t.Errorf("timing inconsistent: total %v, phases %v", st.Total, phases)
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apriori"
+	"repro/internal/cachesim"
+	"repro/internal/gen"
+	"repro/internal/mem"
+)
+
+func TestMineSequentialAndParallelAgree(t *testing.T) {
+	d, err := gen.Generate(gen.Params{N: 60, L: 15, I: 4, T: 8, D: 600, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := MineSequential(d, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, stats, err := MineParallel(d, 0.01, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.NumFrequent() != par.NumFrequent() {
+		t.Fatalf("sequential %d vs parallel %d frequent", seq.NumFrequent(), par.NumFrequent())
+	}
+	if stats.Total <= 0 {
+		t.Error("no timing recorded")
+	}
+}
+
+func TestPlacementStudySmoke(t *testing.T) {
+	d, err := gen.Generate(gen.Params{N: 60, L: 15, I: 4, T: 8, D: 400, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunPlacementStudy(d, StudyOptions{
+		Mining:     apriori.Options{MinSupport: 0.01, ShortCircuit: true},
+		Procs:      2,
+		MaxTraceTx: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Policies) != len(mem.AllPolicies) {
+		t.Fatalf("got %d policy rows", len(res.Policies))
+	}
+	if len(res.TracedIters) == 0 {
+		t.Fatal("no iterations traced")
+	}
+	base := res.ByPolicy(mem.PolicyCCPD)
+	if base == nil || base.Normalized != 1.0 {
+		t.Fatalf("CCPD base row: %+v", base)
+	}
+	for _, pr := range res.Policies {
+		if pr.Time <= 0 {
+			t.Errorf("%v: non-positive time", pr.Policy)
+		}
+		if pr.Totals.Accesses == 0 {
+			t.Errorf("%v: no accesses", pr.Policy)
+		}
+	}
+	// Mining output must still be correct (cross-check with plain Apriori).
+	plain, err := apriori.Mine(d, apriori.Options{MinSupport: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mining.NumFrequent() != plain.NumFrequent() {
+		t.Errorf("study mining %d vs plain %d", res.Mining.NumFrequent(), plain.NumFrequent())
+	}
+}
+
+func TestPlacementStudyOrdering(t *testing.T) {
+	// The headline claim: simple placement (SPP) alone cuts modelled time
+	// substantially vs CCPD, and the privatized LCA-GPP never loses to the
+	// base under multiple processors.
+	d, err := gen.Generate(gen.Params{N: 80, L: 20, I: 4, T: 10, D: 800, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := cachesim.Config{
+		Procs: 4, LineSize: 64, CacheSize: 1 << 15, Ways: 2,
+		HitCycles: 1, MissCycles: 60, InvalidateCycles: 20, ComputeCycles: 1,
+	}
+	res, err := RunPlacementStudy(d, StudyOptions{
+		Mining:     apriori.Options{MinSupport: 0.005, ShortCircuit: true},
+		Procs:      4,
+		Cache:      cache,
+		MaxTraceTx: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spp := res.ByPolicy(mem.PolicySPP)
+	lca := res.ByPolicy(mem.PolicyLCAGPP)
+	if spp.Normalized >= 1.0 {
+		t.Errorf("SPP normalized %.3f, want < 1 (CCPD base)", spp.Normalized)
+	}
+	if lca.Normalized >= 1.0 {
+		t.Errorf("LCA-GPP normalized %.3f, want < 1", lca.Normalized)
+	}
+	// LCA must eliminate counter sharing: fewer invalidations than CCPD.
+	ccpdRow := res.ByPolicy(mem.PolicyCCPD)
+	if lca.Totals.InvalidationsRecv >= ccpdRow.Totals.InvalidationsRecv && ccpdRow.Totals.InvalidationsRecv > 0 {
+		t.Errorf("LCA invalidations %d !< CCPD %d",
+			lca.Totals.InvalidationsRecv, ccpdRow.Totals.InvalidationsRecv)
+	}
+}
+
+func TestPlacementStudyOnlyK(t *testing.T) {
+	d, err := gen.Generate(gen.Params{N: 60, L: 15, I: 4, T: 8, D: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunPlacementStudy(d, StudyOptions{
+		Mining: apriori.Options{MinSupport: 0.01},
+		Procs:  1,
+		OnlyK:  2,
+		Policies: []mem.Policy{
+			mem.PolicyCCPD, mem.PolicySPP,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TracedIters) != 1 || res.TracedIters[0] != 2 {
+		t.Errorf("TracedIters = %v", res.TracedIters)
+	}
+	if len(res.Policies) != 2 {
+		t.Errorf("policies = %d", len(res.Policies))
+	}
+}
+
+func TestByPolicyMissing(t *testing.T) {
+	r := &StudyResult{}
+	if r.ByPolicy(mem.PolicySPP) != nil {
+		t.Error("missing policy should return nil")
+	}
+}

@@ -1,0 +1,199 @@
+// Package db provides the transaction database substrate: an in-memory
+// transaction store with a compact binary on-disk format, block partitioning
+// across processors, and the workload-estimating partitioner sketched in
+// Section 3.2.2 of the paper.
+package db
+
+import (
+	"fmt"
+
+	"repro/internal/itemset"
+)
+
+// Transaction is one row of the basket database: a unique identifier plus a
+// sorted itemset.
+type Transaction struct {
+	TID   int64
+	Items itemset.Itemset
+}
+
+// Database is an in-memory transaction database. Transactions are stored in
+// a single flat item arena with offsets, which keeps the scan phase cache
+// friendly and makes logical partitioning an O(1) slice operation.
+type Database struct {
+	tids    []int64
+	offsets []int32 // len = #transactions + 1; items of t are arena[offsets[t]:offsets[t+1]]
+	arena   []itemset.Item
+	numItem int // distinct-item upper bound (items are < numItem)
+}
+
+// New returns an empty database whose items are drawn from [0, numItems).
+func New(numItems int) *Database {
+	return &Database{offsets: []int32{0}, numItem: numItems}
+}
+
+// FromTransactions builds a database from explicit transactions. Item
+// universe size is inferred as max item + 1 unless numItems is larger.
+func FromTransactions(ts []Transaction, numItems int) *Database {
+	d := New(numItems)
+	for _, t := range ts {
+		d.Append(t.TID, t.Items)
+	}
+	return d
+}
+
+// Append adds a transaction. items must be sorted (itemset invariant);
+// Append panics if not, since an unsorted transaction silently corrupts
+// subset counting.
+func (d *Database) Append(tid int64, items itemset.Itemset) {
+	if !items.IsSorted() {
+		panic(fmt.Sprintf("db: transaction %d not sorted: %v", tid, items))
+	}
+	d.tids = append(d.tids, tid)
+	d.arena = append(d.arena, items...)
+	d.offsets = append(d.offsets, int32(len(d.arena)))
+	for _, it := range items {
+		if int(it) >= d.numItem {
+			d.numItem = int(it) + 1
+		}
+	}
+}
+
+// Len returns the number of transactions D.
+func (d *Database) Len() int { return len(d.tids) }
+
+// NumItems returns the size of the item universe N (items are in [0, N)).
+func (d *Database) NumItems() int { return d.numItem }
+
+// TID returns the identifier of transaction i.
+func (d *Database) TID(i int) int64 { return d.tids[i] }
+
+// Items returns the itemset of transaction i. The returned slice aliases
+// the database arena and must not be modified.
+func (d *Database) Items(i int) itemset.Itemset {
+	return itemset.Itemset(d.arena[d.offsets[i]:d.offsets[i+1]])
+}
+
+// TotalItems returns the total number of item occurrences Σ|t|.
+func (d *Database) TotalItems() int64 { return int64(len(d.arena)) }
+
+// AvgLen returns the mean transaction length T.
+func (d *Database) AvgLen() float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	return float64(len(d.arena)) / float64(d.Len())
+}
+
+// SizeBytes returns the nominal on-disk size: 4 bytes per item plus 8 bytes
+// of TID and 4 bytes of length per transaction (the binary format below).
+// This is the "Total size" column of Table 2.
+func (d *Database) SizeBytes() int64 {
+	return int64(len(d.arena))*4 + int64(d.Len())*12
+}
+
+// Slice is a logical, zero-copy view of a contiguous transaction range
+// [Lo, Hi) used for partitioned-database counting.
+type Slice struct {
+	DB     *Database
+	Lo, Hi int
+}
+
+// Len returns the number of transactions in the slice.
+func (s Slice) Len() int { return s.Hi - s.Lo }
+
+// ForEach invokes fn for every transaction in the slice.
+func (s Slice) ForEach(fn func(tid int64, items itemset.Itemset)) {
+	for i := s.Lo; i < s.Hi; i++ {
+		fn(s.DB.TID(i), s.DB.Items(i))
+	}
+}
+
+// BlockPartition splits the database into p contiguous slices of nearly
+// equal transaction count — the paper's baseline database partitioning.
+func (d *Database) BlockPartition(p int) []Slice {
+	if p <= 0 {
+		return nil
+	}
+	out := make([]Slice, p)
+	n := d.Len()
+	for i := 0; i < p; i++ {
+		lo := i * n / p
+		hi := (i + 1) * n / p
+		out[i] = Slice{DB: d, Lo: lo, Hi: hi}
+	}
+	return out
+}
+
+// WorkloadPartition implements the static heuristic of Section 3.2.2: it
+// estimates the counting cost of transaction t as the mean of C(|t|, k) over
+// k = 1..maxK and cuts the (still contiguous, locality-respecting) partition
+// boundaries so that estimated work — not row count — is balanced.
+func (d *Database) WorkloadPartition(p, maxK int) []Slice {
+	if p <= 0 {
+		return nil
+	}
+	if maxK < 1 {
+		maxK = 1
+	}
+	n := d.Len()
+	cost := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		l := int(d.offsets[i+1] - d.offsets[i])
+		var sum float64
+		for k := 1; k <= maxK; k++ {
+			sum += float64(itemset.Binomial(l, k))
+		}
+		cost[i] = sum / float64(maxK)
+		total += cost[i]
+	}
+	out := make([]Slice, 0, p)
+	target := total / float64(p)
+	lo, acc := 0, 0.0
+	for i := 0; i < n; i++ {
+		acc += cost[i]
+		if acc >= target && len(out) < p-1 {
+			out = append(out, Slice{DB: d, Lo: lo, Hi: i + 1})
+			lo, acc = i+1, 0
+		}
+	}
+	out = append(out, Slice{DB: d, Lo: lo, Hi: n})
+	for len(out) < p {
+		out = append(out, Slice{DB: d, Lo: n, Hi: n})
+	}
+	return out
+}
+
+// EstimatedWork returns the Σ C(|t|,k) counting workload of a slice for a
+// specific iteration k — useful for testing partition balance.
+func (s Slice) EstimatedWork(k int) int64 {
+	var w int64
+	for i := s.Lo; i < s.Hi; i++ {
+		w += itemset.Binomial(s.DB.Items(i).K(), k)
+	}
+	return w
+}
+
+// Validate checks internal consistency (sorted transactions, offsets
+// monotone). Intended for tests and for readers of external files.
+func (d *Database) Validate() error {
+	if len(d.offsets) != len(d.tids)+1 {
+		return fmt.Errorf("db: offsets len %d != tids len %d + 1", len(d.offsets), len(d.tids))
+	}
+	for i := 0; i < d.Len(); i++ {
+		if d.offsets[i] > d.offsets[i+1] {
+			return fmt.Errorf("db: offsets not monotone at %d", i)
+		}
+		items := d.Items(i)
+		if !items.IsSorted() {
+			return fmt.Errorf("db: transaction %d (tid %d) unsorted", i, d.tids[i])
+		}
+		for _, it := range items {
+			if int(it) >= d.numItem || it < 0 {
+				return fmt.Errorf("db: transaction %d item %d outside universe [0,%d)", i, it, d.numItem)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package eclat
+
+import (
+	"testing"
+
+	"repro/internal/apriori"
+	"repro/internal/db"
+	"repro/internal/gen"
+	"repro/internal/itemset"
+)
+
+func flat(res *apriori.Result) map[string]int64 {
+	out := map[string]int64{}
+	for _, f := range res.All() {
+		out[f.Items.Key()] = f.Count
+	}
+	return out
+}
+
+func TestEclatMatchesApriori(t *testing.T) {
+	d, err := gen.Generate(gen.Params{N: 60, L: 15, I: 4, T: 8, D: 600, Seed: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := apriori.Mine(d, apriori.Options{MinSupport: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := flat(ref)
+	for _, procs := range []int{1, 4} {
+		res, err := Mine(d, Options{MinSupport: 0.02, Procs: procs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := flat(res)
+		if len(got) != len(want) {
+			t.Fatalf("procs=%d: %d frequent, want %d", procs, len(got), len(want))
+		}
+		for k, c := range want {
+			if got[k] != c {
+				s, _ := itemset.ParseKey(k)
+				t.Fatalf("procs=%d: %v = %d, want %d", procs, s, got[k], c)
+			}
+		}
+	}
+}
+
+func TestEclatWorkedExample(t *testing.T) {
+	// Section 2.1.3 example database, support 2.
+	d := db.New(6)
+	d.Append(1, itemset.New(1, 4, 5))
+	d.Append(2, itemset.New(1, 2))
+	d.Append(3, itemset.New(3, 4, 5))
+	d.Append(4, itemset.New(1, 2, 4, 5))
+	res, err := Mine(d, Options{AbsSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.SupportOf(itemset.New(1, 4, 5)); got != 2 {
+		t.Errorf("support(145) = %d, want 2", got)
+	}
+	if got := res.SupportOf(itemset.New(4, 5)); got != 3 {
+		t.Errorf("support(45) = %d, want 3", got)
+	}
+	if res.NumFrequent() != 4+4+1 {
+		t.Errorf("NumFrequent = %d, want 9", res.NumFrequent())
+	}
+}
+
+func TestEclatMaxK(t *testing.T) {
+	d, _ := gen.Generate(gen.Params{N: 40, L: 10, I: 3, T: 6, D: 300, Seed: 2})
+	res, err := Mine(d, Options{MinSupport: 0.02, MaxK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 3; k < len(res.ByK); k++ {
+		if len(res.ByK[k]) != 0 {
+			t.Errorf("MaxK=2 produced %d-itemsets", k)
+		}
+	}
+}
+
+func TestEclatEmpty(t *testing.T) {
+	res, err := Mine(db.New(5), Options{MinSupport: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumFrequent() != 0 {
+		t.Error("empty database mined itemsets")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := tidlist{1, 3, 5, 7}
+	b := tidlist{2, 3, 6, 7, 9}
+	got := intersect(a, b)
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Errorf("intersect = %v", got)
+	}
+	if got := intersect(a, nil); len(got) != 0 {
+		t.Errorf("intersect with nil = %v", got)
+	}
+}

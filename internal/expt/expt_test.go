@@ -1,0 +1,232 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// tinyRunner keeps harness tests fast: ~200-row databases, 2 processors.
+func tinyRunner() *Runner {
+	r := NewRunner(0.002)
+	r.Procs = []int{1, 2}
+	r.MaxTraceTx = 40
+	return r
+}
+
+func TestScaled(t *testing.T) {
+	p := Scaled(gen.Params{T: 10, I: 4, D: 100000}, 0.01)
+	if p.D != 1000 {
+		t.Errorf("scaled D = %d", p.D)
+	}
+	if p.Seed == 0 {
+		t.Error("seed not derived")
+	}
+	// Floor.
+	p = Scaled(gen.Params{T: 10, I: 4, D: 100000}, 0.0000001)
+	if p.D != 200 {
+		t.Errorf("floor D = %d", p.D)
+	}
+	// Same params → same seed (figures share databases).
+	if Scaled(PaperDatasets[0], 0.01).Seed != Scaled(PaperDatasets[0], 0.5).Seed {
+		t.Error("seed should not depend on scale")
+	}
+}
+
+func TestDatasetCache(t *testing.T) {
+	r := tinyRunner()
+	d1, name, err := r.Dataset(PaperDatasets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "T5.I2.D100K" {
+		t.Errorf("name = %q", name)
+	}
+	d2, _, _ := r.Dataset(PaperDatasets[0])
+	if d1 != d2 {
+		t.Error("dataset not cached")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "X", Header: []string{"A", "LongHeader"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "X\n") || !strings.Contains(out, "LongHeader") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestAbsSupport(t *testing.T) {
+	if got := absSupport(100000, 0.005); got != 500 {
+		t.Errorf("absSupport = %d, want 500", got)
+	}
+	// The floor guards tiny scaled databases.
+	if got := absSupport(200, 0.001); got != 3 {
+		t.Errorf("floored absSupport = %d, want 3", got)
+	}
+	if got := absSupport(0, 0.5); got != 3 {
+		t.Errorf("empty-db absSupport = %d, want 3", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := pct(100, 60); got != 40 {
+		t.Errorf("pct = %f", got)
+	}
+	if got := pct(0, 10); got != 0 {
+		t.Errorf("pct base 0 = %f", got)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The Table 1 vector is 0 1 2 2 1 0 0 1 2 2.
+	if !strings.Contains(buf.String(), "0  1  2  2  1  0  0  1  2  2") {
+		t.Errorf("Table1 output:\n%s", buf.String())
+	}
+}
+
+func TestTable2(t *testing.T) {
+	r := tinyRunner()
+	var buf bytes.Buffer
+	if err := r.Table2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"T5.I2.D100K", "T10.I6.D3200K"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("missing %s in:\n%s", name, out)
+		}
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure4(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Paper workloads: block 24/15/6, interleaved 18/15/12, bitonic 16/15/14.
+	for _, s := range []string{"24", "16", "bitonic"} {
+		if !strings.Contains(out, s) {
+			t.Errorf("Figure4 missing %q:\n%s", s, out)
+		}
+	}
+}
+
+func TestFigures6And7(t *testing.T) {
+	r := tinyRunner()
+	var buf bytes.Buffer
+	if err := r.Figure6(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "TreeBytes") {
+		t.Error("Figure6 header missing")
+	}
+	buf.Reset()
+	if err := r.Figure7(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Frequent") {
+		t.Error("Figure7 header missing")
+	}
+	// Must contain at least one k=2 row.
+	if !strings.Contains(buf.String(), "2") {
+		t.Error("Figure7 has no iterations")
+	}
+}
+
+func TestFigure8(t *testing.T) {
+	r := tinyRunner()
+	var buf bytes.Buffer
+	if err := r.Figure8(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "COMP-TREE") {
+		t.Errorf("Figure8 output:\n%s", out)
+	}
+	// Row count: 6 datasets × 2 proc counts.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3+6*2 {
+		t.Errorf("Figure8 rows = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestFigures9And10(t *testing.T) {
+	r := tinyRunner()
+	var buf bytes.Buffer
+	if err := r.Figure9(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Improvement") {
+		t.Error("Figure9 header missing")
+	}
+	buf.Reset()
+	if err := r.Figure10(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Iteration") {
+		t.Error("Figure10 header missing")
+	}
+}
+
+func TestFigure11(t *testing.T) {
+	r := tinyRunner()
+	var buf bytes.Buffer
+	if err := r.Figure11(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Speedup+IO") {
+		t.Errorf("Figure11 output:\n%s", out)
+	}
+	// Every dataset gets a procs=12 row even if r.Procs stops at 2.
+	if !strings.Contains(out, "12") {
+		t.Error("Figure11 missing 12-processor row")
+	}
+}
+
+func TestFigure12(t *testing.T) {
+	r := tinyRunner()
+	// Restrict to two datasets for speed by reusing the internal slices is
+	// not exposed; rely on tiny scale instead.
+	var buf bytes.Buffer
+	if err := r.Figure12(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "GPP") || !strings.Contains(out, "0.5%") || !strings.Contains(out, "0.1%") {
+		t.Errorf("Figure12 output:\n%s", out)
+	}
+}
+
+func TestFigure13(t *testing.T) {
+	r := tinyRunner()
+	var buf bytes.Buffer
+	if err := r.Figure13(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "LCA-GPP") {
+		t.Errorf("Figure13 output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// 5 datasets × 2 proc counts × 2 supports + 3 header lines.
+	if len(lines) != 3+5*2*2 {
+		t.Errorf("Figure13 rows = %d", len(lines))
+	}
+}

@@ -1,0 +1,271 @@
+// Package gen reimplements the IBM Quest synthetic basket-data generator
+// used by the paper's evaluation (Agrawal & Srikant 1994, Section 6 /
+// Table 2 here). Data mimics retail transactions: L maximal potentially
+// frequent itemsets of mean size I are drawn over N items, and D
+// transactions of mean size T are assembled from (corrupted versions of)
+// those maximal sets, so transaction and pattern sizes cluster around their
+// means with a heavy-ish tail.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/itemset"
+)
+
+// Params mirrors the published generator knobs.
+type Params struct {
+	N int // number of items (paper: 1000)
+	L int // number of maximal potentially frequent itemsets (paper: 2000)
+	I int // average size of the maximal potentially frequent itemsets
+	T int // average transaction size
+	D int // number of transactions
+
+	// CorruptionMean is the per-pattern mean corruption level (fraction of a
+	// pattern's items dropped when inserted into a transaction). The Quest
+	// default is 0.5 with sd 0.1.
+	CorruptionMean float64
+	CorruptionSD   float64
+	// Correlation is the fraction of items a pattern inherits from its
+	// predecessor (exponential mean). Quest default 0.5.
+	Correlation float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// Name renders the canonical dataset label, e.g. "T10.I4.D100K".
+func (p Params) Name() string {
+	d := p.D
+	switch {
+	case d >= 1000000 && d%1000000 == 0:
+		return fmt.Sprintf("T%d.I%d.D%dM", p.T, p.I, d/1000000)
+	case d >= 1000 && d%1000 == 0:
+		return fmt.Sprintf("T%d.I%d.D%dK", p.T, p.I, d/1000)
+	default:
+		return fmt.Sprintf("T%d.I%d.D%d", p.T, p.I, d)
+	}
+}
+
+func (p Params) withDefaults() Params {
+	if p.N == 0 {
+		p.N = 1000
+	}
+	if p.L == 0 {
+		p.L = 2000
+	}
+	if p.CorruptionMean == 0 {
+		p.CorruptionMean = 0.5
+	}
+	if p.CorruptionSD == 0 {
+		p.CorruptionSD = 0.1
+	}
+	if p.Correlation == 0 {
+		p.Correlation = 0.5
+	}
+	return p
+}
+
+// Validate rejects impossible parameter combinations.
+func (p Params) Validate() error {
+	p = p.withDefaults()
+	if p.N < 1 || p.L < 1 || p.I < 1 || p.T < 1 || p.D < 0 {
+		return fmt.Errorf("gen: N, L, I, T must be ≥1 and D ≥0 (got N=%d L=%d I=%d T=%d D=%d)", p.N, p.L, p.I, p.T, p.D)
+	}
+	if p.I > p.N {
+		return fmt.Errorf("gen: average pattern size I=%d exceeds item universe N=%d", p.I, p.N)
+	}
+	return nil
+}
+
+// pattern is one maximal potentially frequent itemset with its selection
+// weight and corruption level.
+type pattern struct {
+	items      itemset.Itemset
+	weight     float64
+	cumWeight  float64 // prefix sum for roulette selection
+	corruption float64
+}
+
+// Generator holds the pattern table; it can emit any number of databases.
+type Generator struct {
+	p        Params
+	rng      *rand.Rand
+	patterns []pattern
+	totalW   float64
+}
+
+// New builds the pattern table per the Quest procedure.
+func New(p Params) (*Generator, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+	g.buildPatterns()
+	return g, nil
+}
+
+// poisson draws from Poisson(mean) by inversion; adequate for the small
+// means used here (I, T ≤ ~30).
+func poisson(rng *rand.Rand, mean float64) int {
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10000 {
+			return k // numerically unreachable guard
+		}
+	}
+}
+
+func (g *Generator) buildPatterns() {
+	rng := g.rng
+	p := g.p
+	g.patterns = make([]pattern, p.L)
+	var prev itemset.Itemset
+	var cum float64
+	for i := range g.patterns {
+		size := poisson(rng, float64(p.I)-1) + 1 // ≥1, mean I
+		if size > p.N {
+			size = p.N
+		}
+		items := make(map[itemset.Item]bool, size)
+		// Inherit a fraction of the previous pattern for cross-pattern
+		// correlation.
+		if len(prev) > 0 {
+			frac := math.Min(1, rng.ExpFloat64()*p.Correlation)
+			take := int(frac * float64(len(prev)))
+			if take > size {
+				take = size
+			}
+			perm := rng.Perm(len(prev))
+			for _, idx := range perm[:take] {
+				items[prev[idx]] = true
+			}
+		}
+		for len(items) < size {
+			items[itemset.Item(rng.Intn(p.N))] = true
+		}
+		flat := make(itemset.Itemset, 0, len(items))
+		for it := range items {
+			flat = append(flat, it)
+		}
+		sort.Slice(flat, func(a, b int) bool { return flat[a] < flat[b] })
+		w := rng.ExpFloat64()
+		corr := rng.NormFloat64()*p.CorruptionSD + p.CorruptionMean
+		if corr < 0 {
+			corr = 0
+		}
+		if corr > 1 {
+			corr = 1
+		}
+		cum += w
+		g.patterns[i] = pattern{items: flat, weight: w, cumWeight: cum, corruption: corr}
+		prev = flat
+	}
+	g.totalW = cum
+}
+
+// pickPattern roulette-selects a pattern by weight.
+func (g *Generator) pickPattern() *pattern {
+	x := g.rng.Float64() * g.totalW
+	lo, hi := 0, len(g.patterns)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.patterns[mid].cumWeight < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(g.patterns) {
+		lo = len(g.patterns) - 1
+	}
+	return &g.patterns[lo]
+}
+
+// corrupt drops items from pat per its corruption level: while a uniform
+// draw is below the level, one item is removed (the Quest procedure).
+func (g *Generator) corrupt(pat *pattern, buf itemset.Itemset) itemset.Itemset {
+	buf = append(buf[:0], pat.items...)
+	for len(buf) > 0 && g.rng.Float64() < pat.corruption {
+		idx := g.rng.Intn(len(buf))
+		buf = append(buf[:idx], buf[idx+1:]...)
+	}
+	return buf
+}
+
+// Generate emits the full database.
+func (g *Generator) Generate() *db.Database {
+	p := g.p
+	d := db.New(p.N)
+	present := make([]bool, p.N)
+	scratch := make(itemset.Itemset, 0, 64)
+	tx := make(itemset.Itemset, 0, p.T*2)
+	for t := 0; t < p.D; t++ {
+		size := poisson(g.rng, float64(p.T)-1) + 1
+		tx = tx[:0]
+		for len(tx) < size {
+			pat := g.pickPattern()
+			frag := g.corrupt(pat, scratch)
+			// If the fragment overflows the remaining budget, keep it anyway
+			// half the time (Quest rule), else retry with another pattern.
+			if len(tx)+len(frag) > size && g.rng.Float64() < 0.5 {
+				break
+			}
+			for _, it := range frag {
+				if !present[it] {
+					present[it] = true
+					tx = append(tx, it)
+				}
+			}
+			if len(frag) == 0 {
+				// Fully corrupted pattern: add one random item to guarantee
+				// progress.
+				it := itemset.Item(g.rng.Intn(p.N))
+				if !present[it] {
+					present[it] = true
+					tx = append(tx, it)
+				}
+			}
+		}
+		if len(tx) == 0 {
+			tx = append(tx, itemset.Item(g.rng.Intn(p.N)))
+		}
+		sorted := tx.Clone()
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		d.Append(int64(t+1), sorted)
+		// Reset presence marks for the next transaction.
+		for _, it := range tx {
+			present[it] = false
+		}
+	}
+	return d
+}
+
+// Generate is the convenience one-shot entry point.
+func Generate(p Params) (*db.Database, error) {
+	g, err := New(p)
+	if err != nil {
+		return nil, err
+	}
+	return g.Generate(), nil
+}
+
+// Patterns exposes the planted maximal potential frequent itemsets (for
+// tests that check the miner rediscovers planted structure).
+func (g *Generator) Patterns() []itemset.Itemset {
+	out := make([]itemset.Itemset, len(g.patterns))
+	for i := range g.patterns {
+		out[i] = g.patterns[i].items.Clone()
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/itemset"
+)
+
+func TestName(t *testing.T) {
+	cases := []struct {
+		p    Params
+		want string
+	}{
+		{Params{T: 10, I: 4, D: 100000}, "T10.I4.D100K"},
+		{Params{T: 5, I: 2, D: 100000}, "T5.I2.D100K"},
+		{Params{T: 10, I: 6, D: 3200000}, "T10.I6.D3200K"},
+		{Params{T: 10, I: 6, D: 1000000}, "T10.I6.D1M"},
+		{Params{T: 10, I: 6, D: 123}, "T10.I6.D123"},
+	}
+	for _, c := range cases {
+		if got := c.p.Name(); got != c.want {
+			t.Errorf("Name(%+v) = %q, want %q", c.p, got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{N: 10, L: 5, I: 0, T: 5, D: 10},
+		{N: 10, L: 5, I: 20, T: 5, D: 10}, // I > N
+		{N: 10, L: 5, I: 2, T: 0, D: 10},
+		{N: 10, L: 5, I: 2, T: 5, D: -1},
+	}
+	for _, p := range bad {
+		if _, err := New(p); err == nil {
+			t.Errorf("New(%+v) should fail", p)
+		}
+	}
+	if _, err := New(Params{N: 100, L: 20, I: 4, T: 10, D: 100}); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	p := Params{N: 500, L: 100, I: 4, T: 10, D: 2000, Seed: 1}
+	d, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != p.D {
+		t.Fatalf("generated %d transactions, want %d", d.Len(), p.D)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mean transaction length should be within 25% of T.
+	avg := d.AvgLen()
+	if math.Abs(avg-float64(p.T)) > 0.25*float64(p.T) {
+		t.Errorf("avg transaction length %.2f too far from T=%d", avg, p.T)
+	}
+	// All items within universe.
+	for i := 0; i < d.Len(); i++ {
+		for _, it := range d.Items(i) {
+			if int(it) >= p.N || it < 0 {
+				t.Fatalf("item %d out of universe", it)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministicBySeed(t *testing.T) {
+	p := Params{N: 200, L: 50, I: 3, T: 8, D: 300, Seed: 42}
+	a, _ := Generate(p)
+	b, _ := Generate(p)
+	if a.Len() != b.Len() {
+		t.Fatal("different lengths for same seed")
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !a.Items(i).Equal(b.Items(i)) {
+			t.Fatalf("transaction %d differs for same seed", i)
+		}
+	}
+	p2 := p
+	p2.Seed = 43
+	c, _ := Generate(p2)
+	same := true
+	for i := 0; i < a.Len() && i < c.Len(); i++ {
+		if !a.Items(i).Equal(c.Items(i)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical databases")
+	}
+}
+
+func TestPatternsShape(t *testing.T) {
+	g, err := New(Params{N: 300, L: 80, I: 5, T: 10, D: 0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats := g.Patterns()
+	if len(pats) != 80 {
+		t.Fatalf("got %d patterns", len(pats))
+	}
+	var sum float64
+	for _, pt := range pats {
+		if len(pt) < 1 {
+			t.Error("empty pattern")
+		}
+		if !pt.IsSorted() {
+			t.Error("pattern not sorted")
+		}
+		sum += float64(len(pt))
+	}
+	mean := sum / float64(len(pats))
+	if math.Abs(mean-5) > 2 {
+		t.Errorf("mean pattern size %.2f too far from I=5", mean)
+	}
+}
+
+// Planted patterns should surface: items that appear in high-weight patterns
+// must be far more frequent than uniform. We check that the item frequency
+// distribution is clearly skewed (max count ≫ mean count).
+func TestGeneratedDataIsSkewed(t *testing.T) {
+	p := Params{N: 400, L: 60, I: 4, T: 10, D: 3000, Seed: 9}
+	d, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, p.N)
+	for i := 0; i < d.Len(); i++ {
+		for _, it := range d.Items(i) {
+			counts[it]++
+		}
+	}
+	var max, total int
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	mean := float64(total) / float64(p.N)
+	if float64(max) < 3*mean {
+		t.Errorf("item distribution not skewed: max %d vs mean %.1f", max, mean)
+	}
+}
+
+// Co-occurrence: pairs inside one planted pattern should co-occur more often
+// than random pairs — the property Apriori mining depends on.
+func TestPlantedCooccurrence(t *testing.T) {
+	p := Params{N: 300, L: 30, I: 4, T: 12, D: 2000, Seed: 21}
+	g, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.Generate()
+	// Count co-occurrences of the first two items of each planted pattern
+	// with ≥2 items.
+	var plantedPairs [][2]itemset.Item
+	for _, pt := range g.Patterns() {
+		if len(pt) >= 2 {
+			plantedPairs = append(plantedPairs, [2]itemset.Item{pt[0], pt[1]})
+		}
+		if len(plantedPairs) == 10 {
+			break
+		}
+	}
+	cooc := func(a, b itemset.Item) int {
+		n := 0
+		for i := 0; i < d.Len(); i++ {
+			items := d.Items(i)
+			if items.ContainsItem(a) && items.ContainsItem(b) {
+				n++
+			}
+		}
+		return n
+	}
+	plantedTotal := 0
+	for _, pr := range plantedPairs {
+		plantedTotal += cooc(pr[0], pr[1])
+	}
+	randomTotal := 0
+	for i := 0; i < len(plantedPairs); i++ {
+		// Deliberately mismatched pairs across different patterns.
+		a := plantedPairs[i][0]
+		b := plantedPairs[(i+3)%len(plantedPairs)][1]
+		if a == b {
+			continue
+		}
+		randomTotal += cooc(a, b)
+	}
+	if plantedTotal <= randomTotal {
+		t.Errorf("planted pairs co-occur %d times, mismatched pairs %d — no planted structure detected",
+			plantedTotal, randomTotal)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	g, _ := New(Params{N: 10, L: 1, I: 1, T: 1, D: 0, Seed: 7})
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += float64(poisson(g.rng, 10))
+	}
+	mean := sum / n
+	if math.Abs(mean-10) > 0.3 {
+		t.Errorf("poisson(10) sample mean %.3f", mean)
+	}
+}
+
+func TestZeroTransactions(t *testing.T) {
+	d, err := Generate(Params{N: 50, L: 10, I: 3, T: 5, D: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Errorf("D=0 generated %d transactions", d.Len())
+	}
+}
+
+func TestTransactionsNonEmpty(t *testing.T) {
+	d, err := Generate(Params{N: 100, L: 20, I: 2, T: 1, D: 500, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Len(); i++ {
+		if d.Items(i).K() == 0 {
+			t.Fatalf("transaction %d is empty", i)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package hashtree
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/itemset"
+)
+
+// CounterMode selects how support counters are updated during parallel
+// counting — the design axis evaluated in Section 5.2.
+type CounterMode int
+
+const (
+	// CounterLocked guards shared counters with striped locks, the paper's
+	// base scheme (lock, increment, unlock).
+	CounterLocked CounterMode = iota
+	// CounterAtomic updates shared counters with atomic adds — the modern
+	// SMP equivalent of fine-grained locking.
+	CounterAtomic
+	// CounterPrivate keeps one counter array per processor and sums them in
+	// a final reduction — the privatize-and-reduce LCA scheme, free of both
+	// synchronization and false sharing.
+	CounterPrivate
+)
+
+func (m CounterMode) String() string {
+	switch m {
+	case CounterLocked:
+		return "locked"
+	case CounterAtomic:
+		return "atomic"
+	case CounterPrivate:
+		return "private"
+	}
+	return "unknown"
+}
+
+const lockStripes = 256
+
+// Counters holds the support counts for one tree's candidates.
+type Counters struct {
+	Mode   CounterMode
+	shared []int64
+	locks  []sync.Mutex
+	priv   [][]int64
+}
+
+// NewCounters allocates counters for n candidates and procs processors.
+func NewCounters(mode CounterMode, n, procs int) *Counters {
+	c := &Counters{Mode: mode}
+	switch mode {
+	case CounterPrivate:
+		c.priv = make([][]int64, procs)
+		for p := range c.priv {
+			c.priv[p] = make([]int64, n)
+		}
+		// The reduction target.
+		c.shared = make([]int64, n)
+	case CounterLocked:
+		c.shared = make([]int64, n)
+		c.locks = make([]sync.Mutex, lockStripes)
+	default:
+		c.shared = make([]int64, n)
+	}
+	return c
+}
+
+// add increments candidate id's counter on behalf of processor proc.
+func (c *Counters) add(id int32, proc int) {
+	switch c.Mode {
+	case CounterPrivate:
+		c.priv[proc][id]++
+	case CounterLocked:
+		l := &c.locks[uint32(id)%lockStripes]
+		l.Lock()
+		c.shared[id]++
+		l.Unlock()
+	default:
+		atomic.AddInt64(&c.shared[id], 1)
+	}
+}
+
+// Reduce folds private arrays into the shared totals (no-op for shared
+// modes). Call once after all counting completes.
+func (c *Counters) Reduce() {
+	if c.Mode != CounterPrivate {
+		return
+	}
+	for _, arr := range c.priv {
+		for i, v := range arr {
+			c.shared[i] += v
+		}
+	}
+	for p := range c.priv {
+		for i := range c.priv[p] {
+			c.priv[p][i] = 0
+		}
+	}
+}
+
+// Count returns candidate id's total (after Reduce for private mode).
+func (c *Counters) Count(id int32) int64 { return c.shared[id] }
+
+// Counts exposes the full totals slice (read-only).
+func (c *Counters) Counts() []int64 { return c.shared }
+
+// CountOpts configures a counting pass.
+type CountOpts struct {
+	// ShortCircuit enables the Section 4.2 visited-marking optimization
+	// that preempts duplicate traversals at internal nodes. When disabled,
+	// only leaves deduplicate (required for correct counts — the paper's
+	// unoptimized base case).
+	ShortCircuit bool
+	// Proc is the processor identity (private counters, trace attribution).
+	Proc int
+}
+
+// Deterministic work-unit costs for the counting cost model. On a host
+// without enough real cores to observe parallel wall-clock behaviour, the
+// experiment harness models per-processor time as accumulated work units;
+// the weights approximate relative instruction costs of the operations.
+const (
+	WorkNodeVisit  = 1 // enter a node, read its header
+	WorkCellProbe  = 1 // hash an item and read one table cell
+	WorkLeafCand   = 4 // walk one list node + subset containment test
+	WorkCtrUpdate  = 3 // lock, increment, unlock
+	WorkJoinPair   = 3 // form one join candidate
+	WorkPruneCheck = 2 // one (k-1)-subset membership probe
+	WorkInsert     = 6 // one hash-tree insertion
+	WorkItemScan   = 1 // read one transaction item (iteration 1)
+)
+
+// CountCtx is one processor's reusable counting state: the k·H visited
+// flags of the reduced-memory short-circuit scheme, per-leaf visit stamps
+// for the base case, and a snapshot of the (now immutable) tree.
+type CountCtx struct {
+	t    *Tree
+	opts CountOpts
+
+	// Work accumulates deterministic work units (see the work* constants);
+	// the harness uses max-over-processors as the modelled parallel time.
+	Work int64
+
+	nodes []*node
+	cands []itemset.Item
+
+	// visit[d][c] holds the epoch in which cell c at recursion depth d was
+	// last taken; one H-sized row per level — the k·H·P scheme. Epochs
+	// avoid clearing rows between expansions.
+	visit [][]uint64
+	epoch []uint64 // per-depth expansion serial
+
+	// leafStamp[node] holds the transaction serial of the last visit, for
+	// leaf-only deduplication when short-circuiting is off.
+	leafStamp []uint64
+	txSerial  uint64
+
+	counters *Counters
+}
+
+// NewCountCtx prepares a context. The tree must be fully built.
+func (t *Tree) NewCountCtx(counters *Counters, opts CountOpts) *CountCtx {
+	ctx := &CountCtx{
+		t:        t,
+		opts:     opts,
+		nodes:    t.nodes,
+		cands:    t.cands,
+		counters: counters,
+	}
+	k := t.cfg.K
+	ctx.visit = make([][]uint64, k+1)
+	for d := range ctx.visit {
+		ctx.visit[d] = make([]uint64, t.cfg.Fanout)
+	}
+	ctx.epoch = make([]uint64, k+1)
+	ctx.leafStamp = make([]uint64, len(t.nodes))
+	return ctx
+}
+
+// candidateOf returns the snapshot view of a candidate's itemset.
+func (ctx *CountCtx) candidateOf(id int32) itemset.Itemset {
+	k := ctx.t.cfg.K
+	return itemset.Itemset(ctx.cands[int(id)*k : int(id)*k+k])
+}
+
+// CountTransaction updates support counts for every candidate contained in
+// the transaction, walking the tree as in Section 2.1.2: at depth d hash on
+// the transaction items that can still start a valid k-subset suffix.
+func (ctx *CountCtx) CountTransaction(items itemset.Itemset) {
+	k := ctx.t.cfg.K
+	if len(items) < k {
+		return
+	}
+	ctx.txSerial++
+	ctx.walk(0, items, 0)
+}
+
+// walk processes node id; transaction items from position start onward are
+// candidates for hashing at this node's depth.
+func (ctx *CountCtx) walk(id int32, items itemset.Itemset, start int) {
+	n := ctx.nodes[id]
+	k := ctx.t.cfg.K
+	ctx.Work += WorkNodeVisit
+	if n.isLeaf() {
+		if !ctx.opts.ShortCircuit {
+			// Base case: leaf-level VISITED stamp prevents double counting
+			// when multiple root paths reach the same leaf.
+			if ctx.leafStamp[id] == ctx.txSerial {
+				return
+			}
+			ctx.leafStamp[id] = ctx.txSerial
+		}
+		// A leaf scan walks one list node and runs a containment merge over
+		// a k-itemset, so its cost grows with k.
+		ctx.Work += int64(len(n.items)) * int64(WorkLeafCand+k)
+		for _, cand := range n.items {
+			if items.Contains(ctx.candidateOf(cand)) {
+				ctx.counters.add(cand, ctx.opts.Proc)
+				ctx.Work += WorkCtrUpdate
+			}
+		}
+		return
+	}
+	d := int(n.depth)
+	var row []uint64
+	var ep uint64
+	if ctx.opts.ShortCircuit {
+		ctx.epoch[d]++
+		ep = ctx.epoch[d]
+		row = ctx.visit[d]
+	}
+	// Items 0..n-k+d at this level (paper: "hash on the remaining items i
+	// through (n-k+1)+d").
+	limit := len(items) - k + d
+	for i := start; i <= limit; i++ {
+		c := ctx.t.cell(items[i])
+		ctx.Work += WorkCellProbe
+		if ctx.opts.ShortCircuit {
+			if row[c] == ep {
+				continue // short-circuit: subtree already processed
+			}
+			row[c] = ep
+		}
+		child := n.children[c]
+		if child < 0 {
+			continue
+		}
+		ctx.walk(child, items, i+1)
+	}
+}
+
+// VisitedMemoryBytes reports the short-circuit bookkeeping footprint of this
+// context: k·H epoch words — the reduced scheme. The full scheme of the
+// paper's first cut would need H^k flags.
+func (ctx *CountCtx) VisitedMemoryBytes() int64 {
+	var b int64
+	for _, row := range ctx.visit {
+		b += int64(len(row)) * 8
+	}
+	return b
+}
+
+// CountDatabase is a sequential convenience: counts every transaction
+// through a fresh context and returns the counters.
+func (t *Tree) CountDatabase(transactions []itemset.Itemset, opts CountOpts) *Counters {
+	counters := NewCounters(CounterAtomic, t.NumCandidates(), 1)
+	ctx := t.NewCountCtx(counters, opts)
+	for _, tx := range transactions {
+		ctx.CountTransaction(tx)
+	}
+	return counters
+}

@@ -1,0 +1,253 @@
+package hashtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/itemset"
+)
+
+// bruteCount computes reference supports by direct containment checks.
+func bruteCount(cands []itemset.Itemset, txs []itemset.Itemset) map[string]int64 {
+	out := map[string]int64{}
+	for _, c := range cands {
+		for _, tx := range txs {
+			if tx.Contains(c) {
+				out[c.Key()]++
+			}
+		}
+	}
+	return out
+}
+
+func randomTxs(rng *rand.Rand, n, maxLen, universe int) []itemset.Itemset {
+	txs := make([]itemset.Itemset, n)
+	for i := range txs {
+		l := 1 + rng.Intn(maxLen)
+		m := map[itemset.Item]bool{}
+		for len(m) < l {
+			m[itemset.Item(rng.Intn(universe))] = true
+		}
+		var s itemset.Itemset
+		for it := range m {
+			s = append(s, it)
+		}
+		txs[i] = itemset.New(s...)
+	}
+	return txs
+}
+
+func checkCounts(t *testing.T, tr *Tree, counters *Counters, want map[string]int64) {
+	t.Helper()
+	tr.ForEachCandidate(func(id int32) {
+		key := tr.Candidate(id).Key()
+		if got := counters.Count(id); got != want[key] {
+			t.Errorf("candidate %v: count %d, want %d", tr.Candidate(id), got, want[key])
+		}
+	})
+}
+
+func TestCountSection213Example(t *testing.T) {
+	// The worked example: D = {145, 12, 345, 1245}, C2 from F1={1,2,4,5}.
+	txs := []itemset.Itemset{
+		itemset.New(1, 4, 5), itemset.New(1, 2), itemset.New(3, 4, 5), itemset.New(1, 2, 4, 5),
+	}
+	c2 := []itemset.Itemset{
+		itemset.New(1, 2), itemset.New(1, 4), itemset.New(1, 5),
+		itemset.New(2, 4), itemset.New(2, 5), itemset.New(4, 5),
+	}
+	tr, err := Build(Config{K: 2, Fanout: 2, Threshold: 2, NumItems: 6}, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters := tr.CountDatabase(txs, CountOpts{ShortCircuit: true})
+	want := map[string]int64{
+		itemset.New(1, 2).Key(): 2,
+		itemset.New(1, 4).Key(): 2,
+		itemset.New(1, 5).Key(): 2,
+		itemset.New(2, 4).Key(): 1,
+		itemset.New(2, 5).Key(): 1,
+		itemset.New(4, 5).Key(): 3,
+	}
+	checkCounts(t, tr, counters, want)
+}
+
+func TestCountMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		k := 2 + rng.Intn(3)
+		cands := map[string]itemset.Itemset{}
+		for i := 0; i < 60; i++ {
+			m := map[itemset.Item]bool{}
+			for len(m) < k {
+				m[itemset.Item(rng.Intn(25))] = true
+			}
+			var s itemset.Itemset
+			for it := range m {
+				s = append(s, it)
+			}
+			c := itemset.New(s...)
+			cands[c.Key()] = c
+		}
+		var list []itemset.Itemset
+		for _, c := range cands {
+			list = append(list, c)
+		}
+		txs := randomTxs(rng, 80, 12, 25)
+		want := bruteCount(list, txs)
+
+		for _, sc := range []bool{false, true} {
+			for _, hk := range []HashKind{HashInterleaved, HashBitonic} {
+				tr, err := Build(Config{
+					K: k, Fanout: 2 + rng.Intn(5), Threshold: 1 + rng.Intn(4),
+					Hash: hk, NumItems: 25,
+				}, list)
+				if err != nil {
+					t.Fatal(err)
+				}
+				counters := tr.CountDatabase(txs, CountOpts{ShortCircuit: sc})
+				tr.ForEachCandidate(func(id int32) {
+					key := tr.Candidate(id).Key()
+					if got := counters.Count(id); got != want[key] {
+						t.Fatalf("trial %d sc=%v hash=%v: candidate %v count %d, want %d",
+							trial, sc, hk, tr.Candidate(id), got, want[key])
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestShortCircuitVisitsFewerNodes(t *testing.T) {
+	// Large transactions cause many duplicate internal paths; the optimized
+	// traversal must emit strictly fewer node visits. We measure via the
+	// traced walk (node header loads).
+	cands := combinations(16, 3)
+	tr, err := Build(Config{K: 3, Fanout: 2, Threshold: 2, NumItems: 16}, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := itemset.New(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15)
+	visits := func(sc bool) int {
+		pl := NewPlacement(tr, 1, 1)
+		counters := NewCounters(CounterAtomic, tr.NumCandidates(), 1)
+		tc := pl.NewTraceCtx(counters, CountOpts{ShortCircuit: sc}, 1024)
+		tc.CountTransaction(tx)
+		return tc.Buf.Len()
+	}
+	base := visits(false)
+	opt := visits(true)
+	if opt >= base {
+		t.Errorf("short-circuit accesses %d !< base %d", opt, base)
+	}
+}
+
+func TestCountShortTransactionSkipped(t *testing.T) {
+	tr, _ := Build(Config{K: 3, Fanout: 2, Threshold: 2, NumItems: 8}, combinations(8, 3))
+	counters := tr.CountDatabase([]itemset.Itemset{itemset.New(1, 2)}, CountOpts{ShortCircuit: true})
+	tr.ForEachCandidate(func(id int32) {
+		if counters.Count(id) != 0 {
+			t.Fatalf("short transaction counted: %v", tr.Candidate(id))
+		}
+	})
+}
+
+func TestCountersModes(t *testing.T) {
+	for _, mode := range []CounterMode{CounterLocked, CounterAtomic, CounterPrivate} {
+		c := NewCounters(mode, 10, 4)
+		c.add(3, 0)
+		c.add(3, 1)
+		c.add(3, 3)
+		c.add(9, 2)
+		c.Reduce()
+		if got := c.Count(3); got != 3 {
+			t.Errorf("%v: Count(3) = %d, want 3", mode, got)
+		}
+		if got := c.Count(9); got != 1 {
+			t.Errorf("%v: Count(9) = %d, want 1", mode, got)
+		}
+		if got := c.Count(0); got != 0 {
+			t.Errorf("%v: Count(0) = %d", mode, got)
+		}
+		if len(c.Counts()) != 10 {
+			t.Errorf("%v: Counts len %d", mode, len(c.Counts()))
+		}
+	}
+}
+
+func TestCounterModeString(t *testing.T) {
+	if CounterLocked.String() != "locked" || CounterAtomic.String() != "atomic" ||
+		CounterPrivate.String() != "private" || CounterMode(9).String() != "unknown" {
+		t.Error("CounterMode strings wrong")
+	}
+}
+
+func TestCountersParallelConsistency(t *testing.T) {
+	// All three modes must agree under concurrent hammering (run with -race).
+	const n, procs, iters = 50, 8, 200
+	for _, mode := range []CounterMode{CounterLocked, CounterAtomic, CounterPrivate} {
+		c := NewCounters(mode, n, procs)
+		done := make(chan struct{})
+		for p := 0; p < procs; p++ {
+			go func(p int) {
+				rng := rand.New(rand.NewSource(int64(p)))
+				for i := 0; i < iters; i++ {
+					c.add(int32(rng.Intn(n)), p)
+				}
+				done <- struct{}{}
+			}(p)
+		}
+		for p := 0; p < procs; p++ {
+			<-done
+		}
+		c.Reduce()
+		var total int64
+		for _, v := range c.Counts() {
+			total += v
+		}
+		if total != procs*iters {
+			t.Errorf("%v: total %d, want %d", mode, total, procs*iters)
+		}
+	}
+}
+
+func TestVisitedMemoryBytes(t *testing.T) {
+	tr, _ := Build(Config{K: 3, Fanout: 8, Threshold: 2, NumItems: 16}, combinations(10, 3))
+	ctx := tr.NewCountCtx(NewCounters(CounterAtomic, tr.NumCandidates(), 1), CountOpts{ShortCircuit: true})
+	// (K+1) levels × H cells × 8 bytes.
+	want := int64((3 + 1) * 8 * 8)
+	if got := ctx.VisitedMemoryBytes(); got != want {
+		t.Errorf("VisitedMemoryBytes = %d, want %d", got, want)
+	}
+}
+
+func TestParallelCountingMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cands := combinations(18, 2)
+	txs := randomTxs(rng, 300, 10, 18)
+	tr, err := Build(Config{K: 2, Fanout: 4, Threshold: 3, NumItems: 18}, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteCount(cands, txs)
+
+	const procs = 6
+	counters := NewCounters(CounterPrivate, tr.NumCandidates(), procs)
+	done := make(chan struct{})
+	for p := 0; p < procs; p++ {
+		go func(p int) {
+			ctx := tr.NewCountCtx(counters, CountOpts{ShortCircuit: true, Proc: p})
+			lo := p * len(txs) / procs
+			hi := (p + 1) * len(txs) / procs
+			for _, tx := range txs[lo:hi] {
+				ctx.CountTransaction(tx)
+			}
+			done <- struct{}{}
+		}(p)
+	}
+	for p := 0; p < procs; p++ {
+		<-done
+	}
+	counters.Reduce()
+	checkCounts(t, tr, counters, want)
+}

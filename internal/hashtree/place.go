@@ -1,0 +1,261 @@
+package hashtree
+
+import (
+	"repro/internal/itemset"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// Modelled component sizes in bytes, mirroring the C structures of Fig. 3:
+// a hash tree node header, one hash-table cell pointer, an itemset list
+// header, a list node (next + itemset pointers), and the itemset payload of
+// 4 bytes per item. When locks and counters are not segregated they live
+// inline at the end of the itemset block (4+4 bytes), which is exactly what
+// makes the base policies suffer false sharing on itemset lines.
+const (
+	sizeHTN     = 16
+	sizeCellPtr = 8
+	sizeILH     = 8
+	sizeLN      = 16
+	sizeLock    = 4
+	sizeCounter = 4
+)
+
+// Placement assigns a virtual address to every component of a built tree
+// under one policy, and replays counting passes as memory access traces.
+type Placement struct {
+	Tree   *Tree
+	Policy mem.Policy
+	placer *mem.Placer
+
+	nodeAddr  []mem.Addr // HTN per node
+	ilhAddr   []mem.Addr // ILH per node
+	tableAddr []mem.Addr // HTNP per node (0 for leaves)
+	lnAddr    []mem.Addr // LN per candidate
+	itemAddr  []mem.Addr // Itemset payload per candidate
+	ctrAddr   []mem.Addr // shared counter per candidate (0 under LCA)
+	lockAddr  []mem.Addr // lock per candidate (0 under LCA)
+	privCtr   [][]mem.Addr
+
+	// RemapBlocks counts the components copied by the GPP depth-first
+	// remap; the placement study charges a per-block copy cost against
+	// remapping policies (the paper reports remapping costs under 2% of
+	// the running time, which is what keeps SPP competitive on small
+	// trees).
+	RemapBlocks int64
+}
+
+// NewPlacement replays the tree's creation-order event log through a placer
+// for the given policy, then applies the GPP depth-first remap if the
+// policy calls for it. procs sizes the LCA private counter arrays.
+func NewPlacement(t *Tree, policy mem.Policy, procs int) *Placement {
+	if procs < 1 {
+		procs = 1
+	}
+	p := &Placement{
+		Tree:      t,
+		Policy:    policy,
+		placer:    mem.NewPlacer(policy, procs, 64),
+		nodeAddr:  make([]mem.Addr, len(t.nodes)),
+		ilhAddr:   make([]mem.Addr, len(t.nodes)),
+		tableAddr: make([]mem.Addr, len(t.nodes)),
+		lnAddr:    make([]mem.Addr, int(t.nCand)),
+		itemAddr:  make([]mem.Addr, int(t.nCand)),
+	}
+	lca := policy.PrivatizesCounters()
+	if !lca {
+		p.ctrAddr = make([]mem.Addr, int(t.nCand))
+		p.lockAddr = make([]mem.Addr, int(t.nCand))
+	}
+	k := t.cfg.K
+	itemBytes := uint32(4 * k)
+	for _, ev := range t.events {
+		switch ev.kind {
+		case evNode:
+			addrs := p.placer.PlaceGroup(
+				[]mem.BlockKind{mem.KindHTN, mem.KindILH},
+				[]uint32{sizeHTN, sizeILH})
+			p.nodeAddr[ev.id] = addrs[0]
+			p.ilhAddr[ev.id] = addrs[1]
+		case evSplit:
+			p.tableAddr[ev.id] = p.placer.Place(mem.KindHTNP, uint32(sizeCellPtr*t.cfg.Fanout))
+		case evCand:
+			if lca || policy.SegregatesRW() {
+				addrs := p.placer.PlaceGroup(
+					[]mem.BlockKind{mem.KindLN, mem.KindItemset},
+					[]uint32{sizeLN, itemBytes})
+				p.lnAddr[ev.id] = addrs[0]
+				p.itemAddr[ev.id] = addrs[1]
+				if !lca {
+					p.ctrAddr[ev.id] = p.placer.Place(mem.KindCounter, sizeCounter)
+					p.lockAddr[ev.id] = p.placer.Place(mem.KindLock, sizeLock)
+				}
+			} else {
+				// Inline counter+lock share the itemset block.
+				addrs := p.placer.PlaceGroup(
+					[]mem.BlockKind{mem.KindLN, mem.KindItemset},
+					[]uint32{sizeLN, itemBytes + sizeCounter + sizeLock})
+				p.lnAddr[ev.id] = addrs[0]
+				p.itemAddr[ev.id] = addrs[1]
+				p.ctrAddr[ev.id] = addrs[1] + mem.Addr(itemBytes)
+				p.lockAddr[ev.id] = addrs[1] + mem.Addr(itemBytes) + sizeCounter
+			}
+		}
+	}
+	if lca {
+		p.privCtr = make([][]mem.Addr, procs)
+		for proc := 0; proc < procs; proc++ {
+			arr := make([]mem.Addr, int(t.nCand))
+			for c := range arr {
+				arr[c] = p.placer.PlacePrivateCounter(proc, sizeCounter)
+			}
+			p.privCtr[proc] = arr
+		}
+	}
+	if policy.Remaps() {
+		p.remapDFS()
+	}
+	return p
+}
+
+// remapDFS computes the depth-first traversal order of all tree-region
+// components — the order the support-counting phase touches them — and
+// rewrites addresses through the placer's remap (Section 5.1, GPP).
+func (p *Placement) remapDFS() {
+	t := p.Tree
+	var order []mem.Addr
+	inline := !p.Policy.SegregatesRW() && !p.Policy.PrivatizesCounters()
+	var visit func(id int32)
+	visit = func(id int32) {
+		n := t.nodes[id]
+		order = append(order, p.nodeAddr[id])
+		if !n.isLeaf() {
+			order = append(order, p.tableAddr[id])
+			for _, c := range n.children {
+				if c >= 0 {
+					visit(c)
+				}
+			}
+			return
+		}
+		order = append(order, p.ilhAddr[id])
+		for _, cand := range n.items {
+			order = append(order, p.lnAddr[cand], p.itemAddr[cand])
+			_ = inline // inline counters move with their itemset block
+		}
+	}
+	visit(0)
+	table := p.placer.Remap(order)
+	p.RemapBlocks = int64(len(table))
+	fix := func(a mem.Addr) mem.Addr {
+		if na, ok := table[a]; ok {
+			return na
+		}
+		return a
+	}
+	for i := range p.nodeAddr {
+		p.nodeAddr[i] = fix(p.nodeAddr[i])
+		p.ilhAddr[i] = fix(p.ilhAddr[i])
+		p.tableAddr[i] = fix(p.tableAddr[i])
+	}
+	for c := range p.lnAddr {
+		p.lnAddr[c] = fix(p.lnAddr[c])
+		oldItem := p.itemAddr[c]
+		p.itemAddr[c] = fix(oldItem)
+		if inline && p.ctrAddr != nil {
+			// Inline counter/lock keep their offset inside the moved block.
+			delta := p.itemAddr[c] - oldItem
+			p.ctrAddr[c] += delta
+			p.lockAddr[c] += delta
+		}
+	}
+}
+
+// BytesUsed reports virtual bytes per region class.
+func (p *Placement) BytesUsed() (tree, rw, private uint64) { return p.placer.BytesUsed() }
+
+// TraceCtx replays the counting walk of one processor as a memory trace
+// while also producing real support counts (so traced and untraced runs can
+// be cross-checked).
+type TraceCtx struct {
+	p   *Placement
+	ctx *CountCtx
+	Buf *trace.Buffer
+}
+
+// NewTraceCtx builds a tracing context for processor proc.
+func (p *Placement) NewTraceCtx(counters *Counters, opts CountOpts, capacity int) *TraceCtx {
+	return &TraceCtx{
+		p:   p,
+		ctx: p.Tree.NewCountCtx(counters, opts),
+		Buf: trace.NewBuffer(opts.Proc, capacity),
+	}
+}
+
+// CountTransaction counts one transaction, emitting its access trace.
+func (tc *TraceCtx) CountTransaction(items itemset.Itemset) {
+	ctx := tc.ctx
+	k := ctx.t.cfg.K
+	if len(items) < k {
+		return
+	}
+	ctx.txSerial++
+	tc.walk(0, items, 0)
+}
+
+func (tc *TraceCtx) walk(id int32, items itemset.Itemset, start int) {
+	ctx := tc.ctx
+	p := tc.p
+	n := ctx.nodes[id]
+	k := ctx.t.cfg.K
+	tc.Buf.Load(p.nodeAddr[id], 8) // HTN header
+	if n.isLeaf() {
+		if !ctx.opts.ShortCircuit {
+			if ctx.leafStamp[id] == ctx.txSerial {
+				return
+			}
+			ctx.leafStamp[id] = ctx.txSerial
+		}
+		tc.Buf.Load(p.ilhAddr[id], 8) // list header
+		for _, cand := range n.items {
+			tc.Buf.Load(p.lnAddr[cand], 8)             // list node
+			tc.Buf.Load(p.itemAddr[cand], uint16(4*k)) // itemset payload
+			if items.Contains(ctx.candidateOf(cand)) {
+				ctx.counters.add(cand, ctx.opts.Proc)
+				if p.Policy.PrivatizesCounters() {
+					tc.Buf.Store(p.privCtr[ctx.opts.Proc][cand], 4)
+				} else {
+					// lock acquire, counter increment, lock release
+					tc.Buf.Store(p.lockAddr[cand], 4)
+					tc.Buf.Store(p.ctrAddr[cand], 4)
+					tc.Buf.Store(p.lockAddr[cand], 4)
+				}
+			}
+		}
+		return
+	}
+	d := int(n.depth)
+	var row []uint64
+	var ep uint64
+	if ctx.opts.ShortCircuit {
+		ctx.epoch[d]++
+		ep = ctx.epoch[d]
+		row = ctx.visit[d]
+	}
+	limit := len(items) - k + d
+	for i := start; i <= limit; i++ {
+		c := ctx.t.cell(items[i])
+		if ctx.opts.ShortCircuit {
+			if row[c] == ep {
+				continue
+			}
+			row[c] = ep
+		}
+		tc.Buf.Load(p.tableAddr[id]+mem.Addr(sizeCellPtr*int(c)), 8)
+		child := n.children[c]
+		if child < 0 {
+			continue
+		}
+		tc.walk(child, items, i+1)
+	}
+}

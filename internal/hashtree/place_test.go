@@ -1,0 +1,235 @@
+package hashtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/itemset"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func buildSampleTree(t *testing.T) (*Tree, []itemset.Itemset) {
+	t.Helper()
+	cands := combinations(14, 3)
+	tr, err := Build(Config{K: 3, Fanout: 3, Threshold: 3, Hash: HashBitonic, NumItems: 14}, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, cands
+}
+
+func TestPlacementAssignsEveryComponent(t *testing.T) {
+	tr, _ := buildSampleTree(t)
+	for _, pol := range mem.AllPolicies {
+		pl := NewPlacement(tr, pol, 2)
+		for id := range tr.nodes {
+			if pl.nodeAddr[id] == 0 || pl.ilhAddr[id] == 0 {
+				t.Errorf("%v: node %d unplaced", pol, id)
+			}
+			if !tr.nodes[id].isLeaf() && pl.tableAddr[id] == 0 {
+				t.Errorf("%v: internal node %d has no table addr", pol, id)
+			}
+		}
+		for c := 0; c < tr.NumCandidates(); c++ {
+			if pl.lnAddr[c] == 0 || pl.itemAddr[c] == 0 {
+				t.Errorf("%v: candidate %d unplaced", pol, c)
+			}
+			if pol.PrivatizesCounters() {
+				if len(pl.privCtr) != 2 || pl.privCtr[0][c] == 0 || pl.privCtr[1][c] == 0 {
+					t.Errorf("%v: missing private counters", pol)
+				}
+			} else if pl.ctrAddr[c] == 0 || pl.lockAddr[c] == 0 {
+				t.Errorf("%v: candidate %d missing counter/lock", pol, c)
+			}
+		}
+	}
+}
+
+func TestPlacementAddressesDistinct(t *testing.T) {
+	tr, _ := buildSampleTree(t)
+	for _, pol := range mem.AllPolicies {
+		pl := NewPlacement(tr, pol, 2)
+		seen := map[mem.Addr]string{}
+		record := func(a mem.Addr, what string) {
+			if a == 0 {
+				return
+			}
+			if prev, ok := seen[a]; ok {
+				t.Fatalf("%v: address %#x reused by %s and %s", pol, a, prev, what)
+			}
+			seen[a] = what
+		}
+		for id := range tr.nodes {
+			record(pl.nodeAddr[id], "HTN")
+			record(pl.ilhAddr[id], "ILH")
+			if !tr.nodes[id].isLeaf() {
+				record(pl.tableAddr[id], "HTNP")
+			}
+		}
+		for c := 0; c < tr.NumCandidates(); c++ {
+			record(pl.lnAddr[c], "LN")
+			record(pl.itemAddr[c], "Itemset")
+		}
+	}
+}
+
+func TestGPPRemapDFSContiguous(t *testing.T) {
+	tr, _ := buildSampleTree(t)
+	pl := NewPlacement(tr, mem.PolicyGPP, 1)
+	// After the remap, DFS traversal must see monotonically increasing
+	// addresses (the definition of the GPP layout).
+	var prev mem.Addr
+	ok := true
+	var visit func(id int32)
+	visit = func(id int32) {
+		n := tr.nodes[id]
+		if pl.nodeAddr[id] < prev {
+			ok = false
+		}
+		prev = pl.nodeAddr[id]
+		if !n.isLeaf() {
+			for _, c := range n.children {
+				if c >= 0 {
+					visit(c)
+				}
+			}
+			return
+		}
+		for _, cand := range n.items {
+			if pl.lnAddr[cand] < prev {
+				ok = false
+			}
+			prev = pl.lnAddr[cand]
+		}
+	}
+	visit(0)
+	if !ok {
+		t.Error("GPP addresses not monotone in DFS order")
+	}
+}
+
+func TestTracedCountsMatchUntraced(t *testing.T) {
+	tr, cands := buildSampleTree(t)
+	rng := rand.New(rand.NewSource(7))
+	txs := randomTxs(rng, 100, 10, 14)
+	want := bruteCount(cands, txs)
+	for _, pol := range mem.AllPolicies {
+		for _, sc := range []bool{false, true} {
+			pl := NewPlacement(tr, pol, 1)
+			counters := NewCounters(CounterAtomic, tr.NumCandidates(), 1)
+			tc := pl.NewTraceCtx(counters, CountOpts{ShortCircuit: sc}, 4096)
+			for _, tx := range txs {
+				tc.CountTransaction(tx)
+			}
+			tr.ForEachCandidate(func(id int32) {
+				key := tr.Candidate(id).Key()
+				if got := counters.Count(id); got != want[key] {
+					t.Fatalf("%v sc=%v: candidate %v = %d, want %d", pol, sc, tr.Candidate(id), got, want[key])
+				}
+			})
+			if tc.Buf.Len() == 0 {
+				t.Fatalf("%v: empty trace", pol)
+			}
+		}
+	}
+}
+
+func TestPlacementLocalityOrdering(t *testing.T) {
+	// The Fig. 12 single-processor claim: SPP ≤ CCPD modelled time, and GPP
+	// beats CCPD as well (on a tree large enough to exceed the cache).
+	cands := combinations(26, 3) // 2600 candidates
+	tr, err := Build(Config{K: 3, Fanout: 5, Threshold: 4, Hash: HashBitonic, NumItems: 26}, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	txs := randomTxs(rng, 150, 14, 26)
+	cfg := cachesim.Config{
+		Procs: 1, LineSize: 64, CacheSize: 1 << 14, Ways: 2,
+		HitCycles: 1, MissCycles: 60, InvalidateCycles: 20, ComputeCycles: 1,
+	}
+	timeOf := func(pol mem.Policy) int64 {
+		pl := NewPlacement(tr, pol, 1)
+		counters := NewCounters(CounterAtomic, tr.NumCandidates(), 1)
+		tc := pl.NewTraceCtx(counters, CountOpts{ShortCircuit: true}, 1<<16)
+		for _, tx := range txs {
+			tc.CountTransaction(tx)
+		}
+		res, err := cachesim.Replay(cfg, []*trace.Buffer{tc.Buf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	ccpd := timeOf(mem.PolicyCCPD)
+	spp := timeOf(mem.PolicySPP)
+	gpp := timeOf(mem.PolicyGPP)
+	if spp >= ccpd {
+		t.Errorf("SPP time %d !< CCPD %d", spp, ccpd)
+	}
+	if gpp >= ccpd {
+		t.Errorf("GPP time %d !< CCPD %d", gpp, ccpd)
+	}
+}
+
+func TestLCAEliminatesFalseSharing(t *testing.T) {
+	// Two processors counting different transactions over the same tree:
+	// the base policy (inline counters) must show sharing invalidations;
+	// LCA-GPP must show none on counter writes (itemset lines stay
+	// read-only shared).
+	cands := combinations(16, 2)
+	tr, err := Build(Config{K: 2, Fanout: 4, Threshold: 3, NumItems: 16}, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	txs := randomTxs(rng, 200, 10, 16)
+	cfg := cachesim.DefaultConfig(2)
+	invalsOf := func(pol mem.Policy) int64 {
+		pl := NewPlacement(tr, pol, 2)
+		counters := NewCounters(CounterPrivate, tr.NumCandidates(), 2)
+		var bufs []*trace.Buffer
+		for p := 0; p < 2; p++ {
+			tc := pl.NewTraceCtx(counters, CountOpts{ShortCircuit: true, Proc: p}, 1<<16)
+			lo, hi := p*len(txs)/2, (p+1)*len(txs)/2
+			for _, tx := range txs[lo:hi] {
+				tc.CountTransaction(tx)
+			}
+			bufs = append(bufs, tc.Buf)
+		}
+		res, err := cachesim.Replay(cfg, bufs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Totals().InvalidationsRecv
+	}
+	base := invalsOf(mem.PolicyCCPD)
+	lca := invalsOf(mem.PolicyLCAGPP)
+	if base == 0 {
+		t.Error("base policy shows no sharing invalidations — test not exercising sharing")
+	}
+	if lca != 0 {
+		t.Errorf("LCA-GPP still causes %d invalidations", lca)
+	}
+}
+
+func TestBytesUsedSegregation(t *testing.T) {
+	tr, _ := buildSampleTree(t)
+	plain := NewPlacement(tr, mem.PolicySPP, 1)
+	seg := NewPlacement(tr, mem.PolicyLSPP, 1)
+	_, rwPlain, _ := plain.BytesUsed()
+	_, rwSeg, _ := seg.BytesUsed()
+	if rwPlain != 0 {
+		t.Errorf("SPP should not use rw region, used %d", rwPlain)
+	}
+	if rwSeg == 0 {
+		t.Error("L-SPP should use rw region")
+	}
+	lca := NewPlacement(tr, mem.PolicyLCAGPP, 3)
+	_, _, priv := lca.BytesUsed()
+	if priv != uint64(3*4*tr.NumCandidates()) {
+		t.Errorf("LCA private bytes = %d, want %d", priv, 3*4*tr.NumCandidates())
+	}
+}

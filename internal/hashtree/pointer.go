@@ -1,0 +1,260 @@
+package hashtree
+
+import (
+	"fmt"
+
+	"repro/internal/itemset"
+	"repro/internal/partition"
+)
+
+// PointerTree is a deliberately pointer-chasing implementation of the
+// candidate hash tree, mirroring the original C structure of Fig. 3: every
+// hash tree node, hash table, list node and itemset is a separate heap
+// allocation linked by pointers. It exists as the real-layout baseline for
+// the locality ablation (BenchmarkAblationLayout): the arena-backed Tree is
+// the SPP-style layout, this is the malloc-scattered CCPD layout. Results
+// must be identical; only memory behaviour differs.
+type PointerTree struct {
+	cfg     Config
+	hashVec []int32
+	root    *pnode
+	nCand   int32
+}
+
+// pnode is one node; exactly one of table/list is used.
+type pnode struct {
+	depth int32
+	table []*pnode // internal: fan-out cells
+	list  *plistNode
+	size  int
+}
+
+// plistNode is a linked-list cell holding one candidate.
+type plistNode struct {
+	next    *plistNode
+	itemset itemset.Itemset // separately allocated payload
+	id      int32
+	count   int64
+}
+
+// NewPointerTree creates an empty pointer tree.
+func NewPointerTree(cfg Config) *PointerTree {
+	cfg = cfg.withDefaults()
+	t := &PointerTree{cfg: cfg, root: &pnode{depth: 0}}
+	n := cfg.NumItems
+	if n <= 0 {
+		n = 1
+	}
+	t.hashVec = make([]int32, n)
+	for i := range t.hashVec {
+		t.hashVec[i] = cellHash(cfg, i)
+	}
+	return t
+}
+
+// cellHash computes an item's hash cell directly from a config — the same
+// rules Tree.buildHashVec applies (bitonic over rank labels, or raw mod).
+func cellHash(cfg Config, i int) int32 {
+	if cfg.Hash == HashBitonic {
+		key := i
+		if cfg.Labels != nil && i < len(cfg.Labels) && cfg.Labels[i] >= 0 {
+			key = int(cfg.Labels[i])
+		}
+		return int32(partition.BitonicHash(key, cfg.Fanout))
+	}
+	return int32(i % cfg.Fanout)
+}
+
+func (t *PointerTree) cell(it itemset.Item) int32 {
+	if int(it) < len(t.hashVec) && it >= 0 {
+		return t.hashVec[it]
+	}
+	return int32(int(it) % t.cfg.Fanout)
+}
+
+// Insert adds a candidate (single-threaded; the layout ablation only needs
+// sequential builds).
+func (t *PointerTree) Insert(s itemset.Itemset) (int32, error) {
+	if len(s) != t.cfg.K {
+		return -1, fmt.Errorf("hashtree: inserting %d-itemset into K=%d pointer tree", len(s), t.cfg.K)
+	}
+	if !s.IsSorted() {
+		return -1, fmt.Errorf("hashtree: itemset %v not sorted", s)
+	}
+	id := t.nCand
+	t.nCand++
+	ln := &plistNode{itemset: s.Clone(), id: id}
+	cur := t.root
+	for {
+		if cur.table == nil {
+			// Leaf: insert sorted by itemset.
+			cur.size++
+			var prev *plistNode
+			p := cur.list
+			for p != nil && p.itemset.Less(ln.itemset) {
+				prev, p = p, p.next
+			}
+			ln.next = p
+			if prev == nil {
+				cur.list = ln
+			} else {
+				prev.next = ln
+			}
+			if cur.size > t.cfg.Threshold && int(cur.depth) < t.cfg.K {
+				t.split(cur)
+			}
+			return id, nil
+		}
+		c := t.cell(ln.itemset[cur.depth])
+		if cur.table[c] == nil {
+			cur.table[c] = &pnode{depth: cur.depth + 1}
+		}
+		cur = cur.table[c]
+	}
+}
+
+func (t *PointerTree) split(n *pnode) {
+	n.table = make([]*pnode, t.cfg.Fanout)
+	list := n.list
+	n.list = nil
+	n.size = 0
+	for ln := list; ln != nil; {
+		next := ln.next
+		ln.next = nil
+		c := t.cell(ln.itemset[n.depth])
+		child := n.table[c]
+		if child == nil {
+			child = &pnode{depth: n.depth + 1}
+			n.table[c] = child
+		}
+		// Sorted reinsertion into the child.
+		child.size++
+		var prev *plistNode
+		p := child.list
+		for p != nil && p.itemset.Less(ln.itemset) {
+			prev, p = p, p.next
+		}
+		ln.next = p
+		if prev == nil {
+			child.list = ln
+		} else {
+			prev.next = ln
+		}
+		if child.size > t.cfg.Threshold && int(child.depth) < t.cfg.K {
+			t.split(child)
+		}
+		ln = next
+	}
+}
+
+// BuildPointer constructs a pointer tree from candidates.
+func BuildPointer(cfg Config, cands []itemset.Itemset) (*PointerTree, error) {
+	if cfg.Fanout <= 0 {
+		cfg.Threshold = Config{Threshold: cfg.Threshold}.withDefaults().Threshold
+		cfg.Fanout = AdaptiveFanout(int64(len(cands)), cfg.Threshold, cfg.K)
+	}
+	t := NewPointerTree(cfg)
+	for _, s := range cands {
+		if _, err := t.Insert(s); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// PointerCountCtx carries per-pass state for the pointer tree.
+type PointerCountCtx struct {
+	t        *PointerTree
+	visit    [][]uint64
+	epoch    []uint64
+	txSerial uint64
+	sc       bool
+	// leafStamp uses a per-leaf map since pointer nodes have no ids; the
+	// base (non-short-circuit) path needs per-transaction leaf dedup.
+	leafStamp map[*pnode]uint64
+}
+
+// NewCountCtx prepares a counting context.
+func (t *PointerTree) NewCountCtx(shortCircuit bool) *PointerCountCtx {
+	ctx := &PointerCountCtx{t: t, sc: shortCircuit, leafStamp: map[*pnode]uint64{}}
+	ctx.visit = make([][]uint64, t.cfg.K+1)
+	for d := range ctx.visit {
+		ctx.visit[d] = make([]uint64, t.cfg.Fanout)
+	}
+	ctx.epoch = make([]uint64, t.cfg.K+1)
+	return ctx
+}
+
+// CountTransaction increments embedded per-list-node counters.
+func (ctx *PointerCountCtx) CountTransaction(items itemset.Itemset) {
+	if len(items) < ctx.t.cfg.K {
+		return
+	}
+	ctx.txSerial++
+	ctx.walk(ctx.t.root, items, 0)
+}
+
+func (ctx *PointerCountCtx) walk(n *pnode, items itemset.Itemset, start int) {
+	t := ctx.t
+	k := t.cfg.K
+	if n.table == nil {
+		if !ctx.sc {
+			if ctx.leafStamp[n] == ctx.txSerial {
+				return
+			}
+			ctx.leafStamp[n] = ctx.txSerial
+		}
+		for ln := n.list; ln != nil; ln = ln.next {
+			if items.Contains(ln.itemset) {
+				ln.count++
+			}
+		}
+		return
+	}
+	d := int(n.depth)
+	var row []uint64
+	var ep uint64
+	if ctx.sc {
+		ctx.epoch[d]++
+		ep = ctx.epoch[d]
+		row = ctx.visit[d]
+	}
+	limit := len(items) - k + d
+	for i := start; i <= limit; i++ {
+		c := t.cell(items[i])
+		if ctx.sc {
+			if row[c] == ep {
+				continue
+			}
+			row[c] = ep
+		}
+		child := n.table[c]
+		if child == nil {
+			continue
+		}
+		ctx.walk(child, items, i+1)
+	}
+}
+
+// ForEachCandidate visits candidates in DFS order with their counts.
+func (t *PointerTree) ForEachCandidate(fn func(items itemset.Itemset, count int64)) {
+	var visit func(n *pnode)
+	visit = func(n *pnode) {
+		if n == nil {
+			return
+		}
+		if n.table == nil {
+			for ln := n.list; ln != nil; ln = ln.next {
+				fn(ln.itemset, ln.count)
+			}
+			return
+		}
+		for _, c := range n.table {
+			visit(c)
+		}
+	}
+	visit(t.root)
+}
+
+// NumCandidates returns the number of inserted candidates.
+func (t *PointerTree) NumCandidates() int { return int(t.nCand) }

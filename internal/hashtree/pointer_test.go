@@ -1,0 +1,103 @@
+package hashtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/itemset"
+)
+
+func TestPointerTreeMatchesArenaTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		k := 2 + rng.Intn(2)
+		seen := map[string]bool{}
+		var cands []itemset.Itemset
+		for i := 0; i < 80; i++ {
+			m := map[itemset.Item]bool{}
+			for len(m) < k {
+				m[itemset.Item(rng.Intn(20))] = true
+			}
+			var s itemset.Itemset
+			for it := range m {
+				s = append(s, it)
+			}
+			c := itemset.New(s...)
+			if !seen[c.Key()] {
+				seen[c.Key()] = true
+				cands = append(cands, c)
+			}
+		}
+		txs := randomTxs(rng, 60, 10, 20)
+		cfg := Config{K: k, Fanout: 3, Threshold: 2, Hash: HashKind(rng.Intn(2)), NumItems: 20}
+
+		arena, err := Build(cfg, cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counters := arena.CountDatabase(txs, CountOpts{ShortCircuit: true})
+		want := map[string]int64{}
+		arena.ForEachCandidate(func(id int32) {
+			want[arena.Candidate(id).Key()] = counters.Count(id)
+		})
+
+		for _, sc := range []bool{false, true} {
+			ptr, err := BuildPointer(cfg, cands)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ptr.NumCandidates() != len(cands) {
+				t.Fatalf("pointer tree stored %d/%d", ptr.NumCandidates(), len(cands))
+			}
+			ctx := ptr.NewCountCtx(sc)
+			for _, tx := range txs {
+				ctx.CountTransaction(tx)
+			}
+			got := map[string]int64{}
+			ptr.ForEachCandidate(func(items itemset.Itemset, count int64) {
+				got[items.Key()] = count
+			})
+			if len(got) != len(want) {
+				t.Fatalf("trial %d sc=%v: %d candidates, want %d", trial, sc, len(got), len(want))
+			}
+			for key, c := range want {
+				if got[key] != c {
+					ks, _ := itemset.ParseKey(key)
+					t.Fatalf("trial %d sc=%v: %v = %d, want %d", trial, sc, ks, got[key], c)
+				}
+			}
+		}
+	}
+}
+
+func TestPointerTreeRejectsBadInput(t *testing.T) {
+	ptr := NewPointerTree(Config{K: 2, Fanout: 2, NumItems: 8})
+	if _, err := ptr.Insert(itemset.New(1)); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if _, err := ptr.Insert(itemset.Itemset{3, 1}); err == nil {
+		t.Error("unsorted accepted")
+	}
+}
+
+func TestPointerTreeAdaptiveFanout(t *testing.T) {
+	cands := combinations(15, 2)
+	ptr, err := BuildPointer(Config{K: 2, Threshold: 4, NumItems: 15}, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ptr.cfg.Fanout != AdaptiveFanout(int64(len(cands)), 4, 2) {
+		t.Errorf("fanout = %d", ptr.cfg.Fanout)
+	}
+}
+
+func TestPointerTreeShortTransaction(t *testing.T) {
+	ptr, _ := BuildPointer(Config{K: 3, Fanout: 2, Threshold: 2, NumItems: 8}, combinations(8, 3))
+	ctx := ptr.NewCountCtx(true)
+	ctx.CountTransaction(itemset.New(1, 2)) // shorter than K
+	ptr.ForEachCandidate(func(items itemset.Itemset, count int64) {
+		if count != 0 {
+			t.Fatalf("short transaction counted %v", items)
+		}
+	})
+}

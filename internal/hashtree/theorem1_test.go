@@ -1,0 +1,88 @@
+package hashtree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/itemset"
+)
+
+// TestTheorem1LeafDistribution checks the practical content of Theorem 1:
+// over the full k-itemset space, the bitonic hash puts a (1-1/H)^(k-1)
+// fraction of leaves close to the average occupancy, while the interleaved
+// (mod) hash leaves at most ~2/3 of leaves close for odd k (and none for
+// even k). We measure the dispersion of itemsets-per-leaf for both hash
+// functions over the complete C(d, k) itemset space and require the bitonic
+// coefficient of variation to be at most the interleaved one.
+func TestTheorem1LeafDistribution(t *testing.T) {
+	const (
+		d = 24 // items, divisible by 2H
+		h = 4  // fan-out H; d/2H = 3 ≥ 1
+	)
+	for _, k := range []int{2, 3, 4} {
+		universe := make(itemset.Itemset, d)
+		for i := range universe {
+			universe[i] = itemset.Item(i)
+		}
+		// Count itemsets per leaf signature (h(a1), …, h(ak)) directly —
+		// the mapping S of the theorem.
+		occupancy := func(kind HashKind) []int64 {
+			cfg := Config{K: k, Fanout: h, Hash: kind, NumItems: d}
+			tr := New(cfg)
+			counts := map[string]int64{}
+			universe.ForEachSubset(k, func(s itemset.Itemset) bool {
+				sig := make([]byte, k)
+				for i, it := range s {
+					sig[i] = byte(tr.cell(it))
+				}
+				counts[string(sig)]++
+				return true
+			})
+			out := make([]int64, 0, len(counts))
+			for _, c := range counts {
+				out = append(out, c)
+			}
+			return out
+		}
+		cv := func(v []int64) float64 {
+			if len(v) == 0 {
+				return 0
+			}
+			var sum float64
+			for _, x := range v {
+				sum += float64(x)
+			}
+			mean := sum / float64(len(v))
+			var ss float64
+			for _, x := range v {
+				dlt := float64(x) - mean
+				ss += dlt * dlt
+			}
+			return math.Sqrt(ss/float64(len(v))) / mean
+		}
+		biCV := cv(occupancy(HashBitonic))
+		ilCV := cv(occupancy(HashInterleaved))
+		if biCV > ilCV+1e-9 {
+			t.Errorf("k=%d: bitonic CV %.4f > interleaved CV %.4f", k, biCV, ilCV)
+		}
+		// Theorem's bound: max/mean ≤ e^(k²/(d/H)) for both functions.
+		bound := math.Exp(float64(k*k) / (float64(d) / float64(h)))
+		for _, kind := range []HashKind{HashBitonic, HashInterleaved} {
+			occ := occupancy(kind)
+			var max, sum float64
+			for _, c := range occ {
+				sum += float64(c)
+				if float64(c) > max {
+					max = float64(c)
+				}
+			}
+			// Average over the *full* leaf space T = H^k, as the theorem
+			// defines kGk/kTk (empty signatures count).
+			meanFull := sum / math.Pow(float64(h), float64(k))
+			if max/meanFull > bound+1e-9 {
+				t.Errorf("k=%d %v: max/mean %.3f exceeds theorem bound %.3f",
+					k, kind, max/meanFull, bound)
+			}
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package hashtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/itemset"
+)
+
+// combinations returns all k-subsets of the items [0, n).
+func combinations(n, k int) []itemset.Itemset {
+	universe := make(itemset.Itemset, n)
+	for i := range universe {
+		universe[i] = itemset.Item(i)
+	}
+	var out []itemset.Itemset
+	universe.ForEachSubset(k, func(s itemset.Itemset) bool {
+		out = append(out, s.Clone())
+		return true
+	})
+	return out
+}
+
+func TestInsertAndRetrieve(t *testing.T) {
+	tr := New(Config{K: 3, Fanout: 2, Threshold: 2, NumItems: 10})
+	cands := []itemset.Itemset{
+		itemset.New(0, 1, 2), itemset.New(0, 1, 3), itemset.New(1, 2, 4),
+		itemset.New(2, 3, 4), itemset.New(0, 3, 4), itemset.New(1, 3, 4),
+	}
+	for _, c := range cands {
+		if _, err := tr.Insert(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.NumCandidates() != len(cands) {
+		t.Fatalf("NumCandidates = %d", tr.NumCandidates())
+	}
+	// Every candidate must be discoverable by DFS.
+	var got []itemset.Itemset
+	tr.ForEachCandidate(func(id int32) {
+		got = append(got, tr.Candidate(id).Clone())
+	})
+	if len(got) != len(cands) {
+		t.Fatalf("DFS found %d candidates, want %d", len(got), len(cands))
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].Less(got[j]) })
+	want := make([]itemset.Itemset, len(cands))
+	copy(want, cands)
+	sort.Slice(want, func(i, j int) bool { return want[i].Less(want[j]) })
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("candidate %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInsertRejectsBadInput(t *testing.T) {
+	tr := New(Config{K: 3, Fanout: 2, Threshold: 2, NumItems: 10})
+	if _, err := tr.Insert(itemset.New(1, 2)); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if _, err := tr.Insert(itemset.Itemset{3, 2, 1}); err == nil {
+		t.Error("unsorted itemset accepted")
+	}
+}
+
+func TestLeafSplitRespectsThreshold(t *testing.T) {
+	tr := New(Config{K: 2, Fanout: 4, Threshold: 3, NumItems: 64})
+	for _, c := range combinations(12, 2) {
+		if _, err := tr.Insert(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tr.ComputeStats()
+	// No leaf above threshold unless it is at max depth K.
+	for _, n := range tr.nodes {
+		if n.isLeaf() && len(n.items) > 3 && int(n.depth) < 2 {
+			t.Errorf("splittable leaf at depth %d holds %d items", n.depth, len(n.items))
+		}
+	}
+	if st.MaxDepth > 2 {
+		t.Errorf("depth %d exceeds K", st.MaxDepth)
+	}
+	if st.Candidates != 66 {
+		t.Errorf("candidates = %d", st.Candidates)
+	}
+}
+
+func TestDeepLeafCanExceedThreshold(t *testing.T) {
+	// All candidates share the same hash path; at depth K the leaf must
+	// absorb them all.
+	tr := New(Config{K: 2, Fanout: 2, Threshold: 1, NumItems: 100})
+	// Items 0, 2, 4, ... all hash to cell 0 under mod 2.
+	for _, c := range []itemset.Itemset{
+		itemset.New(0, 2), itemset.New(0, 4), itemset.New(2, 4),
+		itemset.New(0, 6), itemset.New(2, 6), itemset.New(4, 6),
+	} {
+		if _, err := tr.Insert(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tr.ComputeStats()
+	if st.MaxDepth != 2 {
+		t.Errorf("max depth = %d, want 2", st.MaxDepth)
+	}
+	found := 0
+	tr.ForEachCandidate(func(int32) { found++ })
+	if found != 6 {
+		t.Errorf("found %d candidates", found)
+	}
+}
+
+func TestAdaptiveFanout(t *testing.T) {
+	// T·H^k > total: for 1000 candidates, T=10, k=2: H > 10 → 10 (ceil of sqrt(100)=10).
+	if h := AdaptiveFanout(1000, 10, 2); h != 10 {
+		t.Errorf("AdaptiveFanout(1000,10,2) = %d, want 10", h)
+	}
+	if h := AdaptiveFanout(0, 10, 2); h != 2 {
+		t.Errorf("empty → min fanout, got %d", h)
+	}
+	if h := AdaptiveFanout(1<<40, 1, 1); h != 512 {
+		t.Errorf("clamp to 512, got %d", h)
+	}
+	if h := AdaptiveFanout(100, 0, 0); h < 2 {
+		t.Errorf("degenerate params, got %d", h)
+	}
+}
+
+func TestBitonicTreeMoreBalancedThanInterleaved(t *testing.T) {
+	// Theorem 1's practical claim: for the same candidates, the bitonic
+	// hash yields a flatter itemsets-per-leaf distribution than mod.
+	cands := combinations(24, 3)
+	balance := func(kind HashKind) float64 {
+		tr, err := Build(Config{K: 3, Fanout: 3, Threshold: 4, Hash: kind, NumItems: 24}, cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.ComputeStats().MaxLeafRatio()
+	}
+	bi := balance(HashBitonic)
+	il := balance(HashInterleaved)
+	if bi > il {
+		t.Errorf("bitonic ratio %.3f > interleaved %.3f", bi, il)
+	}
+}
+
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	cands := combinations(20, 3)
+	seq, err := Build(Config{K: 3, Fanout: 4, Threshold: 3, NumItems: 20}, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ParallelBuild(Config{K: 3, Fanout: 4, Threshold: 3, NumItems: 20}, cands, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.NumCandidates() != par.NumCandidates() {
+		t.Fatalf("candidate counts differ: %d vs %d", seq.NumCandidates(), par.NumCandidates())
+	}
+	collect := func(tr *Tree) []string {
+		var keys []string
+		tr.ForEachCandidate(func(id int32) { keys = append(keys, tr.Candidate(id).Key()) })
+		sort.Strings(keys)
+		return keys
+	}
+	a, b := collect(seq), collect(par)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("candidate sets differ at %d", i)
+		}
+	}
+}
+
+func TestParallelBuildRace(t *testing.T) {
+	// Exercised under -race: concurrent inserts into one shared tree.
+	cands := combinations(30, 2) // 435 candidates
+	tr, err := ParallelBuild(Config{K: 2, Threshold: 4, NumItems: 30}, cands, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	tr.ForEachCandidate(func(int32) { n++ })
+	if n != len(cands) {
+		t.Errorf("parallel build lost candidates: %d/%d", n, len(cands))
+	}
+}
+
+func TestBuildAdaptiveFanoutSelected(t *testing.T) {
+	cands := combinations(30, 2)
+	tr, err := Build(Config{K: 2, Threshold: 4, NumItems: 30}, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := AdaptiveFanout(int64(len(cands)), 4, 2)
+	if tr.Config().Fanout != want {
+		t.Errorf("fanout = %d, want %d", tr.Config().Fanout, want)
+	}
+}
+
+func TestStatsBytesPositive(t *testing.T) {
+	tr, _ := Build(Config{K: 2, Fanout: 4, Threshold: 2, NumItems: 16}, combinations(16, 2))
+	st := tr.ComputeStats()
+	if st.Bytes <= 0 {
+		t.Error("Bytes should be positive")
+	}
+	if st.Nodes != st.Internal+st.Leaves {
+		t.Errorf("node accounting: %d != %d + %d", st.Nodes, st.Internal, st.Leaves)
+	}
+	total := 0
+	for _, l := range st.LeafSizes {
+		total += l
+	}
+	if total != st.Candidates {
+		t.Errorf("leaf sizes sum %d != candidates %d", total, st.Candidates)
+	}
+}
+
+func TestMaxLeafRatioEdge(t *testing.T) {
+	if (Stats{}).MaxLeafRatio() != 0 {
+		t.Error("empty stats ratio should be 0")
+	}
+}
+
+func TestHashKindString(t *testing.T) {
+	if HashBitonic.String() != "bitonic" || HashInterleaved.String() != "interleaved" {
+		t.Error("HashKind strings wrong")
+	}
+}
+
+func TestCellOutOfUniverse(t *testing.T) {
+	tr := New(Config{K: 1, Fanout: 3, NumItems: 4})
+	// Items beyond NumItems still map into range.
+	for i := itemset.Item(0); i < 100; i++ {
+		c := tr.cell(i)
+		if c < 0 || c >= 3 {
+			t.Fatalf("cell(%d) = %d", i, c)
+		}
+	}
+	trB := New(Config{K: 1, Fanout: 3, Hash: HashBitonic, NumItems: 4})
+	for i := itemset.Item(0); i < 100; i++ {
+		c := trB.cell(i)
+		if c < 0 || c >= 3 {
+			t.Fatalf("bitonic cell(%d) = %d", i, c)
+		}
+	}
+}
+
+// Property: random candidate sets are always fully recoverable via DFS,
+// regardless of fanout/threshold/hash combination.
+func TestInsertRecoverProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		k := 2 + rng.Intn(3)
+		fan := 2 + rng.Intn(6)
+		thr := 1 + rng.Intn(5)
+		kind := HashKind(rng.Intn(2))
+		seen := map[string]bool{}
+		var cands []itemset.Itemset
+		for i := 0; i < 100; i++ {
+			m := map[itemset.Item]bool{}
+			for len(m) < k {
+				m[itemset.Item(rng.Intn(40))] = true
+			}
+			var s itemset.Itemset
+			for it := range m {
+				s = append(s, it)
+			}
+			s = itemset.New(s...)
+			if !seen[s.Key()] {
+				seen[s.Key()] = true
+				cands = append(cands, s)
+			}
+		}
+		tr, err := Build(Config{K: k, Fanout: fan, Threshold: thr, Hash: kind, NumItems: 40}, cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]bool{}
+		tr.ForEachCandidate(func(id int32) { got[tr.Candidate(id).Key()] = true })
+		if len(got) != len(cands) {
+			t.Fatalf("trial %d (k=%d H=%d T=%d %v): recovered %d/%d",
+				trial, k, fan, thr, kind, len(got), len(cands))
+		}
+		for _, c := range cands {
+			if !got[c.Key()] {
+				t.Fatalf("trial %d: lost candidate %v", trial, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package itemset
+
+// EquivalenceClass groups the k-itemsets of a sorted frequent set F_k that
+// share a common (k-1)-length prefix. Per Section 3.1.1 of the paper,
+// candidates for iteration k+1 are formed only from item pairs within one
+// class, prefixed by the class identifier.
+type EquivalenceClass struct {
+	// Prefix is the common (k-1)-prefix (the class identifier). For F_1 the
+	// prefix is empty and there is exactly one class.
+	Prefix Itemset
+	// Tails are the distinct final items of the member itemsets, sorted.
+	Tails []Item
+}
+
+// Size returns the number of member itemsets |S_i|.
+func (c *EquivalenceClass) Size() int { return len(c.Tails) }
+
+// Pairs returns C(|S_i|, 2), the number of candidate itemsets the class can
+// generate by self-join.
+func (c *EquivalenceClass) Pairs() int64 {
+	n := int64(len(c.Tails))
+	return n * (n - 1) / 2
+}
+
+// Member reconstructs the i-th member itemset (prefix + tail).
+func (c *EquivalenceClass) Member(i int) Itemset {
+	out := make(Itemset, 0, len(c.Prefix)+1)
+	out = append(out, c.Prefix...)
+	out = append(out, c.Tails[i])
+	return out
+}
+
+// Classes partitions the lexicographically sorted k-itemsets fk into
+// equivalence classes by their common (k-1)-prefix. fk must be sorted; the
+// classes come out in lexicographic prefix order and each class's tails are
+// sorted. It runs in a single pass.
+func Classes(fk []Itemset) []EquivalenceClass {
+	var out []EquivalenceClass
+	for _, s := range fk {
+		if len(s) == 0 {
+			continue
+		}
+		prefix := s[:len(s)-1]
+		tail := s[len(s)-1]
+		if n := len(out); n > 0 && out[n-1].Prefix.Equal(prefix) {
+			out[n-1].Tails = append(out[n-1].Tails, tail)
+			continue
+		}
+		out = append(out, EquivalenceClass{Prefix: prefix.Clone(), Tails: []Item{tail}})
+	}
+	return out
+}
+
+// TotalJoinPairs sums Pairs over all classes: the number of join candidates
+// considered by the optimized join (vs C(|F_k|, 2) for the naive join).
+func TotalJoinPairs(classes []EquivalenceClass) int64 {
+	var total int64
+	for i := range classes {
+		total += classes[i].Pairs()
+	}
+	return total
+}

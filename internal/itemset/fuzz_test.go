@@ -1,0 +1,53 @@
+package itemset
+
+import "testing"
+
+// FuzzParseKey checks that arbitrary strings never panic the key parser and
+// that accepted keys round-trip through Key().
+func FuzzParseKey(f *testing.F) {
+	f.Add(New(1, 2, 3).Key())
+	f.Add("")
+	f.Add("abc")
+	f.Add("\x00\x00\x00\x00")
+	f.Fuzz(func(t *testing.T, key string) {
+		s, err := ParseKey(key)
+		if err != nil {
+			return
+		}
+		if s.Key() != key {
+			t.Fatalf("round trip: %q -> %v -> %q", key, s, s.Key())
+		}
+	})
+}
+
+// FuzzSubsetInvariants feeds arbitrary raw item lists through the itemset
+// constructor and checks representation invariants plus algebra laws.
+func FuzzSubsetInvariants(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{2, 3})
+	f.Add([]byte{}, []byte{5})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		mk := func(raw []byte) Itemset {
+			items := make([]Item, len(raw))
+			for i, v := range raw {
+				items[i] = Item(v)
+			}
+			return New(items...)
+		}
+		a, b := mk(rawA), mk(rawB)
+		if !a.IsSorted() || !b.IsSorted() {
+			t.Fatal("constructor produced unsorted itemset")
+		}
+		u := a.Union(b)
+		if !u.Contains(a) || !u.Contains(b) {
+			t.Fatalf("union %v misses operand %v/%v", u, a, b)
+		}
+		x := a.Intersect(b)
+		if !a.Contains(x) || !b.Contains(x) {
+			t.Fatalf("intersection %v not contained in operands", x)
+		}
+		m := a.Minus(b)
+		if m.Intersect(b).K() != 0 {
+			t.Fatalf("difference %v overlaps %v", m, b)
+		}
+	})
+}

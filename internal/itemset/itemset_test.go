@@ -1,0 +1,443 @@
+package itemset
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSortsAndDedups(t *testing.T) {
+	s := New(5, 1, 3, 1, 5, 2)
+	want := Itemset{1, 2, 3, 5}
+	if !s.Equal(want) {
+		t.Fatalf("New = %v, want %v", s, want)
+	}
+	if !s.IsSorted() {
+		t.Fatalf("New result not sorted: %v", s)
+	}
+}
+
+func TestNewEmpty(t *testing.T) {
+	s := New()
+	if s.K() != 0 {
+		t.Fatalf("empty K = %d", s.K())
+	}
+	if !s.IsSorted() {
+		t.Fatal("empty itemset should be sorted")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		a, b Itemset
+		want bool
+	}{
+		{New(1, 2, 3), New(1, 2, 3), true},
+		{New(1, 2, 3), New(1, 2), false},
+		{New(1, 2), New(1, 3), false},
+		{New(), New(), true},
+		{nil, New(), true},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareAndLess(t *testing.T) {
+	cases := []struct {
+		a, b Itemset
+		want int
+	}{
+		{New(1, 2), New(1, 3), -1},
+		{New(1, 3), New(1, 2), 1},
+		{New(1, 2), New(1, 2), 0},
+		{New(1), New(1, 2), -1}, // prefix sorts first
+		{New(1, 2), New(1), 1},
+		{New(), New(1), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.a.Less(c.b); got != (c.want < 0) {
+			t.Errorf("%v.Less(%v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := New(1, 4, 5, 9, 12)
+	for _, sub := range []Itemset{New(), New(1), New(5, 12), New(1, 4, 5, 9, 12)} {
+		if !s.Contains(sub) {
+			t.Errorf("%v should contain %v", s, sub)
+		}
+	}
+	for _, sub := range []Itemset{New(2), New(1, 6), New(1, 4, 5, 9, 12, 13), New(0)} {
+		if s.Contains(sub) {
+			t.Errorf("%v should not contain %v", s, sub)
+		}
+	}
+}
+
+func TestContainsItem(t *testing.T) {
+	s := New(2, 4, 8, 16)
+	for _, it := range []Item{2, 4, 8, 16} {
+		if !s.ContainsItem(it) {
+			t.Errorf("missing item %d", it)
+		}
+	}
+	for _, it := range []Item{0, 1, 3, 5, 17} {
+		if s.ContainsItem(it) {
+			t.Errorf("unexpected item %d", it)
+		}
+	}
+	if Itemset(nil).ContainsItem(1) {
+		t.Error("nil itemset contains nothing")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a, b := New(1, 3, 5, 7), New(3, 4, 5, 6)
+	if got, want := a.Union(b), New(1, 3, 4, 5, 6, 7); !got.Equal(want) {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+	if got, want := a.Intersect(b), New(3, 5); !got.Equal(want) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if got, want := a.Minus(b), New(1, 7); !got.Equal(want) {
+		t.Errorf("Minus = %v, want %v", got, want)
+	}
+	if got := a.Minus(a); got.K() != 0 {
+		t.Errorf("a-a = %v, want empty", got)
+	}
+}
+
+func TestWithoutIndex(t *testing.T) {
+	s := New(10, 20, 30)
+	cases := []struct {
+		idx  int
+		want Itemset
+	}{
+		{0, New(20, 30)},
+		{1, New(10, 30)},
+		{2, New(10, 20)},
+	}
+	for _, c := range cases {
+		if got := s.WithoutIndex(c.idx); !got.Equal(c.want) {
+			t.Errorf("WithoutIndex(%d) = %v, want %v", c.idx, got, c.want)
+		}
+	}
+	// Original must be unchanged.
+	if !s.Equal(New(10, 20, 30)) {
+		t.Errorf("WithoutIndex mutated receiver: %v", s)
+	}
+}
+
+func TestHasPrefix(t *testing.T) {
+	s := New(1, 2, 3, 4)
+	if !s.HasPrefix(New()) || !s.HasPrefix(New(1)) || !s.HasPrefix(New(1, 2, 3)) {
+		t.Error("prefix checks failed")
+	}
+	if s.HasPrefix(New(2)) || s.HasPrefix(New(1, 3)) || s.HasPrefix(New(1, 2, 3, 4, 5)) {
+		t.Error("non-prefixes accepted")
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	sets := []Itemset{New(), New(0), New(1, 2, 3), New(1000000, 2000000)}
+	for _, s := range sets {
+		got, err := ParseKey(s.Key())
+		if err != nil {
+			t.Fatalf("ParseKey(%v): %v", s, err)
+		}
+		if !got.Equal(s) {
+			t.Errorf("round trip %v -> %v", s, got)
+		}
+	}
+	if _, err := ParseKey("abc"); err == nil {
+		t.Error("ParseKey should reject non-multiple-of-4 keys")
+	}
+}
+
+func TestKeyInjective(t *testing.T) {
+	seen := map[string]Itemset{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(6)
+		items := make([]Item, n)
+		for j := range items {
+			items[j] = Item(rng.Intn(1000))
+		}
+		s := New(items...)
+		k := s.Key()
+		if prev, ok := seen[k]; ok && !prev.Equal(s) {
+			t.Fatalf("key collision: %v vs %v", prev, s)
+		}
+		seen[k] = s
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(1, 4, 5).String(); got != "(1 4 5)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New().String(); got != "()" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestForEachSubsetLexOrder(t *testing.T) {
+	s := New(1, 2, 3, 4)
+	var got []Itemset
+	s.ForEachSubset(2, func(sub Itemset) bool {
+		got = append(got, sub.Clone())
+		return true
+	})
+	want := []Itemset{
+		New(1, 2), New(1, 3), New(1, 4),
+		New(2, 3), New(2, 4), New(3, 4),
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d subsets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("subset %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestForEachSubsetEdges(t *testing.T) {
+	s := New(1, 2, 3)
+	count := 0
+	s.ForEachSubset(0, func(Itemset) bool { count++; return true })
+	if count != 0 {
+		t.Error("k=0 should enumerate nothing")
+	}
+	s.ForEachSubset(4, func(Itemset) bool { count++; return true })
+	if count != 0 {
+		t.Error("k>len should enumerate nothing")
+	}
+	s.ForEachSubset(3, func(sub Itemset) bool {
+		count++
+		if !sub.Equal(s) {
+			t.Errorf("k=len subset = %v", sub)
+		}
+		return true
+	})
+	if count != 1 {
+		t.Errorf("k=len should enumerate once, got %d", count)
+	}
+}
+
+func TestForEachSubsetEarlyStop(t *testing.T) {
+	s := New(1, 2, 3, 4, 5)
+	count := 0
+	s.ForEachSubset(2, func(Itemset) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop after 3, got %d calls", count)
+	}
+}
+
+func TestForEachSubsetCount(t *testing.T) {
+	s := New(0, 1, 2, 3, 4, 5, 6, 7)
+	for k := 1; k <= 8; k++ {
+		count := int64(0)
+		s.ForEachSubset(k, func(Itemset) bool { count++; return true })
+		if want := Binomial(8, k); count != want {
+			t.Errorf("k=%d: %d subsets, want %d", k, count, want)
+		}
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{5, 6, 0}, {5, -1, 0}, {52, 5, 2598960},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got != c.want {
+			t.Errorf("Binomial(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+	// Saturation, not overflow.
+	if got := Binomial(1000, 500); got != int64(1)<<62 {
+		t.Errorf("Binomial(1000,500) should saturate, got %d", got)
+	}
+}
+
+// Property: Contains(sub) agrees with a map-based membership oracle.
+func TestContainsProperty(t *testing.T) {
+	f := func(raw []uint16, rawSub []uint16) bool {
+		items := make([]Item, len(raw))
+		for i, v := range raw {
+			items[i] = Item(v % 64)
+		}
+		s := New(items...)
+		subItems := make([]Item, 0, len(rawSub))
+		for _, v := range rawSub {
+			subItems = append(subItems, Item(v%64))
+		}
+		sub := New(subItems...)
+		inSet := map[Item]bool{}
+		for _, it := range s {
+			inSet[it] = true
+		}
+		want := true
+		for _, it := range sub {
+			if !inSet[it] {
+				want = false
+				break
+			}
+		}
+		return s.Contains(sub) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Union/Intersect/Minus obey |A∪B| = |A|+|B|-|A∩B| and results sorted.
+func TestAlgebraProperty(t *testing.T) {
+	f := func(ra, rb []uint16) bool {
+		mk := func(raw []uint16) Itemset {
+			items := make([]Item, len(raw))
+			for i, v := range raw {
+				items[i] = Item(v % 128)
+			}
+			return New(items...)
+		}
+		a, b := mk(ra), mk(rb)
+		u, x, m := a.Union(b), a.Intersect(b), a.Minus(b)
+		if !u.IsSorted() || !x.IsSorted() || !m.IsSorted() {
+			return false
+		}
+		if len(u) != len(a)+len(b)-len(x) {
+			return false
+		}
+		return len(m) == len(a)-len(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClasses(t *testing.T) {
+	// F_2 with three prefix classes.
+	f2 := []Itemset{
+		New(1, 2), New(1, 4), New(1, 5),
+		New(2, 3),
+		New(4, 5), New(4, 7),
+	}
+	cls := Classes(f2)
+	if len(cls) != 3 {
+		t.Fatalf("got %d classes, want 3", len(cls))
+	}
+	if !cls[0].Prefix.Equal(New(1)) || !reflect.DeepEqual(cls[0].Tails, []Item{2, 4, 5}) {
+		t.Errorf("class 0 = %+v", cls[0])
+	}
+	if !cls[1].Prefix.Equal(New(2)) || len(cls[1].Tails) != 1 {
+		t.Errorf("class 1 = %+v", cls[1])
+	}
+	if !cls[2].Prefix.Equal(New(4)) || !reflect.DeepEqual(cls[2].Tails, []Item{5, 7}) {
+		t.Errorf("class 2 = %+v", cls[2])
+	}
+	if got := TotalJoinPairs(cls); got != 3+0+1 {
+		t.Errorf("TotalJoinPairs = %d, want 4", got)
+	}
+}
+
+func TestClassesF1SingleClass(t *testing.T) {
+	// F_1 has a null prefix: exactly one class (Section 3.1.2 example).
+	var f1 []Itemset
+	for i := Item(0); i < 10; i++ {
+		f1 = append(f1, New(i))
+	}
+	cls := Classes(f1)
+	if len(cls) != 1 {
+		t.Fatalf("F1 should form one class, got %d", len(cls))
+	}
+	if cls[0].Size() != 10 {
+		t.Errorf("class size = %d", cls[0].Size())
+	}
+	if cls[0].Pairs() != 45 {
+		t.Errorf("pairs = %d, want 45", cls[0].Pairs())
+	}
+	if got := cls[0].Member(3); !got.Equal(New(3)) {
+		t.Errorf("Member(3) = %v", got)
+	}
+}
+
+func TestClassesEmptyAndDegenerate(t *testing.T) {
+	if got := Classes(nil); len(got) != 0 {
+		t.Errorf("Classes(nil) = %v", got)
+	}
+	if got := Classes([]Itemset{{}}); len(got) != 0 {
+		t.Errorf("Classes of empty itemsets = %v", got)
+	}
+}
+
+func TestClassMember(t *testing.T) {
+	cls := Classes([]Itemset{New(3, 7, 9), New(3, 7, 12)})
+	if len(cls) != 1 {
+		t.Fatalf("want one class, got %d", len(cls))
+	}
+	if got := cls[0].Member(1); !got.Equal(New(3, 7, 12)) {
+		t.Errorf("Member(1) = %v", got)
+	}
+}
+
+// Property: Classes reconstructs exactly the input itemsets, in order.
+func TestClassesReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		k := 2 + rng.Intn(3)
+		seen := map[string]bool{}
+		var fk []Itemset
+		for i := 0; i < 30; i++ {
+			items := make([]Item, 0, k)
+			for len(items) < k {
+				it := Item(rng.Intn(20))
+				dup := false
+				for _, x := range items {
+					if x == it {
+						dup = true
+					}
+				}
+				if !dup {
+					items = append(items, it)
+				}
+			}
+			s := New(items...)
+			if !seen[s.Key()] {
+				seen[s.Key()] = true
+				fk = append(fk, s)
+			}
+		}
+		sort.Slice(fk, func(i, j int) bool { return fk[i].Less(fk[j]) })
+		var rebuilt []Itemset
+		for _, c := range Classes(fk) {
+			for i := 0; i < c.Size(); i++ {
+				rebuilt = append(rebuilt, c.Member(i))
+			}
+		}
+		if len(rebuilt) != len(fk) {
+			t.Fatalf("trial %d: rebuilt %d, want %d", trial, len(rebuilt), len(fk))
+		}
+		for i := range fk {
+			if !rebuilt[i].Equal(fk[i]) {
+				t.Fatalf("trial %d: item %d = %v, want %v", trial, i, rebuilt[i], fk[i])
+			}
+		}
+	}
+}

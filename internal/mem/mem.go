@@ -1,0 +1,173 @@
+// Package mem implements the custom memory placement library of Section 5
+// of the paper over a *virtual* address space. The Go runtime does not allow
+// explicit control of heap placement (the repro constraint: GC and runtime
+// limit explicit placement policies), so placement policies assign virtual
+// addresses to the hash-tree building blocks — hash tree nodes (HTN), hash
+// tables (HTNP), itemset list headers (ILH), list nodes (LN), itemsets,
+// locks and counters — and the counting phase replays its access pattern
+// against these addresses through the cache simulator. The policy surface
+// matches the paper: scattered malloc with boundary tags (CCPD), a common
+// bump region (SPP), reservation-grouped allocation (LPP), depth-first
+// remapping (GPP), segregated lock/counter regions (L-*), and per-processor
+// private counter regions (LCA).
+package mem
+
+import "fmt"
+
+// Addr is a virtual byte address.
+type Addr uint64
+
+// BlockKind labels the hash-tree building blocks named in Fig. 3/5 of the
+// paper plus the read-write metadata (locks, counters) that Section 5.2
+// segregates.
+type BlockKind uint8
+
+const (
+	KindHTN     BlockKind = iota // hash tree node header
+	KindHTNP                     // hash table pointer array
+	KindILH                      // itemset list header
+	KindLN                       // list node
+	KindItemset                  // the itemset payload
+	KindLock                     // per-itemset or per-node lock word
+	KindCounter                  // support counter
+	numKinds
+)
+
+func (k BlockKind) String() string {
+	switch k {
+	case KindHTN:
+		return "HTN"
+	case KindHTNP:
+		return "HTNP"
+	case KindILH:
+		return "ILH"
+	case KindLN:
+		return "LN"
+	case KindItemset:
+		return "Itemset"
+	case KindLock:
+		return "Lock"
+	case KindCounter:
+		return "Counter"
+	}
+	return fmt.Sprintf("BlockKind(%d)", uint8(k))
+}
+
+// Block is one placed allocation.
+type Block struct {
+	Kind BlockKind
+	Addr Addr
+	Size uint32
+}
+
+// Policy identifies a placement policy from Section 5/6.4.
+type Policy int
+
+const (
+	// PolicyCCPD is the base case: standard Unix malloc with boundary tags
+	// and scattered reuse.
+	PolicyCCPD Policy = iota
+	// PolicySPP allocates every building block sequentially from one common
+	// region in creation order.
+	PolicySPP
+	// PolicyLPP groups related blocks via a reservation mechanism: LN with
+	// its Itemset, HTN with its ILH.
+	PolicyLPP
+	// PolicyGPP builds like SPP and then remaps the whole tree in
+	// depth-first traversal order.
+	PolicyGPP
+	// PolicyLSPP / PolicyLLPP / PolicyLGPP add a segregated region for
+	// locks and counters (read-write data) to the corresponding base policy.
+	PolicyLSPP
+	PolicyLLPP
+	PolicyLGPP
+	// PolicyLCAGPP is GPP with per-processor private counter arrays
+	// (privatize-and-reduce); locks disappear entirely.
+	PolicyLCAGPP
+)
+
+var policyNames = map[Policy]string{
+	PolicyCCPD:   "CCPD",
+	PolicySPP:    "SPP",
+	PolicyLPP:    "LPP",
+	PolicyGPP:    "GPP",
+	PolicyLSPP:   "L-SPP",
+	PolicyLLPP:   "L-LPP",
+	PolicyLGPP:   "L-GPP",
+	PolicyLCAGPP: "LCA-GPP",
+}
+
+func (p Policy) String() string {
+	if s, ok := policyNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// AllPolicies lists every policy in paper order (Fig. 13 x-axis order).
+var AllPolicies = []Policy{
+	PolicyCCPD, PolicySPP, PolicyLSPP, PolicyLLPP, PolicyGPP, PolicyLGPP, PolicyLCAGPP,
+}
+
+// SegregatesRW reports whether the policy places locks and counters in a
+// separate region from the read-only tree data.
+func (p Policy) SegregatesRW() bool {
+	switch p {
+	case PolicyLSPP, PolicyLLPP, PolicyLGPP, PolicyLCAGPP:
+		return true
+	}
+	return false
+}
+
+// Remaps reports whether the policy performs the GPP depth-first remap.
+func (p Policy) Remaps() bool {
+	switch p {
+	case PolicyGPP, PolicyLGPP, PolicyLCAGPP:
+		return true
+	}
+	return false
+}
+
+// GroupsLocally reports whether the policy uses LPP reservation grouping.
+func (p Policy) GroupsLocally() bool {
+	return p == PolicyLPP || p == PolicyLLPP
+}
+
+// PrivatizesCounters reports whether counters live in per-processor private
+// regions (LCA).
+func (p Policy) PrivatizesCounters() bool { return p == PolicyLCAGPP }
+
+// Region is a bump allocator over a span of the virtual address space.
+type Region struct {
+	Name string
+	Base Addr
+	next Addr
+	End  Addr
+}
+
+// NewRegion creates a region spanning [base, base+size).
+func NewRegion(name string, base Addr, size uint64) *Region {
+	return &Region{Name: name, Base: base, next: base, End: base + Addr(size)}
+}
+
+// Alloc reserves size bytes aligned to align (a power of two) and returns
+// the address. Regions are virtual, so exhaustion indicates a sizing bug;
+// Alloc panics rather than corrupting the experiment silently.
+func (r *Region) Alloc(size uint64, align uint64) Addr {
+	if align == 0 {
+		align = 1
+	}
+	a := (uint64(r.next) + align - 1) &^ (align - 1)
+	if Addr(a+size) > r.End {
+		panic(fmt.Sprintf("mem: region %s exhausted (%d bytes requested at %#x, end %#x)", r.Name, size, a, r.End))
+	}
+	r.next = Addr(a + size)
+	return Addr(a)
+}
+
+// Used returns the number of bytes consumed so far.
+func (r *Region) Used() uint64 { return uint64(r.next - r.Base) }
+
+// Reset rewinds the region to empty — the "faster memory freeing option"
+// (delete aggregation) of the custom library.
+func (r *Region) Reset() { r.next = r.Base }

@@ -1,0 +1,269 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegionAlloc(t *testing.T) {
+	r := NewRegion("t", 1000, 100)
+	a := r.Alloc(10, 8)
+	if a != 1000 {
+		t.Errorf("first alloc at %d, want 1000", a)
+	}
+	b := r.Alloc(4, 8)
+	if b != 1016 { // 1010 rounded up to 8
+		t.Errorf("second alloc at %d, want 1016", b)
+	}
+	if r.Used() != 20 {
+		t.Errorf("Used = %d", r.Used())
+	}
+	r.Reset()
+	if r.Used() != 0 || r.Alloc(8, 8) != 1000 {
+		t.Error("Reset did not rewind")
+	}
+}
+
+func TestRegionExhaustionPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("exhausted region should panic")
+		} else if !strings.Contains(r.(string), "exhausted") {
+			t.Errorf("unexpected panic: %v", r)
+		}
+	}()
+	r := NewRegion("small", 0, 16)
+	r.Alloc(32, 1)
+}
+
+func TestRegionAlignDefault(t *testing.T) {
+	r := NewRegion("t", 7, 100)
+	if a := r.Alloc(3, 0); a != 7 {
+		t.Errorf("align 0 should behave as 1; got %d", a)
+	}
+}
+
+func TestPolicyPredicates(t *testing.T) {
+	cases := []struct {
+		p                          Policy
+		segregates, remaps, groups bool
+		privatizes                 bool
+	}{
+		{PolicyCCPD, false, false, false, false},
+		{PolicySPP, false, false, false, false},
+		{PolicyLPP, false, false, true, false},
+		{PolicyGPP, false, true, false, false},
+		{PolicyLSPP, true, false, false, false},
+		{PolicyLLPP, true, false, true, false},
+		{PolicyLGPP, true, true, false, false},
+		{PolicyLCAGPP, true, true, false, true},
+	}
+	for _, c := range cases {
+		if c.p.SegregatesRW() != c.segregates {
+			t.Errorf("%v SegregatesRW = %v", c.p, c.p.SegregatesRW())
+		}
+		if c.p.Remaps() != c.remaps {
+			t.Errorf("%v Remaps = %v", c.p, c.p.Remaps())
+		}
+		if c.p.GroupsLocally() != c.groups {
+			t.Errorf("%v GroupsLocally = %v", c.p, c.p.GroupsLocally())
+		}
+		if c.p.PrivatizesCounters() != c.privatizes {
+			t.Errorf("%v PrivatizesCounters = %v", c.p, c.p.PrivatizesCounters())
+		}
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for _, p := range AllPolicies {
+		if s := p.String(); strings.HasPrefix(s, "Policy(") {
+			t.Errorf("missing name for policy %d", int(p))
+		}
+	}
+	if Policy(99).String() != "Policy(99)" {
+		t.Error("unknown policy String")
+	}
+	if PolicyLCAGPP.String() != "LCA-GPP" {
+		t.Errorf("LCAGPP = %q", PolicyLCAGPP.String())
+	}
+}
+
+func TestBlockKindStrings(t *testing.T) {
+	for k := BlockKind(0); k < numKinds; k++ {
+		if strings.HasPrefix(k.String(), "BlockKind(") {
+			t.Errorf("missing name for kind %d", k)
+		}
+	}
+}
+
+func TestSPPContiguity(t *testing.T) {
+	pl := NewPlacer(PolicySPP, 1, 64)
+	a := pl.Place(KindHTN, 16)
+	b := pl.Place(KindHTNP, 32)
+	c := pl.Place(KindILH, 8)
+	if b != a+16 || c != b+32 {
+		t.Errorf("SPP not contiguous: %d %d %d", a, b, c)
+	}
+}
+
+func TestCCPDScatters(t *testing.T) {
+	pl := NewPlacer(PolicyCCPD, 1, 64)
+	// Same-size-class allocations should not be line-adjacent in general:
+	// at least one of a run must land on a different line than its
+	// predecessor + size.
+	adjacent := 0
+	prev := pl.Place(KindLN, 16)
+	for i := 0; i < 50; i++ {
+		a := pl.Place(KindLN, 16)
+		if a == prev+16 {
+			adjacent++
+		}
+		prev = a
+	}
+	if adjacent > 25 {
+		t.Errorf("scatter heap too sequential: %d/50 adjacent", adjacent)
+	}
+	// Different kinds land in well-separated bins when sizes differ.
+	h := pl.Place(KindHTNP, 256)
+	l := pl.Place(KindLN, 16)
+	if diff := int64(h) - int64(l); diff < 0 {
+		diff = -diff
+	}
+}
+
+func TestCCPDDeterministic(t *testing.T) {
+	p1 := NewPlacer(PolicyCCPD, 1, 64)
+	p2 := NewPlacer(PolicyCCPD, 1, 64)
+	for i := 0; i < 20; i++ {
+		if p1.Place(KindLN, 16) != p2.Place(KindLN, 16) {
+			t.Fatal("scatter heap not deterministic")
+		}
+	}
+}
+
+func TestLPPGrouping(t *testing.T) {
+	pl := NewPlacer(PolicyLPP, 1, 64)
+	addrs := pl.PlaceGroup([]BlockKind{KindLN, KindItemset}, []uint32{16, 12})
+	if addrs[1] != addrs[0]+16 {
+		t.Errorf("LPP group not adjacent: %v", addrs)
+	}
+	// Under SPP PlaceGroup is also contiguous (creation order).
+	pl2 := NewPlacer(PolicySPP, 1, 64)
+	a2 := pl2.PlaceGroup([]BlockKind{KindLN, KindItemset}, []uint32{16, 12})
+	if a2[1] != a2[0]+16 {
+		t.Errorf("SPP sequential group not adjacent: %v", a2)
+	}
+}
+
+func TestLLPPGroupSegregatesLocks(t *testing.T) {
+	pl := NewPlacer(PolicyLLPP, 1, 64)
+	addrs := pl.PlaceGroup(
+		[]BlockKind{KindLN, KindItemset, KindCounter, KindLock},
+		[]uint32{16, 12, 4, 4})
+	if addrs[1] != addrs[0]+16 {
+		t.Error("payload blocks should stay grouped")
+	}
+	if addrs[2] < spanRW || addrs[2] >= spanPriv {
+		t.Errorf("counter at %#x, want rw region", addrs[2])
+	}
+	if addrs[3] < spanRW || addrs[3] >= spanPriv {
+		t.Errorf("lock at %#x, want rw region", addrs[3])
+	}
+}
+
+func TestSegregatedRegions(t *testing.T) {
+	pl := NewPlacer(PolicyLSPP, 1, 64)
+	tree := pl.Place(KindHTN, 16)
+	lock := pl.Place(KindLock, 4)
+	ctr := pl.Place(KindCounter, 4)
+	if tree < spanTree || tree >= spanRemap {
+		t.Errorf("tree block at %#x", tree)
+	}
+	if lock < spanRW || ctr < spanRW {
+		t.Errorf("lock/counter not segregated: %#x %#x", lock, ctr)
+	}
+	// Non-segregating policies put counters inline in the tree region.
+	pl2 := NewPlacer(PolicySPP, 1, 64)
+	c2 := pl2.Place(KindCounter, 4)
+	if c2 < spanTree || c2 >= spanRemap {
+		t.Errorf("SPP counter at %#x, want tree region", c2)
+	}
+}
+
+func TestPrivateCounters(t *testing.T) {
+	pl := NewPlacer(PolicyLCAGPP, 4, 64)
+	a0 := pl.PlacePrivateCounter(0, 4)
+	a3 := pl.PlacePrivateCounter(3, 4)
+	if a0 < spanPriv || a3 < spanPriv {
+		t.Errorf("private counters outside private span: %#x %#x", a0, a3)
+	}
+	if a3-a0 < privStride {
+		t.Errorf("procs 0 and 3 too close: %#x %#x", a0, a3)
+	}
+}
+
+func TestRemap(t *testing.T) {
+	pl := NewPlacer(PolicyGPP, 1, 64)
+	a := pl.Place(KindHTN, 16)
+	b := pl.Place(KindHTNP, 32)
+	c := pl.Place(KindLN, 16)
+	// DFS order visits c before b.
+	tr := pl.Remap([]Addr{a, c, b})
+	if len(tr) != 3 {
+		t.Fatalf("translated %d blocks", len(tr))
+	}
+	if tr[c] >= tr[b] {
+		t.Errorf("DFS order not respected: c→%#x b→%#x", tr[c], tr[b])
+	}
+	if tr[a] < spanRemap {
+		t.Errorf("remap target %#x outside remap region", tr[a])
+	}
+	// Placer's own records must be rewritten.
+	for _, blk := range pl.Blocks() {
+		if blk.Addr < spanRemap || blk.Addr >= spanRW {
+			t.Errorf("block %v not rewritten", blk)
+		}
+	}
+	// Unknown and duplicate addresses are ignored gracefully.
+	tr2 := pl.Remap([]Addr{Addr(1), tr[a], tr[a]})
+	if len(tr2) != 1 {
+		t.Errorf("remap of unknown/dup: %d entries", len(tr2))
+	}
+}
+
+func TestPlacerReset(t *testing.T) {
+	pl := NewPlacer(PolicyLSPP, 2, 64)
+	pl.Place(KindHTN, 16)
+	pl.Place(KindLock, 4)
+	pl.PlacePrivateCounter(1, 4)
+	pl.Reset()
+	tree, rw, priv := pl.BytesUsed()
+	if tree != 0 || rw != 0 || priv != 0 {
+		t.Errorf("Reset left %d/%d/%d bytes", tree, rw, priv)
+	}
+	if len(pl.Blocks()) != 0 {
+		t.Error("Reset left blocks")
+	}
+}
+
+func TestBytesUsed(t *testing.T) {
+	pl := NewPlacer(PolicyLSPP, 1, 64)
+	pl.Place(KindHTN, 16)
+	pl.Place(KindCounter, 4)
+	tree, rw, _ := pl.BytesUsed()
+	if tree < 16 || rw < 4 {
+		t.Errorf("BytesUsed = %d/%d", tree, rw)
+	}
+}
+
+func TestBinFor(t *testing.T) {
+	if binFor(1) != 0 || binFor(8) != 0 {
+		t.Error("small sizes → bin 0")
+	}
+	if binFor(9) != 1 || binFor(16) != 1 {
+		t.Error("≤16 → bin 1")
+	}
+	if binFor(1<<40) != numBins-1 {
+		t.Error("huge sizes clamp to last bin")
+	}
+}

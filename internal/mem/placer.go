@@ -1,0 +1,232 @@
+package mem
+
+// Placer assigns virtual addresses to hash-tree building blocks according to
+// one placement policy. The address space is carved into disjoint gigabyte
+// spans so regions can never collide:
+//
+//	[1G, 2G)   scattered malloc heap (CCPD)
+//	[2G, 3G)   common tree region (SPP/LPP, and the GPP build phase)
+//	[3G, 4G)   GPP remap target region
+//	[4G, 5G)   segregated lock/counter region (L-*)
+//	[5G, …)    per-processor private counter regions (LCA), 256M each
+type Placer struct {
+	Policy Policy
+	// Line is the coherence block size used for malloc modelling; 64 bytes
+	// matches the SGI Challenge secondary line and modern CPUs.
+	Line uint64
+
+	tree   *Region
+	remap  *Region
+	rw     *Region
+	priv   []*Region
+	malloc *scatterHeap
+
+	// blocks records every placed block in creation order; GPP remapping
+	// rewrites Addr in place via the returned translation table.
+	blocks []Block
+}
+
+const (
+	spanMalloc = 1 << 30
+	spanTree   = 2 << 30
+	spanRemap  = 3 << 30
+	spanRW     = 4 << 30
+	spanPriv   = 5 << 30
+	privStride = 256 << 20
+)
+
+// NewPlacer builds a placer for the given policy and processor count.
+func NewPlacer(p Policy, procs int, line uint64) *Placer {
+	if line == 0 {
+		line = 64
+	}
+	pl := &Placer{
+		Policy: p,
+		Line:   line,
+		tree:   NewRegion("tree", spanTree, 1<<30),
+		remap:  NewRegion("remap", spanRemap, 1<<30),
+		rw:     NewRegion("rw", spanRW, 1<<30),
+		malloc: newScatterHeap(spanMalloc, 1<<30, line),
+	}
+	for i := 0; i < procs; i++ {
+		pl.priv = append(pl.priv, NewRegion("priv", Addr(spanPriv+uint64(i)*privStride), privStride))
+	}
+	return pl
+}
+
+// Place allocates one block of the given kind.
+func (pl *Placer) Place(kind BlockKind, size uint32) Addr {
+	var a Addr
+	if pl.Policy == PolicyCCPD {
+		a = pl.malloc.alloc(uint64(size))
+	} else if pl.Policy.SegregatesRW() && (kind == KindLock || kind == KindCounter) {
+		a = pl.rw.Alloc(uint64(size), 4)
+	} else {
+		a = pl.tree.Alloc(uint64(size), 8)
+	}
+	pl.blocks = append(pl.blocks, Block{Kind: kind, Addr: a, Size: size})
+	return a
+}
+
+// PlaceGroup allocates several blocks contiguously — the LPP "reservation"
+// mechanism that keeps an LN with its Itemset and an HTN with its ILH
+// adjacent. Under non-grouping policies it degrades to sequential Place
+// calls, which for SPP/GPP is contiguous anyway and for CCPD is scattered.
+func (pl *Placer) PlaceGroup(kinds []BlockKind, sizes []uint32) []Addr {
+	out := make([]Addr, len(kinds))
+	if pl.Policy.GroupsLocally() {
+		var total uint64
+		for _, s := range sizes {
+			total += uint64(s)
+		}
+		base := pl.tree.Alloc(total, 8)
+		off := Addr(0)
+		for i := range kinds {
+			// Segregated kinds still go to the rw region even when the rest
+			// of the group is reserved together.
+			if pl.Policy.SegregatesRW() && (kinds[i] == KindLock || kinds[i] == KindCounter) {
+				out[i] = pl.rw.Alloc(uint64(sizes[i]), 4)
+			} else {
+				out[i] = base + off
+				off += Addr(sizes[i])
+			}
+			pl.blocks = append(pl.blocks, Block{Kind: kinds[i], Addr: out[i], Size: sizes[i]})
+		}
+		return out
+	}
+	for i := range kinds {
+		out[i] = pl.Place(kinds[i], sizes[i])
+	}
+	return out
+}
+
+// PlacePrivateCounter allocates a per-processor private counter (LCA): each
+// processor's counters come from its own region, so no two processors ever
+// share a counter cache line.
+func (pl *Placer) PlacePrivateCounter(proc int, size uint32) Addr {
+	a := pl.priv[proc].Alloc(uint64(size), 4)
+	pl.blocks = append(pl.blocks, Block{Kind: KindCounter, Addr: a, Size: size})
+	return a
+}
+
+// Remap performs the GPP depth-first remapping: blocks are re-placed in the
+// order given (the tree's DFS traversal order) into the remap region, and a
+// translation table from old to new addresses is returned. Blocks not in
+// dfsOrder (e.g. segregated counters) keep their addresses. Remap may be
+// called once per iteration; the remap region is reset first, matching the
+// paper's per-iteration rebuild.
+func (pl *Placer) Remap(dfsOrder []Addr) map[Addr]Addr {
+	pl.remap.Reset()
+	sizes := make(map[Addr]uint32, len(pl.blocks))
+	for _, b := range pl.blocks {
+		sizes[b.Addr] = b.Size
+	}
+	tr := make(map[Addr]Addr, len(dfsOrder))
+	for _, old := range dfsOrder {
+		sz, ok := sizes[old]
+		if !ok {
+			continue
+		}
+		if _, dup := tr[old]; dup {
+			continue
+		}
+		tr[old] = pl.remap.Alloc(uint64(sz), 8)
+	}
+	for i := range pl.blocks {
+		if na, ok := tr[pl.blocks[i].Addr]; ok {
+			pl.blocks[i].Addr = na
+		}
+	}
+	return tr
+}
+
+// Blocks returns the placed blocks in creation order (post-remap addresses).
+func (pl *Placer) Blocks() []Block { return pl.blocks }
+
+// BytesUsed reports total virtual bytes consumed per region class.
+func (pl *Placer) BytesUsed() (tree, rw, private uint64) {
+	tree = pl.tree.Used() + pl.malloc.used()
+	rw = pl.rw.Used()
+	for _, r := range pl.priv {
+		private += r.Used()
+	}
+	return
+}
+
+// Reset clears all regions for the next iteration's tree.
+func (pl *Placer) Reset() {
+	pl.tree.Reset()
+	pl.remap.Reset()
+	pl.rw.Reset()
+	for _, r := range pl.priv {
+		r.Reset()
+	}
+	pl.malloc.reset()
+	pl.blocks = pl.blocks[:0]
+}
+
+// scatterHeap models a standard Unix malloc for the CCPD base case: every
+// allocation pays a boundary-tag header that shares its cache line with the
+// payload, allocations are binned by size class with the bins interleaved
+// across the heap, and a deterministic LCG injects the free-list reuse
+// scatter that destroys creation-order contiguity.
+type scatterHeap struct {
+	base Addr
+	size uint64
+	line uint64
+	bins []Addr
+	lcg  uint64
+	tot  uint64
+}
+
+const (
+	numBins     = 16
+	boundaryTag = 16 // bytes of malloc metadata per allocation
+)
+
+func newScatterHeap(base Addr, size uint64, line uint64) *scatterHeap {
+	h := &scatterHeap{base: base, size: size, line: line, lcg: 0x9E3779B97F4A7C15}
+	h.initBins()
+	return h
+}
+
+func (h *scatterHeap) initBins() {
+	h.bins = make([]Addr, numBins)
+	stride := h.size / numBins
+	for i := range h.bins {
+		h.bins[i] = h.base + Addr(uint64(i)*stride)
+	}
+}
+
+func (h *scatterHeap) next() uint64 {
+	h.lcg = h.lcg*6364136223846793005 + 1442695040888963407
+	return h.lcg >> 33
+}
+
+// binFor maps a request size to its size-class bin.
+func binFor(size uint64) int {
+	b := 0
+	for s := uint64(8); s < size && b < numBins-1; s <<= 1 {
+		b++
+	}
+	return b
+}
+
+func (h *scatterHeap) alloc(size uint64) Addr {
+	b := binFor(size)
+	// Boundary tag precedes the payload; occasional free-list reuse skips
+	// ahead a line, so consecutive allocations are often not adjacent.
+	a := h.bins[b] + boundaryTag
+	skip := (h.next() % 2) * h.line
+	h.bins[b] = a + Addr(size) + Addr(skip)
+	h.tot += size + boundaryTag + skip
+	return a
+}
+
+func (h *scatterHeap) used() uint64 { return h.tot }
+
+func (h *scatterHeap) reset() {
+	h.tot = 0
+	h.lcg = 0x9E3779B97F4A7C15
+	h.initBins()
+}

@@ -1,0 +1,203 @@
+// Package partition implements the computation-balancing schemes of
+// Section 3.1.2 of the paper: block, interleaved and bitonic partitioning of
+// a single equivalence class, and the greedy generalization to multiple
+// equivalence classes. The same bitonic assignment doubles as the balanced
+// hash function for hash-tree balancing (Section 4.1) by substituting the
+// fan-out H for the processor count P.
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Assignment maps each of n work units (itemset positions within an
+// equivalence class) to one of P buckets (processors, or hash-table cells).
+type Assignment struct {
+	P      int   // number of buckets
+	Bucket []int // Bucket[i] = bucket of unit i, 0 ≤ Bucket[i] < P
+}
+
+// Workload returns the per-bucket total workload under the canonical
+// candidate-generation cost model w_i = n - i - 1 (unit i joins with every
+// later unit in its class).
+func (a *Assignment) Workload() []int64 {
+	w := make([]int64, a.P)
+	n := len(a.Bucket)
+	for i, b := range a.Bucket {
+		w[b] += int64(n - i - 1)
+	}
+	return w
+}
+
+// WorkloadOf returns per-bucket totals under an arbitrary per-unit cost
+// vector (len(cost) == len(a.Bucket)).
+func (a *Assignment) WorkloadOf(cost []int64) []int64 {
+	w := make([]int64, a.P)
+	for i, b := range a.Bucket {
+		w[b] += cost[i]
+	}
+	return w
+}
+
+// Imbalance returns (max-min)/mean over bucket workloads; 0 is perfect.
+// It returns 0 when total work is zero.
+func Imbalance(w []int64) float64 {
+	if len(w) == 0 {
+		return 0
+	}
+	min, max, sum := w[0], w[0], int64(0)
+	for _, v := range w {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(w))
+	return float64(max-min) / mean
+}
+
+// Block assigns units to buckets in contiguous runs of ⌈n/P⌉-or-⌊n/P⌋, the
+// naive scheme the paper shows to be badly imbalanced (W = 24/15/6 in the
+// Section 3.1.2 example).
+func Block(n, p int) *Assignment {
+	a := &Assignment{P: p, Bucket: make([]int, n)}
+	if n == 0 || p <= 0 {
+		return a
+	}
+	// Match the paper's example: first P-1 buckets get ⌊n/P⌋ units, the last
+	// bucket absorbs the remainder ({0,1,2} {3,4,5} {6,7,8,9} for n=10,P=3).
+	q := n / p
+	if q == 0 {
+		q = 1
+	}
+	for i := 0; i < n; i++ {
+		b := i / q
+		if b >= p {
+			b = p - 1
+		}
+		a.Bucket[i] = b
+	}
+	return a
+}
+
+// Interleaved assigns unit i to bucket i mod P — the "simple mod" scheme,
+// equivalent to the g(i)=i mod H hash function.
+func Interleaved(n, p int) *Assignment {
+	a := &Assignment{P: p, Bucket: make([]int, n)}
+	if p <= 0 {
+		return a
+	}
+	for i := 0; i < n; i++ {
+		a.Bucket[i] = i % p
+	}
+	return a
+}
+
+// Bitonic assigns units of a single equivalence class to P buckets using the
+// bitonic scheme: units i and 2P-i-1 pair to constant work w_i + w_{2P-i-1}
+// = 2n-2P-1, so full 2P-sized blocks are perfectly balanced. Within each
+// block of 2P consecutive units, unit j goes to bucket j if j < P and to
+// bucket 2P-1-j otherwise.
+func Bitonic(n, p int) *Assignment {
+	a := &Assignment{P: p, Bucket: make([]int, n)}
+	if p <= 0 {
+		return a
+	}
+	for i := 0; i < n; i++ {
+		a.Bucket[i] = BitonicHash(i, p)
+	}
+	return a
+}
+
+// BitonicHash is the bitonic hash function of Theorem 1:
+// h(i) = i mod H when 0 ≤ (i mod 2H) < H, and 2H-1-(i mod 2H) otherwise.
+func BitonicHash(i, h int) int {
+	m := i % (2 * h)
+	if m < h {
+		return m
+	}
+	return 2*h - 1 - m
+}
+
+// GreedyBitonic handles the multi-equivalence-class case (Section 3.1.2):
+// sort all per-unit workloads descending and repeatedly give the largest
+// remaining unit to the least-loaded bucket. cost[i] is the workload of unit
+// i; ties broken by lower unit index for determinism.
+func GreedyBitonic(cost []int64, p int) *Assignment {
+	a := &Assignment{P: p, Bucket: make([]int, len(cost))}
+	if p <= 0 {
+		return a
+	}
+	order := make([]int, len(cost))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		if cost[order[x]] != cost[order[y]] {
+			return cost[order[x]] > cost[order[y]]
+		}
+		return order[x] < order[y]
+	})
+	load := make([]int64, p)
+	for _, u := range order {
+		best := 0
+		for b := 1; b < p; b++ {
+			if load[b] < load[best] {
+				best = b
+			}
+		}
+		a.Bucket[u] = best
+		load[best] += cost[u]
+	}
+	return a
+}
+
+// ClassUnit identifies one work unit in a multi-class problem: the class
+// index and the position of the unit within the class.
+type ClassUnit struct {
+	Class, Pos int
+}
+
+// MultiClassCosts flattens per-class sizes into a global per-unit workload
+// vector under the join model (unit at position j of a class with s members
+// costs s-j-1 pairs), returning the cost vector and the unit identities.
+func MultiClassCosts(classSizes []int) ([]int64, []ClassUnit) {
+	var costs []int64
+	var units []ClassUnit
+	for c, s := range classSizes {
+		for j := 0; j < s; j++ {
+			costs = append(costs, int64(s-j-1))
+			units = append(units, ClassUnit{Class: c, Pos: j})
+		}
+	}
+	return costs, units
+}
+
+// IndirectionVector builds the label→bucket table of Section 4.1 (Table 1):
+// label i (the lexicographic rank of a frequent 1-item) maps to its bitonic
+// bucket among h cells. It is the hash function used at every level of a
+// balanced hash tree.
+func IndirectionVector(n, h int) []int {
+	v := make([]int, n)
+	for i := range v {
+		v[i] = BitonicHash(i, h)
+	}
+	return v
+}
+
+// Validate checks that the assignment is well formed.
+func (a *Assignment) Validate() error {
+	for i, b := range a.Bucket {
+		if b < 0 || b >= a.P {
+			return fmt.Errorf("partition: unit %d assigned to bucket %d outside [0,%d)", i, b, a.P)
+		}
+	}
+	return nil
+}

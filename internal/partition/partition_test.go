@@ -1,0 +1,280 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestBitonicFigure4 reproduces the Section 3.1.2 worked example (Figure 4):
+// n=10 items, P=3 processors.
+func TestBitonicFigure4(t *testing.T) {
+	n, p := 10, 3
+
+	block := Block(n, p).Workload()
+	wantBlock := []int64{24, 15, 6}
+	for i := range wantBlock {
+		if block[i] != wantBlock[i] {
+			t.Errorf("block W%d = %d, want %d", i, block[i], wantBlock[i])
+		}
+	}
+
+	inter := Interleaved(n, p).Workload()
+	wantInter := []int64{18, 15, 12}
+	for i := range wantInter {
+		if inter[i] != wantInter[i] {
+			t.Errorf("interleaved W%d = %d, want %d", i, inter[i], wantInter[i])
+		}
+	}
+
+	bi := Bitonic(n, p)
+	biW := bi.Workload()
+	wantBi := []int64{16, 15, 14}
+	for i := range wantBi {
+		if biW[i] != wantBi[i] {
+			t.Errorf("bitonic W%d = %d, want %d", i, biW[i], wantBi[i])
+		}
+	}
+	// The paper's assignments: A0={0,5,6}, A1={1,4,7}, A2={2,3,8,9}.
+	wantBuckets := []int{0, 1, 2, 2, 1, 0, 0, 1, 2, 2}
+	for i, b := range bi.Bucket {
+		if b != wantBuckets[i] {
+			t.Errorf("bitonic bucket[%d] = %d, want %d", i, b, wantBuckets[i])
+		}
+	}
+
+	// Ordering of quality: bitonic ≤ interleaved ≤ block imbalance.
+	ib, ii, ibl := Imbalance(biW), Imbalance(inter), Imbalance(block)
+	if !(ib <= ii && ii <= ibl) {
+		t.Errorf("imbalance ordering violated: bitonic=%f interleaved=%f block=%f", ib, ii, ibl)
+	}
+}
+
+// TestIndirectionVectorTable1 reproduces Table 1: 10 labels, H=3.
+func TestIndirectionVectorTable1(t *testing.T) {
+	got := IndirectionVector(10, 3)
+	want := []int{0, 1, 2, 2, 1, 0, 0, 1, 2, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("indirection[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBitonicPerfectWhenMultiple(t *testing.T) {
+	// n mod 2P == 0 → perfect balance (pairs sum to constant 2n-2P-1).
+	for _, c := range []struct{ n, p int }{{12, 3}, {16, 4}, {40, 5}, {8, 1}} {
+		w := Bitonic(c.n, c.p).Workload()
+		for i := 1; i < len(w); i++ {
+			if w[i] != w[0] {
+				t.Errorf("n=%d p=%d: bucket %d has %d, bucket 0 has %d", c.n, c.p, i, w[i], w[0])
+			}
+		}
+	}
+}
+
+func TestBitonicHash(t *testing.T) {
+	// h(i) for H=3 over two periods: 0 1 2 2 1 0 | 0 1 2 2 1 0
+	want := []int{0, 1, 2, 2, 1, 0, 0, 1, 2, 2, 1, 0}
+	for i, w := range want {
+		if got := BitonicHash(i, 3); got != w {
+			t.Errorf("BitonicHash(%d,3) = %d, want %d", i, got, w)
+		}
+	}
+	// Range invariant.
+	for i := 0; i < 100; i++ {
+		for h := 1; h <= 8; h++ {
+			if v := BitonicHash(i, h); v < 0 || v >= h {
+				t.Fatalf("BitonicHash(%d,%d) = %d out of range", i, h, v)
+			}
+		}
+	}
+}
+
+func TestBlockEdgeCases(t *testing.T) {
+	if a := Block(0, 3); len(a.Bucket) != 0 {
+		t.Error("Block(0,3) should be empty")
+	}
+	if a := Block(5, 0); len(a.Bucket) != 5 {
+		t.Error("Block with p=0 yields empty buckets slice of len n")
+	}
+	// n < p: every unit still in range.
+	a := Block(2, 5)
+	if err := a.Validate(); err != nil {
+		t.Error(err)
+	}
+	// All units covered when p doesn't divide n.
+	a = Block(10, 4)
+	if err := a.Validate(); err != nil {
+		t.Error(err)
+	}
+	counts := make([]int, 4)
+	for _, b := range a.Bucket {
+		counts[b]++
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 {
+		t.Errorf("block covered %d units, want 10", total)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if got := Imbalance([]int64{5, 5, 5}); got != 0 {
+		t.Errorf("uniform imbalance = %f", got)
+	}
+	if got := Imbalance([]int64{0, 0}); got != 0 {
+		t.Errorf("zero-work imbalance = %f", got)
+	}
+	if got := Imbalance(nil); got != 0 {
+		t.Errorf("empty imbalance = %f", got)
+	}
+	if got := Imbalance([]int64{10, 0}); got != 2 {
+		t.Errorf("Imbalance(10,0) = %f, want 2", got)
+	}
+}
+
+func TestGreedyBitonicSingleClassNearOptimal(t *testing.T) {
+	// For a single class the greedy scheme should be at least as balanced as
+	// interleaved partitioning.
+	for _, c := range []struct{ n, p int }{{10, 3}, {17, 4}, {100, 8}, {31, 5}} {
+		costs := make([]int64, c.n)
+		for i := range costs {
+			costs[i] = int64(c.n - i - 1)
+		}
+		g := GreedyBitonic(costs, c.p)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		gi := Imbalance(g.WorkloadOf(costs))
+		ii := Imbalance(Interleaved(c.n, c.p).WorkloadOf(costs))
+		if gi > ii+1e-9 {
+			t.Errorf("n=%d p=%d: greedy imbalance %f > interleaved %f", c.n, c.p, gi, ii)
+		}
+	}
+}
+
+func TestGreedyBitonicMultiClass(t *testing.T) {
+	costs, units := MultiClassCosts([]int{5, 3, 7, 1})
+	if len(costs) != 16 || len(units) != 16 {
+		t.Fatalf("flattened %d costs, %d units", len(costs), len(units))
+	}
+	// First unit of the 5-class costs 4 pairs; last unit of every class is 0.
+	if costs[0] != 4 {
+		t.Errorf("cost[0] = %d, want 4", costs[0])
+	}
+	if costs[4] != 0 {
+		t.Errorf("cost[4] = %d, want 0", costs[4])
+	}
+	if units[5] != (ClassUnit{Class: 1, Pos: 0}) {
+		t.Errorf("units[5] = %+v", units[5])
+	}
+	g := GreedyBitonic(costs, 4)
+	w := g.WorkloadOf(costs)
+	// Greedy LPT guarantee: max ≤ (4/3)·OPT ≤ (4/3)·(total/P + max single).
+	var total, maxc int64
+	for _, c := range costs {
+		total += c
+		if c > maxc {
+			maxc = c
+		}
+	}
+	var maxw int64
+	for _, v := range w {
+		if v > maxw {
+			maxw = v
+		}
+	}
+	bound := 4*(total/4+maxc)/3 + 2
+	if maxw > bound {
+		t.Errorf("greedy max load %d exceeds LPT bound %d", maxw, bound)
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	costs := []int64{3, 3, 3, 1, 1, 1}
+	a := GreedyBitonic(costs, 2)
+	b := GreedyBitonic(costs, 2)
+	for i := range a.Bucket {
+		if a.Bucket[i] != b.Bucket[i] {
+			t.Fatal("greedy assignment not deterministic")
+		}
+	}
+}
+
+// Property: all three single-class schemes produce valid assignments that
+// cover every unit exactly once, and bitonic never loses to block.
+func TestSchemesProperty(t *testing.T) {
+	f := func(rn, rp uint8) bool {
+		n := int(rn%200) + 1
+		p := int(rp%12) + 1
+		for _, a := range []*Assignment{Block(n, p), Interleaved(n, p), Bitonic(n, p)} {
+			if len(a.Bucket) != n || a.Validate() != nil {
+				return false
+			}
+		}
+		bi := Imbalance(Bitonic(n, p).Workload())
+		bl := Imbalance(Block(n, p).Workload())
+		return bi <= bl+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: greedy never exceeds twice the ideal mean load (classic bound).
+func TestGreedyBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(100)
+		p := 1 + rng.Intn(8)
+		costs := make([]int64, n)
+		var total, maxc int64
+		for i := range costs {
+			costs[i] = int64(rng.Intn(50))
+			total += costs[i]
+			if costs[i] > maxc {
+				maxc = costs[i]
+			}
+		}
+		w := GreedyBitonic(costs, p).WorkloadOf(costs)
+		var maxw int64
+		for _, v := range w {
+			if v > maxw {
+				maxw = v
+			}
+		}
+		// max load ≤ mean + max single item (greedy guarantee).
+		if maxw > total/int64(p)+maxc {
+			t.Fatalf("trial %d: max load %d > %d", trial, maxw, total/int64(p)+maxc)
+		}
+	}
+}
+
+func TestIndirectionVectorRange(t *testing.T) {
+	for _, h := range []int{1, 2, 3, 7} {
+		v := IndirectionVector(50, h)
+		counts := make([]int, h)
+		for _, b := range v {
+			if b < 0 || b >= h {
+				t.Fatalf("h=%d: bucket %d out of range", h, b)
+			}
+			counts[b]++
+		}
+		// Bitonic spreads evenly: counts differ by at most 2·(partial period).
+		min, max := counts[0], counts[0]
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if max-min > 2 {
+			t.Errorf("h=%d: uneven cell usage %v", h, counts)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/apriori"
+)
+
+// ageIncomeTable builds the classic quantitative-rules example: age and
+// income correlated, married flag categorical.
+func ageIncomeTable(rows int, seed int64) *Table {
+	rng := rand.New(rand.NewSource(seed))
+	age := make([]float64, rows)
+	income := make([]float64, rows)
+	married := make([]float64, rows)
+	for i := range age {
+		a := 20 + rng.Float64()*50
+		age[i] = a
+		income[i] = a*1000 + rng.Float64()*5000 // income tracks age
+		if a > 30 && rng.Float64() < 0.8 {
+			married[i] = 1
+		}
+	}
+	return &Table{Cols: []Column{
+		{Name: "age", Kind: Numeric, Values: age},
+		{Name: "income", Kind: Numeric, Values: income},
+		{Name: "married", Kind: Categorical, Values: married},
+	}}
+}
+
+func TestValidate(t *testing.T) {
+	bad := &Table{Cols: []Column{
+		{Name: "a", Values: []float64{1, 2}},
+		{Name: "b", Values: []float64{1}},
+	}}
+	if bad.Validate() == nil {
+		t.Error("ragged table should fail")
+	}
+	if (&Table{}).Rows() != 0 {
+		t.Error("empty table rows")
+	}
+}
+
+func TestCutpointsEquiDepth(t *testing.T) {
+	v := make([]float64, 100)
+	for i := range v {
+		v[i] = float64(i)
+	}
+	edges := cutpoints(v, 4)
+	if len(edges) != 5 {
+		t.Fatalf("edges = %v", edges)
+	}
+	if edges[0] != 0 || edges[4] != 99 {
+		t.Errorf("outer edges = %v", edges)
+	}
+	// Equi-depth on uniform data ≈ equal widths.
+	for i := 1; i < 4; i++ {
+		want := float64(i) * 99 / 4
+		if math.Abs(edges[i]-want) > 2 {
+			t.Errorf("edge %d = %g, want ≈ %g", i, edges[i], want)
+		}
+	}
+}
+
+func TestEncodeShapes(t *testing.T) {
+	tab := ageIncomeTable(200, 1)
+	d, enc, err := Encode(tab, Options{Intervals: 4, MaxMerge: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 200 {
+		t.Fatalf("encoded %d rows", d.Len())
+	}
+	// 4 base intervals × 2 numeric attrs + 2 categorical values = 10 items.
+	if enc.NumItems() != 10 {
+		t.Errorf("NumItems = %d, want 10", enc.NumItems())
+	}
+	// Every transaction has exactly one item per attribute at MaxMerge 1.
+	for i := 0; i < d.Len(); i++ {
+		if d.Items(i).K() != 3 {
+			t.Fatalf("row %d has %d items", i, d.Items(i).K())
+		}
+	}
+}
+
+func TestEncodeWithMerge(t *testing.T) {
+	tab := ageIncomeTable(100, 2)
+	d, enc, err := Encode(tab, Options{Intervals: 4, MaxMerge: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ranges per numeric attr: lengths 1 (4) + lengths 2 (3) = 7; ×2 attrs
+	// + 2 categorical = 16.
+	if enc.NumItems() != 16 {
+		t.Errorf("NumItems = %d, want 16", enc.NumItems())
+	}
+	// A row's value sits in 1 base interval and ≤2 length-2 ranges.
+	for i := 0; i < d.Len(); i++ {
+		k := d.Items(i).K()
+		if k < 3 || k > 7 {
+			t.Fatalf("row %d has %d items", i, k)
+		}
+	}
+}
+
+func TestMineFindsCorrelation(t *testing.T) {
+	tab := ageIncomeTable(1000, 3)
+	res, err := Mine(tab, Options{
+		Intervals: 4,
+		Mining:    apriori.Options{MinSupport: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := res.Frequent(2)
+	if len(pairs) == 0 {
+		t.Fatal("no frequent pairs")
+	}
+	// The age↔income correlation: a frequent pair joining the top age
+	// interval with the top income interval must exist (both are the same
+	// rows by construction).
+	found := false
+	for _, q := range pairs {
+		var hasAgeTop, hasIncTop bool
+		for _, p := range q.Predicates {
+			if p.Attr == "age" && p.Kind == Numeric && p.Lo > 50 {
+				hasAgeTop = true
+			}
+			if p.Attr == "income" && p.Kind == Numeric && p.Lo > 50000 {
+				hasIncTop = true
+			}
+		}
+		if hasAgeTop && hasIncTop {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("age↔income correlation not discovered in %d pairs", len(pairs))
+	}
+}
+
+func TestFrequentSkipsSameAttrCombos(t *testing.T) {
+	tab := ageIncomeTable(300, 4)
+	res, err := Mine(tab, Options{
+		Intervals: 4, MaxMerge: 3,
+		Mining: apriori.Options{MinSupport: 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 2; k < 4; k++ {
+		for _, q := range res.Frequent(k) {
+			seen := map[string]bool{}
+			for _, p := range q.Predicates {
+				if seen[p.Attr] {
+					t.Fatalf("same attribute twice: %v", q.Predicates)
+				}
+				seen[p.Attr] = true
+			}
+		}
+	}
+	// Out-of-range k.
+	if got := res.Frequent(99); got != nil {
+		t.Error("Frequent(99) should be nil")
+	}
+}
+
+func TestMineParallelMatches(t *testing.T) {
+	tab := ageIncomeTable(400, 5)
+	seq, err := Mine(tab, Options{Intervals: 4, Mining: apriori.Options{MinSupport: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Mine(tab, Options{Intervals: 4, Mining: apriori.Options{MinSupport: 0.1}, Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Mining.NumFrequent() != par.Mining.NumFrequent() {
+		t.Errorf("seq %d vs par %d", seq.Mining.NumFrequent(), par.Mining.NumFrequent())
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	p := Predicate{Attr: "age", Kind: Numeric, Lo: 20, Hi: 30}
+	if !strings.Contains(p.String(), "age") || !strings.Contains(p.String(), "20") {
+		t.Errorf("String = %q", p.String())
+	}
+	c := Predicate{Attr: "married", Kind: Categorical, Value: 1}
+	if c.String() != "married=1" {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestPartialCompleteness(t *testing.T) {
+	if got := PartialCompleteness(4, 1); got != 1.5 {
+		t.Errorf("K(4,1) = %g", got)
+	}
+	if got := PartialCompleteness(10, 2); math.Abs(got-1.4) > 1e-9 {
+		t.Errorf("K(10,2) = %g", got)
+	}
+	if !math.IsInf(PartialCompleteness(0, 1), 1) {
+		t.Error("K(0,·) should be +Inf")
+	}
+	// More intervals → less information loss.
+	if PartialCompleteness(20, 1) >= PartialCompleteness(4, 1) {
+		t.Error("K should shrink with more intervals")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	d, enc, err := Encode(&Table{Cols: []Column{{Name: "x", Kind: Numeric}}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 || enc.NumItems() != 0 {
+		t.Error("empty table should encode to empty db")
+	}
+}

@@ -1,0 +1,87 @@
+package rules
+
+import (
+	"sort"
+
+	"repro/internal/apriori"
+	"repro/internal/itemset"
+)
+
+// GenerateFast derives the same rule set as Generate using the ap-genrules
+// consequent-growth algorithm of Agrawal & Srikant: for each frequent
+// itemset, candidate consequents start at size 1 and grow by an
+// Apriori-style join, exploiting the anti-monotonicity of confidence —
+// moving an item from the antecedent to the consequent can only raise the
+// antecedent's support and hence lower confidence, so once a consequent
+// fails the threshold, all of its supersets fail too. For itemsets with
+// many subsets this prunes most of the 2^k enumeration Generate performs.
+func GenerateFast(res *apriori.Result, opts Options) []Rule {
+	sup := make(map[string]int64)
+	for _, f := range res.All() {
+		sup[f.Items.Key()] = f.Count
+	}
+	var out []Rule
+	emit := func(x itemset.Itemset, xCount int64, y itemset.Itemset) bool {
+		ante := x.Minus(y)
+		anteSup, ok := sup[ante.Key()]
+		if !ok || anteSup == 0 {
+			return false
+		}
+		conf := float64(xCount) / float64(anteSup)
+		if conf+1e-12 < opts.MinConfidence {
+			return false
+		}
+		r := Rule{
+			Antecedent: ante,
+			Consequent: y.Clone(),
+			Support:    xCount,
+			Confidence: conf,
+		}
+		if opts.DBSize > 0 {
+			r.SupportFrac = float64(xCount) / float64(opts.DBSize)
+			if cSup, ok := sup[y.Key()]; ok && cSup > 0 {
+				r.Lift = conf / (float64(cSup) / float64(opts.DBSize))
+			}
+		}
+		out = append(out, r)
+		return true
+	}
+
+	for k := 2; k < len(res.ByK); k++ {
+		for _, f := range res.ByK[k] {
+			x := f.Items
+			maxC := k - 1
+			if opts.MaxConsequent > 0 && opts.MaxConsequent < maxC {
+				maxC = opts.MaxConsequent
+			}
+			// Level 1: single-item consequents that pass.
+			var passing []itemset.Itemset
+			for i := range x {
+				y := itemset.New(x[i])
+				if emit(x, f.Count, y) {
+					passing = append(passing, y)
+				}
+			}
+			// Grow: join passing consequents of size m into size m+1.
+			for m := 1; m < maxC && len(passing) > 1; m++ {
+				cands, _, _ := apriori.GenerateCandidates(passing, false)
+				passing = passing[:0]
+				for _, y := range cands {
+					if emit(x, f.Count, y) {
+						passing = append(passing, y)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].Antecedent.Less(out[j].Antecedent)
+	})
+	return out
+}

@@ -1,0 +1,103 @@
+// Package rules implements the second step of association mining
+// (Section 2): generating implication rules X−Y ⇒ Y from the frequent
+// itemsets, keeping those whose confidence support(X)/support(X−Y) meets a
+// user threshold.
+package rules
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/apriori"
+	"repro/internal/itemset"
+)
+
+// Rule is an association rule Antecedent ⇒ Consequent.
+type Rule struct {
+	Antecedent itemset.Itemset
+	Consequent itemset.Itemset
+	// Support is the count of transactions containing Antecedent ∪
+	// Consequent; SupportFrac the same as a fraction of |D|.
+	Support     int64
+	SupportFrac float64
+	// Confidence is support(A∪C)/support(A).
+	Confidence float64
+	// Lift is confidence / supportFrac(C); > 1 indicates positive
+	// correlation. (A standard extension; 0 when |D| unknown.)
+	Lift float64
+}
+
+func (r Rule) String() string {
+	return fmt.Sprintf("%v => %v (sup %d, conf %.3f)", r.Antecedent, r.Consequent, r.Support, r.Confidence)
+}
+
+// Options controls rule generation.
+type Options struct {
+	// MinConfidence filters rules below this confidence (e.g. 0.8).
+	MinConfidence float64
+	// DBSize, when > 0, enables SupportFrac and Lift computation.
+	DBSize int
+	// MaxConsequent bounds the consequent size; 0 means no bound.
+	MaxConsequent int
+}
+
+// Generate derives all rules meeting the confidence threshold from a mining
+// result. For every frequent itemset X (|X| ≥ 2) and every non-empty proper
+// subset Y ⊂ X it evaluates X−Y ⇒ Y. Rules come back sorted by descending
+// confidence, then support, then antecedent.
+func Generate(res *apriori.Result, opts Options) []Rule {
+	sup := make(map[string]int64)
+	for _, f := range res.All() {
+		sup[f.Items.Key()] = f.Count
+	}
+	var out []Rule
+	for k := 2; k < len(res.ByK); k++ {
+		for _, f := range res.ByK[k] {
+			x := f.Items
+			// Enumerate consequent sizes 1..k-1 (bounded).
+			maxC := k - 1
+			if opts.MaxConsequent > 0 && opts.MaxConsequent < maxC {
+				maxC = opts.MaxConsequent
+			}
+			for cs := 1; cs <= maxC; cs++ {
+				x.ForEachSubset(cs, func(y itemset.Itemset) bool {
+					ante := x.Minus(y)
+					anteSup, ok := sup[ante.Key()]
+					if !ok || anteSup == 0 {
+						// Cannot happen for a correct miner (downward
+						// closure) but guard anyway.
+						return true
+					}
+					conf := float64(f.Count) / float64(anteSup)
+					if conf+1e-12 < opts.MinConfidence {
+						return true
+					}
+					r := Rule{
+						Antecedent: ante,
+						Consequent: y.Clone(),
+						Support:    f.Count,
+						Confidence: conf,
+					}
+					if opts.DBSize > 0 {
+						r.SupportFrac = float64(f.Count) / float64(opts.DBSize)
+						if cSup, ok := sup[y.Key()]; ok && cSup > 0 {
+							r.Lift = conf / (float64(cSup) / float64(opts.DBSize))
+						}
+					}
+					out = append(out, r)
+					return true
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].Antecedent.Less(out[j].Antecedent)
+	})
+	return out
+}

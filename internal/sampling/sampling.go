@@ -1,0 +1,129 @@
+// Package sampling implements the sampling-based mining evaluation of the
+// authors' companion work (Zaki, Parthasarathy, Li & Ogihara 1997,
+// "Evaluation of sampling for data mining of association rules", cited in
+// Section 7): mine a uniform random sample of the database at a (slightly
+// lowered) support and measure how faithfully the sample's frequent set
+// matches the full database's.
+package sampling
+
+import (
+	"math/rand"
+
+	"repro/internal/apriori"
+	"repro/internal/db"
+)
+
+// Options configures a sampling evaluation.
+type Options struct {
+	// Fraction of transactions to sample (0 < Fraction ≤ 1).
+	Fraction float64
+	// SupportSlack lowers the sample's support threshold multiplicatively
+	// (e.g. 0.9 mines the sample at 90% of the scaled support) to reduce
+	// false negatives, as Toivonen's negative-border approach motivates.
+	SupportSlack float64
+	// Mining carries the base support and tree knobs (applied to the full
+	// database; the sample inherits scaled values).
+	Mining apriori.Options
+	Seed   int64
+}
+
+// Accuracy summarizes sample-vs-full agreement.
+type Accuracy struct {
+	SampleSize int
+	// TruePositives: frequent in both; FalsePositives: frequent only in
+	// the sample; FalseNegatives: frequent only in the full database.
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Precision returns TP/(TP+FP); 1 when nothing was found.
+func (a Accuracy) Precision() float64 {
+	if a.TruePositives+a.FalsePositives == 0 {
+		return 1
+	}
+	return float64(a.TruePositives) / float64(a.TruePositives+a.FalsePositives)
+}
+
+// Recall returns TP/(TP+FN); 1 when nothing was missed.
+func (a Accuracy) Recall() float64 {
+	if a.TruePositives+a.FalseNegatives == 0 {
+		return 1
+	}
+	return float64(a.TruePositives) / float64(a.TruePositives+a.FalseNegatives)
+}
+
+// Sample draws a uniform random subset of transactions.
+func Sample(d *db.Database, fraction float64, seed int64) *db.Database {
+	rng := rand.New(rand.NewSource(seed))
+	out := db.New(d.NumItems())
+	for i := 0; i < d.Len(); i++ {
+		if rng.Float64() < fraction {
+			out.Append(d.TID(i), d.Items(i))
+		}
+	}
+	return out
+}
+
+// Evaluate mines both the sample and the full database and compares the
+// frequent sets. The full-database result is returned alongside for reuse.
+func Evaluate(d *db.Database, opts Options) (Accuracy, *apriori.Result, error) {
+	if opts.Fraction <= 0 || opts.Fraction > 1 {
+		opts.Fraction = 0.1
+	}
+	if opts.SupportSlack <= 0 || opts.SupportSlack > 1 {
+		opts.SupportSlack = 0.9
+	}
+	full, err := apriori.Mine(d, opts.Mining)
+	if err != nil {
+		return Accuracy{}, nil, err
+	}
+	sample := Sample(d, opts.Fraction, opts.Seed)
+	acc := Accuracy{SampleSize: sample.Len()}
+
+	sampleOpts := opts.Mining
+	// Scale the absolute threshold to the sample with slack; fractional
+	// supports scale automatically, so only apply the slack there.
+	if sampleOpts.AbsSupport > 0 {
+		scaled := float64(sampleOpts.AbsSupport) * float64(sample.Len()) / float64(max(1, d.Len()))
+		sampleOpts.AbsSupport = int64(scaled * opts.SupportSlack)
+		if sampleOpts.AbsSupport < 1 {
+			sampleOpts.AbsSupport = 1
+		}
+	} else {
+		sampleOpts.MinSupport *= opts.SupportSlack
+	}
+	sampleRes, err := apriori.Mine(sample, sampleOpts)
+	if err != nil {
+		return Accuracy{}, nil, err
+	}
+
+	inFull := map[string]bool{}
+	for _, f := range full.All() {
+		inFull[f.Items.Key()] = true
+	}
+	inSample := map[string]bool{}
+	for _, f := range sampleRes.All() {
+		inSample[f.Items.Key()] = true
+	}
+	for k := range inSample {
+		if inFull[k] {
+			acc.TruePositives++
+		} else {
+			acc.FalsePositives++
+		}
+	}
+	for k := range inFull {
+		if !inSample[k] {
+			acc.FalseNegatives++
+		}
+	}
+	return acc, full, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

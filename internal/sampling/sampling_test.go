@@ -1,0 +1,114 @@
+package sampling
+
+import (
+	"testing"
+
+	"repro/internal/apriori"
+	"repro/internal/db"
+	"repro/internal/gen"
+	"repro/internal/itemset"
+)
+
+func TestSampleFraction(t *testing.T) {
+	d, err := gen.Generate(gen.Params{N: 50, L: 10, I: 3, T: 6, D: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Sample(d, 0.25, 7)
+	frac := float64(s.Len()) / float64(d.Len())
+	if frac < 0.18 || frac > 0.32 {
+		t.Errorf("sample fraction %.3f far from 0.25", frac)
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Determinism.
+	s2 := Sample(d, 0.25, 7)
+	if s2.Len() != s.Len() {
+		t.Error("sampling not deterministic by seed")
+	}
+}
+
+func TestSampleEdge(t *testing.T) {
+	d := db.New(5)
+	d.Append(1, itemset.New(1, 2))
+	if got := Sample(d, 1.0, 1); got.Len() > 1 {
+		t.Errorf("over-sampled: %d", got.Len())
+	}
+	if got := Sample(d, 0.0, 1); got.Len() != 0 {
+		t.Errorf("fraction 0 sampled %d", got.Len())
+	}
+}
+
+func TestEvaluateAccuracy(t *testing.T) {
+	d, err := gen.Generate(gen.Params{N: 80, L: 20, I: 4, T: 8, D: 4000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, full, err := Evaluate(d, Options{
+		Fraction:     0.25,
+		SupportSlack: 0.8,
+		Mining:       apriori.Options{MinSupport: 0.02},
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NumFrequent() == 0 {
+		t.Fatal("nothing frequent in full database — test not meaningful")
+	}
+	if acc.SampleSize == 0 {
+		t.Fatal("empty sample")
+	}
+	// The companion paper's finding: modest samples already capture the
+	// frequent set with high recall (slack suppresses false negatives).
+	if r := acc.Recall(); r < 0.85 {
+		t.Errorf("recall %.3f below 0.85 (TP=%d FN=%d)", r, acc.TruePositives, acc.FalseNegatives)
+	}
+	if p := acc.Precision(); p < 0.5 {
+		t.Errorf("precision %.3f implausibly low", p)
+	}
+}
+
+func TestEvaluateAbsSupport(t *testing.T) {
+	d, err := gen.Generate(gen.Params{N: 50, L: 12, I: 3, T: 6, D: 1500, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, _, err := Evaluate(d, Options{
+		Fraction: 0.3,
+		Mining:   apriori.Options{AbsSupport: 30},
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Recall() < 0.7 {
+		t.Errorf("abs-support recall %.3f too low", acc.Recall())
+	}
+}
+
+func TestEvaluateDefaults(t *testing.T) {
+	d, _ := gen.Generate(gen.Params{N: 30, L: 8, I: 3, T: 5, D: 500, Seed: 6})
+	// Out-of-range options fall back to defaults rather than failing.
+	if _, _, err := Evaluate(d, Options{
+		Fraction: -1, SupportSlack: 9,
+		Mining: apriori.Options{MinSupport: 0.05},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccuracyMetricsEdge(t *testing.T) {
+	a := Accuracy{}
+	if a.Precision() != 1 || a.Recall() != 1 {
+		t.Error("empty accuracy should be perfect")
+	}
+	a = Accuracy{TruePositives: 3, FalsePositives: 1, FalseNegatives: 1}
+	if a.Precision() != 0.75 {
+		t.Errorf("precision = %f", a.Precision())
+	}
+	if a.Recall() != 0.75 {
+		t.Errorf("recall = %f", a.Recall())
+	}
+}

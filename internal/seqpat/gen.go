@@ -1,0 +1,85 @@
+package seqpat
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/itemset"
+)
+
+// GenParams configures the synthetic customer-sequence generator, the
+// sequential analogue of the Quest basket generator: NP source patterns of
+// mean length PatLen are planted into C customer sequences of mean length
+// SeqLen, with noise events mixed in.
+type GenParams struct {
+	C      int     // number of customers
+	SeqLen int     // mean sequence length
+	NP     int     // number of source patterns
+	PatLen int     // mean source pattern length
+	N      int     // event universe size
+	Noise  float64 // probability an emitted event is random noise
+	Seed   int64
+}
+
+func (p GenParams) withDefaults() GenParams {
+	if p.N == 0 {
+		p.N = 500
+	}
+	if p.NP == 0 {
+		p.NP = 50
+	}
+	if p.PatLen == 0 {
+		p.PatLen = 4
+	}
+	if p.Noise == 0 {
+		p.Noise = 0.25
+	}
+	return p
+}
+
+// Validate rejects impossible parameters.
+func (p GenParams) Validate() error {
+	p = p.withDefaults()
+	if p.C < 0 || p.SeqLen < 1 || p.NP < 1 || p.PatLen < 1 || p.N < 1 {
+		return fmt.Errorf("seqpat: invalid generator params %+v", p)
+	}
+	return nil
+}
+
+// Generate builds the dataset and also returns the planted source patterns.
+func Generate(p GenParams) (*Dataset, []Sequence, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	patterns := make([]Sequence, p.NP)
+	for i := range patterns {
+		l := 1 + rng.Intn(2*p.PatLen-1) // mean ≈ PatLen
+		s := make(Sequence, l)
+		for j := range s {
+			s[j] = itemset.Item(rng.Intn(p.N))
+		}
+		patterns[i] = s
+	}
+	d := &Dataset{NumItems: p.N}
+	for c := 0; c < p.C; c++ {
+		target := 1 + rng.Intn(2*p.SeqLen-1)
+		seq := make(Sequence, 0, target)
+		for len(seq) < target {
+			if rng.Float64() < p.Noise {
+				seq = append(seq, itemset.Item(rng.Intn(p.N)))
+				continue
+			}
+			// Interleave a planted pattern, possibly truncated.
+			pat := patterns[rng.Intn(p.NP)]
+			take := len(pat)
+			if room := target - len(seq); take > room {
+				take = room
+			}
+			seq = append(seq, pat[:take]...)
+		}
+		d.Append(seq)
+	}
+	return d, patterns, nil
+}

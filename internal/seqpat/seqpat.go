@@ -1,0 +1,346 @@
+// Package seqpat implements parallel sequential-pattern mining (Agrawal &
+// Srikant 1995), the extension task Section 8 of the paper names as a
+// direct beneficiary of its techniques: the level-wise loop, hash-tree-like
+// candidate storage with balanced hashing, short-circuit-style pruning and
+// the CCPD parallelization (shared candidate structure, partitioned
+// customer sequences, privatized counters) all carry over.
+//
+// The model is event sequences: each customer has an ordered sequence of
+// items (events), possibly with repeats. A pattern p is supported by a
+// customer if p is a subsequence (order preserved, gaps allowed) of the
+// customer's sequence; support counts customers, not occurrences.
+package seqpat
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/itemset"
+)
+
+// Sequence is an ordered event list; repeats are allowed.
+type Sequence []itemset.Item
+
+// Clone returns an independent copy.
+func (s Sequence) Clone() Sequence {
+	c := make(Sequence, len(s))
+	copy(c, s)
+	return c
+}
+
+// Key returns a map key (injective).
+func (s Sequence) Key() string {
+	b := make([]byte, 0, 4*len(s))
+	for _, it := range s {
+		b = append(b, byte(it), byte(it>>8), byte(it>>16), byte(it>>24))
+	}
+	return string(b)
+}
+
+// String renders "<a b c>".
+func (s Sequence) String() string {
+	out := "<"
+	for i, it := range s {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%d", it)
+	}
+	return out + ">"
+}
+
+// ContainsSubsequence reports whether sub occurs in s in order (gaps
+// allowed), by greedy matching — correct and optimal for subsequence tests.
+func (s Sequence) ContainsSubsequence(sub Sequence) bool {
+	if len(sub) == 0 {
+		return true
+	}
+	j := 0
+	for _, it := range s {
+		if it == sub[j] {
+			j++
+			if j == len(sub) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Less orders sequences lexicographically.
+func (s Sequence) Less(t Sequence) bool {
+	n := len(s)
+	if len(t) < n {
+		n = len(t)
+	}
+	for i := 0; i < n; i++ {
+		if s[i] != t[i] {
+			return s[i] < t[i]
+		}
+	}
+	return len(s) < len(t)
+}
+
+// Dataset is a set of customer sequences.
+type Dataset struct {
+	Sequences []Sequence
+	NumItems  int
+}
+
+// Append adds a customer sequence, growing the item universe as needed.
+func (d *Dataset) Append(s Sequence) {
+	d.Sequences = append(d.Sequences, s)
+	for _, it := range s {
+		if int(it) >= d.NumItems {
+			d.NumItems = int(it) + 1
+		}
+	}
+}
+
+// Len returns the number of customers.
+func (d *Dataset) Len() int { return len(d.Sequences) }
+
+// FrequentSequence pairs a pattern with its customer support.
+type FrequentSequence struct {
+	Pattern Sequence
+	Count   int64
+}
+
+// Options configures mining.
+type Options struct {
+	// MinSupport as a fraction of customers; AbsSupport overrides if > 0.
+	MinSupport float64
+	AbsSupport int64
+	// MaxLen bounds pattern length (0 = to fixpoint).
+	MaxLen int
+	// Procs parallelizes counting CCPD-style (customers partitioned,
+	// shared candidate trie, per-processor private counters).
+	Procs int
+	// Hash selects the trie cell hash: bitonic over frequent-event ranks
+	// (balanced, the paper's Section 4.1 technique) or interleaved mod.
+	Hash HashChoice
+}
+
+func (o Options) minCount(n int) int64 {
+	if o.AbsSupport > 0 {
+		return o.AbsSupport
+	}
+	c := int64(o.MinSupport * float64(n))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Result holds the frequent patterns by length.
+type Result struct {
+	MinCount int64
+	ByLen    [][]FrequentSequence
+}
+
+// All flattens the result.
+func (r *Result) All() []FrequentSequence {
+	var out []FrequentSequence
+	for _, fs := range r.ByLen {
+		out = append(out, fs...)
+	}
+	return out
+}
+
+// NumPatterns counts all frequent patterns.
+func (r *Result) NumPatterns() int {
+	n := 0
+	for _, fs := range r.ByLen {
+		n += len(fs)
+	}
+	return n
+}
+
+// SupportOf looks up a pattern's support, or 0.
+func (r *Result) SupportOf(p Sequence) int64 {
+	if len(p) >= len(r.ByLen) {
+		return 0
+	}
+	key := p.Key()
+	for _, f := range r.ByLen[len(p)] {
+		if f.Pattern.Key() == key {
+			return f.Count
+		}
+	}
+	return 0
+}
+
+// Mine runs the level-wise sequential-pattern loop.
+func Mine(d *Dataset, opts Options) (*Result, error) {
+	if opts.Procs < 1 {
+		opts.Procs = 1
+	}
+	minCount := opts.minCount(d.Len())
+	res := &Result{MinCount: minCount, ByLen: make([][]FrequentSequence, 2)}
+
+	// Length 1: count distinct events per customer.
+	f1 := frequentEvents(d, minCount, opts.Procs)
+	res.ByLen[1] = f1
+	if len(f1) == 0 {
+		return res, nil
+	}
+	// Rank labels for balanced hashing (Section 4.1 carried over).
+	labels := make([]int32, d.NumItems)
+	for i := range labels {
+		labels[i] = -1
+	}
+	for rank, f := range f1 {
+		labels[f.Pattern[0]] = int32(rank)
+	}
+
+	prev := make([]Sequence, len(f1))
+	for i, f := range f1 {
+		prev[i] = f.Pattern
+	}
+
+	for k := 2; len(prev) > 0 && (opts.MaxLen == 0 || k <= opts.MaxLen); k++ {
+		cands := GenerateCandidates(prev)
+		if len(cands) == 0 {
+			break
+		}
+		trie := newTrie(k, fanoutFor(len(cands), k), labels, opts.Hash)
+		for _, c := range cands {
+			trie.insert(c)
+		}
+		counts := countParallel(d, trie, opts.Procs)
+		var fk []FrequentSequence
+		for id, c := range counts {
+			if c >= minCount {
+				fk = append(fk, FrequentSequence{Pattern: trie.pattern(int32(id)), Count: c})
+			}
+		}
+		sort.Slice(fk, func(i, j int) bool { return fk[i].Pattern.Less(fk[j].Pattern) })
+		res.ByLen = append(res.ByLen, fk)
+		prev = prev[:0]
+		for _, f := range fk {
+			prev = append(prev, f.Pattern)
+		}
+	}
+	return res, nil
+}
+
+// frequentEvents counts per-customer distinct events in parallel.
+func frequentEvents(d *Dataset, minCount int64, procs int) []FrequentSequence {
+	local := make([][]int64, procs)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			counts := make([]int64, d.NumItems)
+			seen := make([]bool, d.NumItems)
+			lo, hi := p*d.Len()/procs, (p+1)*d.Len()/procs
+			for _, s := range d.Sequences[lo:hi] {
+				for _, it := range s {
+					if !seen[it] {
+						seen[it] = true
+						counts[it]++
+					}
+				}
+				for _, it := range s {
+					seen[it] = false
+				}
+			}
+			local[p] = counts
+		}(p)
+	}
+	wg.Wait()
+	var out []FrequentSequence
+	for it := 0; it < d.NumItems; it++ {
+		var c int64
+		for p := 0; p < procs; p++ {
+			c += local[p][it]
+		}
+		if c >= minCount {
+			out = append(out, FrequentSequence{Pattern: Sequence{itemset.Item(it)}, Count: c})
+		}
+	}
+	return out
+}
+
+// GenerateCandidates joins frequent (k-1)-patterns: p extends q when
+// p[1:] == q[:k-2] (AprioriAll-style join for event sequences), and prunes
+// candidates with an infrequent contiguous (k-1)-subsequence obtained by
+// dropping the first or last element; dropping interior elements is also
+// checked against the frequent set.
+func GenerateCandidates(prev []Sequence) []Sequence {
+	if len(prev) == 0 {
+		return nil
+	}
+	k := len(prev[0]) + 1
+	inPrev := make(map[string]bool, len(prev))
+	// Index by (k-2)-prefix for the join.
+	byPrefix := map[string][]Sequence{}
+	for _, s := range prev {
+		inPrev[s.Key()] = true
+		byPrefix[s[:len(s)-1].Key()] = append(byPrefix[s[:len(s)-1].Key()], s)
+	}
+	var cands []Sequence
+	for _, a := range prev {
+		// Join a with every q whose prefix equals a's suffix.
+		for _, b := range byPrefix[a[1:].Key()] {
+			cand := make(Sequence, 0, k)
+			cand = append(cand, a...)
+			cand = append(cand, b[len(b)-1])
+			// Prune: every (k-1)-subsequence obtained by dropping one
+			// element must be frequent.
+			ok := true
+			for drop := 0; drop < k && ok; drop++ {
+				sub := make(Sequence, 0, k-1)
+				sub = append(sub, cand[:drop]...)
+				sub = append(sub, cand[drop+1:]...)
+				if !inPrev[sub.Key()] {
+					ok = false
+				}
+			}
+			if ok {
+				cands = append(cands, cand)
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Less(cands[j]) })
+	// Deduplicate (the join can emit duplicates only if prev had them, but
+	// stay defensive).
+	out := cands[:0]
+	var last string
+	for _, c := range cands {
+		k := c.Key()
+		if k != last {
+			out = append(out, c)
+			last = k
+		}
+	}
+	return out
+}
+
+func countParallel(d *Dataset, tr *trie, procs int) []int64 {
+	local := make([][]int64, procs)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			counts := make([]int64, tr.numPatterns())
+			ctx := tr.newCtx()
+			lo, hi := p*d.Len()/procs, (p+1)*d.Len()/procs
+			for _, s := range d.Sequences[lo:hi] {
+				ctx.countSequence(s, counts)
+			}
+			local[p] = counts
+		}(p)
+	}
+	wg.Wait()
+	total := make([]int64, tr.numPatterns())
+	for p := 0; p < procs; p++ {
+		for i, c := range local[p] {
+			total[i] += c
+		}
+	}
+	return total
+}

@@ -1,0 +1,275 @@
+package seqpat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/itemset"
+)
+
+func seq(items ...itemset.Item) Sequence { return Sequence(items) }
+
+func TestContainsSubsequence(t *testing.T) {
+	s := seq(1, 3, 2, 3, 5)
+	yes := []Sequence{{}, {1}, {3, 3}, {1, 2, 5}, {1, 3, 2, 3, 5}, {3, 2, 5}}
+	for _, sub := range yes {
+		if !s.ContainsSubsequence(sub) {
+			t.Errorf("%v should contain %v", s, sub)
+		}
+	}
+	no := []Sequence{{2, 1}, {5, 3}, {3, 3, 3}, {1, 3, 2, 3, 5, 7}, {4}}
+	for _, sub := range no {
+		if s.ContainsSubsequence(sub) {
+			t.Errorf("%v should not contain %v", s, sub)
+		}
+	}
+}
+
+func TestSequenceLessAndKey(t *testing.T) {
+	if !seq(1, 2).Less(seq(1, 3)) || seq(1, 3).Less(seq(1, 2)) {
+		t.Error("Less ordering wrong")
+	}
+	if !seq(1).Less(seq(1, 0)) {
+		t.Error("prefix should sort first")
+	}
+	if seq(1, 2).Key() == seq(2, 1).Key() {
+		t.Error("Key must distinguish order")
+	}
+	if seq(1, 2).String() != "<1 2>" {
+		t.Errorf("String = %q", seq(1, 2).String())
+	}
+}
+
+func TestGenerateCandidatesJoin(t *testing.T) {
+	// prev = {<1 2>, <2 3>, <2 2>}: joins <1 2>+<2 3> → <1 2 3>,
+	// <1 2>+<2 2> → <1 2 2>, <2 2>+<2 3> → <2 2 3>, <2 2>+<2 2> → <2 2 2>.
+	// Pruning requires all 2-subsequences frequent: <1 2 3> needs <1 3> —
+	// absent → pruned. <1 2 2> needs <1 2>, <1 2>, <2 2> — present: kept.
+	prev := []Sequence{seq(1, 2), seq(2, 3), seq(2, 2)}
+	cands := GenerateCandidates(prev)
+	got := map[string]bool{}
+	for _, c := range cands {
+		got[c.String()] = true
+	}
+	for _, want := range []string{"<1 2 2>", "<2 2 2>", "<2 2 3>"} {
+		if !got[want] {
+			t.Errorf("missing candidate %s (got %v)", want, cands)
+		}
+	}
+	if got["<1 2 3>"] {
+		t.Error("<1 2 3> should be pruned (<1 3> infrequent)")
+	}
+}
+
+func TestGenerateCandidatesEmpty(t *testing.T) {
+	if got := GenerateCandidates(nil); got != nil {
+		t.Errorf("empty prev → %v", got)
+	}
+}
+
+func TestMineTinyDataset(t *testing.T) {
+	d := &Dataset{}
+	d.Append(seq(1, 2, 3))
+	d.Append(seq(1, 2, 3, 4))
+	d.Append(seq(1, 3, 2))
+	d.Append(seq(2, 1, 3))
+	res, err := Mine(d, Options{AbsSupport: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// <1 3> appears in customers 1, 2, 3 (and 4? <2 1 3>: yes 1 before 3) → 4.
+	if got := res.SupportOf(seq(1, 3)); got != 4 {
+		t.Errorf("support(<1 3>) = %d, want 4", got)
+	}
+	// <1 2 3> appears in customers 1, 2 only → below support 3.
+	if got := res.SupportOf(seq(1, 2, 3)); got != 0 {
+		t.Errorf("<1 2 3> should be infrequent, got %d", got)
+	}
+	// <3 2> appears in customers 3 only → infrequent.
+	if got := res.SupportOf(seq(3, 2)); got != 0 {
+		t.Errorf("<3 2> support = %d", got)
+	}
+}
+
+// bruteMine enumerates frequent patterns exhaustively (grow-by-append over
+// frequent events).
+func bruteMine(d *Dataset, minCount int64, maxLen int) map[string]int64 {
+	support := func(p Sequence) int64 {
+		var c int64
+		for _, s := range d.Sequences {
+			if s.ContainsSubsequence(p) {
+				c++
+			}
+		}
+		return c
+	}
+	out := map[string]int64{}
+	var frontier []Sequence
+	for it := 0; it < d.NumItems; it++ {
+		p := seq(itemset.Item(it))
+		if c := support(p); c >= minCount {
+			out[p.Key()] = c
+			frontier = append(frontier, p)
+		}
+	}
+	for l := 2; len(frontier) > 0 && (maxLen == 0 || l <= maxLen); l++ {
+		var next []Sequence
+		for _, base := range frontier {
+			for it := 0; it < d.NumItems; it++ {
+				cand := append(base.Clone(), itemset.Item(it))
+				if c := support(cand); c >= minCount {
+					out[cand.Key()] = c
+					next = append(next, cand)
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+func TestMineMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := &Dataset{NumItems: 12}
+	for c := 0; c < 120; c++ {
+		l := 2 + rng.Intn(8)
+		s := make(Sequence, l)
+		for i := range s {
+			s[i] = itemset.Item(rng.Intn(12))
+		}
+		d.Append(s)
+	}
+	const minCount = 10
+	want := bruteMine(d, minCount, 0)
+	for _, hash := range []HashChoice{HashInterleaved, HashBitonic} {
+		for _, procs := range []int{1, 4} {
+			res, err := Mine(d, Options{AbsSupport: minCount, Procs: procs, Hash: hash})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := map[string]int64{}
+			for _, f := range res.All() {
+				got[f.Pattern.Key()] = f.Count
+			}
+			if len(got) != len(want) {
+				t.Fatalf("hash=%v procs=%d: %d patterns, want %d", hash, procs, len(got), len(want))
+			}
+			for k, c := range want {
+				if got[k] != c {
+					t.Fatalf("hash=%v procs=%d: support mismatch (%d vs %d)", hash, procs, got[k], c)
+				}
+			}
+		}
+	}
+}
+
+func TestMineFindsPlantedPatterns(t *testing.T) {
+	d, patterns, err := Generate(GenParams{C: 400, SeqLen: 12, NP: 8, PatLen: 3, N: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Mine(d, Options{MinSupport: 0.05, Procs: 2, Hash: HashBitonic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumPatterns() == 0 {
+		t.Fatal("nothing mined")
+	}
+	// At least one planted pattern of length ≥2 should be found verbatim.
+	found := 0
+	for _, p := range patterns {
+		if len(p) >= 2 && len(p) < len(res.ByLen) && res.SupportOf(p[:2]) > 0 {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Error("no planted pattern prefixes rediscovered")
+	}
+}
+
+func TestMineMaxLen(t *testing.T) {
+	d, _, _ := Generate(GenParams{C: 100, SeqLen: 10, NP: 5, PatLen: 3, N: 30, Seed: 7})
+	res, err := Mine(d, Options{MinSupport: 0.05, MaxLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ByLen) > 3 {
+		t.Errorf("MaxLen=2 produced %d levels", len(res.ByLen)-1)
+	}
+}
+
+func TestMineEmptyDataset(t *testing.T) {
+	res, err := Mine(&Dataset{NumItems: 5}, Options{MinSupport: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumPatterns() != 0 {
+		t.Error("empty dataset mined patterns")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, _, err := Generate(GenParams{C: -1, SeqLen: 5}); err == nil {
+		t.Error("negative C should fail")
+	}
+	if _, _, err := Generate(GenParams{C: 10, SeqLen: 0}); err == nil {
+		t.Error("zero SeqLen should fail")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a, _, _ := Generate(GenParams{C: 50, SeqLen: 8, Seed: 11})
+	b, _, _ := Generate(GenParams{C: 50, SeqLen: 8, Seed: 11})
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Sequences {
+		if a.Sequences[i].Key() != b.Sequences[i].Key() {
+			t.Fatal("sequences differ for same seed")
+		}
+	}
+}
+
+func TestRepeatedEventsInPatterns(t *testing.T) {
+	// Patterns with repeats must be representable and countable.
+	d := &Dataset{}
+	d.Append(seq(7, 7, 7))
+	d.Append(seq(7, 1, 7, 2, 7))
+	d.Append(seq(7, 7))
+	res, err := Mine(d, Options{AbsSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.SupportOf(seq(7, 7)); got != 3 {
+		t.Errorf("support(<7 7>) = %d, want 3", got)
+	}
+	if got := res.SupportOf(seq(7, 7, 7)); got != 2 {
+		t.Errorf("support(<7 7 7>) = %d, want 2", got)
+	}
+}
+
+func TestTrieBalanceBitonic(t *testing.T) {
+	// Bitonic rank hashing should not lose patterns vs interleaved.
+	rng := rand.New(rand.NewSource(9))
+	var cands []Sequence
+	for i := 0; i < 200; i++ {
+		cands = append(cands, seq(itemset.Item(rng.Intn(40)), itemset.Item(rng.Intn(40)), itemset.Item(rng.Intn(40))))
+	}
+	labels := make([]int32, 40)
+	for i := range labels {
+		labels[i] = int32(i)
+	}
+	for _, choice := range []HashChoice{HashInterleaved, HashBitonic} {
+		tr := newTrie(3, 4, labels, choice)
+		seen := map[string]bool{}
+		for _, c := range cands {
+			if !seen[c.Key()] {
+				seen[c.Key()] = true
+				tr.insert(c)
+			}
+		}
+		if tr.numPatterns() != len(seen) {
+			t.Errorf("%v: %d patterns stored, want %d", choice, tr.numPatterns(), len(seen))
+		}
+	}
+}

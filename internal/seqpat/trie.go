@@ -1,0 +1,200 @@
+package seqpat
+
+import (
+	"repro/internal/hashtree"
+	"repro/internal/itemset"
+	"repro/internal/partition"
+)
+
+// HashChoice selects the trie cell hash function.
+type HashChoice int
+
+const (
+	// HashInterleaved is id mod H.
+	HashInterleaved HashChoice = iota
+	// HashBitonic hashes frequent-event ranks with the bitonic function —
+	// the Section 4.1 balancing technique carried over to sequences.
+	HashBitonic
+)
+
+// fanoutFor applies the paper's adaptive fan-out rule to the candidate
+// count.
+func fanoutFor(numCands, k int) int {
+	return hashtree.AdaptiveFanout(int64(numCands), 8, k)
+}
+
+// trie is the shared candidate structure for length-k patterns: an ordered
+// analogue of the candidate hash tree. An internal node at depth d hashes a
+// pattern's d-th event; leaves hold pattern id lists. Patterns may repeat
+// events, so storage is a flat event arena rather than itemset.Itemset.
+type trie struct {
+	k      int
+	fanout int
+	choice HashChoice
+	labels []int32
+	nodes  []trieNode
+	pats   []itemset.Item // flat, k per pattern
+	nPat   int32
+	thresh int
+	// hashVec is precomputed at construction (immutable afterwards) so
+	// concurrent counting goroutines can share it without synchronization.
+	hashVec []int32
+}
+
+type trieNode struct {
+	depth    int32
+	children []int32
+	items    []int32
+}
+
+func (n *trieNode) isLeaf() bool { return n.children == nil }
+
+func newTrie(k, fanout int, labels []int32, choice HashChoice) *trie {
+	t := &trie{k: k, fanout: fanout, choice: choice, labels: labels, thresh: 8}
+	t.nodes = append(t.nodes, trieNode{depth: 0})
+	t.hashVec = make([]int32, len(labels))
+	for i := range t.hashVec {
+		t.hashVec[i] = t.cellSlow(itemset.Item(i))
+	}
+	return t
+}
+
+// cellSlow computes the hash without the precomputed vector.
+func (t *trie) cellSlow(it itemset.Item) int32 {
+	key := int(it)
+	if t.choice == HashBitonic && int(it) < len(t.labels) && t.labels[it] >= 0 {
+		key = int(t.labels[it])
+	}
+	if t.choice == HashBitonic {
+		return int32(partition.BitonicHash(key, t.fanout))
+	}
+	return int32(key % t.fanout)
+}
+
+func (t *trie) cell(it itemset.Item) int32 {
+	if int(it) < len(t.hashVec) && it >= 0 {
+		return t.hashVec[it]
+	}
+	return t.cellSlow(it)
+}
+
+func (t *trie) numPatterns() int { return int(t.nPat) }
+
+func (t *trie) pattern(id int32) Sequence {
+	return Sequence(t.pats[int(id)*t.k : int(id)*t.k+t.k]).Clone()
+}
+
+func (t *trie) patternView(id int32) Sequence {
+	return Sequence(t.pats[int(id)*t.k : int(id)*t.k+t.k])
+}
+
+// insert is single-threaded (the build phase is cheap relative to counting;
+// the paper's parallel build applies identically but is not needed here).
+func (t *trie) insert(p Sequence) int32 {
+	id := t.nPat
+	t.nPat++
+	t.pats = append(t.pats, p...)
+	cur := int32(0)
+	for {
+		n := &t.nodes[cur]
+		if n.isLeaf() {
+			n.items = append(n.items, id)
+			if len(n.items) > t.thresh && int(n.depth) < t.k {
+				t.split(cur)
+			}
+			return id
+		}
+		c := t.cell(p[n.depth])
+		child := n.children[c]
+		if child < 0 {
+			child = int32(len(t.nodes))
+			t.nodes = append(t.nodes, trieNode{depth: n.depth + 1})
+			t.nodes[cur].children[c] = child
+		}
+		cur = child
+	}
+}
+
+func (t *trie) split(id int32) {
+	n := &t.nodes[id]
+	n.children = make([]int32, t.fanout)
+	for i := range n.children {
+		n.children[i] = -1
+	}
+	old := n.items
+	n.items = nil
+	depth := n.depth
+	for _, pid := range old {
+		p := t.patternView(pid)
+		c := t.cell(p[depth])
+		child := t.nodes[id].children[c]
+		if child < 0 {
+			child = int32(len(t.nodes))
+			t.nodes = append(t.nodes, trieNode{depth: depth + 1})
+			t.nodes[id].children[c] = child
+		}
+		cn := &t.nodes[child]
+		cn.items = append(cn.items, pid)
+		if len(cn.items) > t.thresh && int(cn.depth) < t.k {
+			t.split(child)
+		}
+	}
+}
+
+// trieCtx is one processor's counting state: per-depth cell epochs (the
+// k·H visited scheme) — always short-circuited; sequences give the same
+// superset-coverage guarantee as sets.
+type trieCtx struct {
+	t     *trie
+	visit [][]uint64
+	epoch []uint64
+}
+
+func (t *trie) newCtx() *trieCtx {
+	ctx := &trieCtx{t: t}
+	ctx.visit = make([][]uint64, t.k+1)
+	for d := range ctx.visit {
+		ctx.visit[d] = make([]uint64, t.fanout)
+	}
+	ctx.epoch = make([]uint64, t.k+1)
+	return ctx
+}
+
+// countSequence increments counts for every pattern that is a subsequence
+// of s.
+func (ctx *trieCtx) countSequence(s Sequence, counts []int64) {
+	if len(s) < ctx.t.k {
+		return
+	}
+	ctx.walk(0, s, 0, counts)
+}
+
+func (ctx *trieCtx) walk(id int32, s Sequence, start int, counts []int64) {
+	t := ctx.t
+	n := &t.nodes[id]
+	if n.isLeaf() {
+		for _, pid := range n.items {
+			if s.ContainsSubsequence(t.patternView(pid)) {
+				counts[pid]++
+			}
+		}
+		return
+	}
+	d := int(n.depth)
+	ctx.epoch[d]++
+	ep := ctx.epoch[d]
+	row := ctx.visit[d]
+	limit := len(s) - t.k + d
+	for i := start; i <= limit; i++ {
+		c := t.cell(s[i])
+		if row[c] == ep {
+			continue
+		}
+		row[c] = ep
+		child := n.children[c]
+		if child < 0 {
+			continue
+		}
+		ctx.walk(child, s, i+1, counts)
+	}
+}

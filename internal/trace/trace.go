@@ -1,0 +1,56 @@
+// Package trace records the memory access pattern of the support-counting
+// phase as a compact per-processor stream of (address, op, size) events.
+// Traces are replayed through internal/cachesim to evaluate the placement
+// policies of Section 5 without needing control over the real heap.
+package trace
+
+import "repro/internal/mem"
+
+// Op distinguishes loads from stores.
+type Op uint8
+
+const (
+	Read Op = iota
+	Write
+)
+
+// Access is one memory reference. Size is in bytes (a multi-word reference
+// touches Size consecutive bytes starting at Addr).
+type Access struct {
+	Addr mem.Addr
+	Size uint16
+	Op   Op
+}
+
+// Buffer accumulates one processor's access stream.
+type Buffer struct {
+	Proc     int
+	Accesses []Access
+}
+
+// NewBuffer returns an empty buffer for processor proc, pre-sized for cap
+// accesses.
+func NewBuffer(proc, capacity int) *Buffer {
+	return &Buffer{Proc: proc, Accesses: make([]Access, 0, capacity)}
+}
+
+// Load appends a read of size bytes at addr.
+func (b *Buffer) Load(addr mem.Addr, size uint16) {
+	b.Accesses = append(b.Accesses, Access{Addr: addr, Size: size, Op: Read})
+}
+
+// Store appends a write of size bytes at addr.
+func (b *Buffer) Store(addr mem.Addr, size uint16) {
+	b.Accesses = append(b.Accesses, Access{Addr: addr, Size: size, Op: Write})
+}
+
+// Len returns the number of recorded accesses.
+func (b *Buffer) Len() int { return len(b.Accesses) }
+
+// Reset clears the buffer, retaining capacity.
+func (b *Buffer) Reset() { b.Accesses = b.Accesses[:0] }
+
+// Note on GPP remapping: translation happens *before* tracing — the hash
+// tree rewrites its per-component base addresses through the placer's remap
+// table and only then replays the counting phase — so buffers always hold
+// final addresses and no post-hoc translation pass is needed.

@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestBufferLoadStore(t *testing.T) {
+	b := NewBuffer(2, 4)
+	if b.Proc != 2 || b.Len() != 0 {
+		t.Fatalf("fresh buffer: %+v", b)
+	}
+	b.Load(0x100, 8)
+	b.Store(0x200, 4)
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if b.Accesses[0].Op != Read || b.Accesses[0].Addr != 0x100 || b.Accesses[0].Size != 8 {
+		t.Errorf("access 0 = %+v", b.Accesses[0])
+	}
+	if b.Accesses[1].Op != Write || b.Accesses[1].Addr != 0x200 {
+		t.Errorf("access 1 = %+v", b.Accesses[1])
+	}
+}
+
+func TestBufferReset(t *testing.T) {
+	b := NewBuffer(0, 2)
+	for i := 0; i < 100; i++ {
+		b.Load(mem.Addr(i), 4)
+	}
+	c := cap(b.Accesses)
+	b.Reset()
+	if b.Len() != 0 {
+		t.Error("Reset did not clear")
+	}
+	if cap(b.Accesses) != c {
+		t.Error("Reset dropped capacity")
+	}
+}
+
+func TestBufferGrowth(t *testing.T) {
+	b := NewBuffer(0, 1)
+	for i := 0; i < 10000; i++ {
+		b.Store(mem.Addr(i*64), 4)
+	}
+	if b.Len() != 10000 {
+		t.Errorf("Len = %d", b.Len())
+	}
+}
