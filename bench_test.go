@@ -318,6 +318,56 @@ func BenchmarkCounting(b *testing.B) {
 	}
 }
 
+// BenchmarkCountKernel is the allocation-visible view of the frozen-flat
+// counting kernel: one full database pass per op over a K=3 tree, reported
+// with allocs/op (must be 0) for each counter mode, batched and not. This is
+// the benchmark cmd/benchjson snapshots into BENCH_counting.json.
+func BenchmarkCountKernel(b *testing.B) {
+	d := benchDB(b, 10, 4, 1000)
+	res, err := apriori.Mine(d, apriori.Options{AbsSupport: 5, MaxK: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var f2 []itemset.Itemset
+	for _, f := range res.ByK[2] {
+		f2 = append(f2, f.Items)
+	}
+	cands, _, _ := apriori.GenerateCandidates(f2, false)
+	if len(cands) == 0 {
+		b.Skip("no 3-candidates at this scale")
+	}
+	tree, err := hashtree.Build(hashtree.Config{
+		K: 3, Threshold: 8, Hash: hashtree.HashBitonic, NumItems: d.NumItems(),
+	}, cands)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []hashtree.CounterMode{
+		hashtree.CounterLocked, hashtree.CounterAtomic, hashtree.CounterPrivate,
+	} {
+		for _, batch := range []bool{false, true} {
+			name := mode.String()
+			if batch {
+				name += "-batched"
+			}
+			b.Run(name, func(b *testing.B) {
+				counters := hashtree.NewCounters(mode, tree.NumCandidates(), 1)
+				ctx := tree.NewCountCtx(counters, hashtree.CountOpts{
+					ShortCircuit: true, BatchUpdates: batch,
+				})
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for t := 0; t < d.Len(); t++ {
+						ctx.CountTransaction(d.Items(t))
+					}
+					ctx.Flush()
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkPlacementAssign measures address assignment per policy.
 func BenchmarkPlacementAssign(b *testing.B) {
 	d := benchDB(b, 10, 4, 1000)

@@ -1,0 +1,135 @@
+// Command benchjson runs the counting-kernel microbenchmarks through
+// testing.Benchmark and writes a machine-readable snapshot (BENCH_counting.json
+// by default) with ns/op and allocs/op per configuration. CI runs it on every
+// push so kernel-performance and allocation regressions show up as an
+// artifact diff rather than a buried log line.
+//
+// Usage:
+//
+//	benchjson [-o BENCH_counting.json] [-d 2000]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/apriori"
+	"repro/internal/db"
+	"repro/internal/gen"
+	"repro/internal/hashtree"
+	"repro/internal/itemset"
+)
+
+// result is one benchmark configuration's measurement.
+type result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+type report struct {
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	// TxPerOp is how many transactions one benchmark op counts; ns_per_op /
+	// tx_per_op gives per-transaction cost.
+	TxPerOp int      `json:"tx_per_op"`
+	K       int      `json:"k"`
+	Results []result `json:"results"`
+}
+
+func buildTree(d *db.Database, k int) (*hashtree.Tree, error) {
+	res, err := apriori.Mine(d, apriori.Options{AbsSupport: 5, MaxK: k})
+	if err != nil {
+		return nil, err
+	}
+	if k >= len(res.ByK) {
+		return nil, fmt.Errorf("no frequent %d-itemsets", k-1)
+	}
+	var prev []itemset.Itemset
+	for _, f := range res.ByK[k-1] {
+		prev = append(prev, f.Items)
+	}
+	cands, _, _ := apriori.GenerateCandidates(prev, false)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("no %d-candidates", k)
+	}
+	return hashtree.Build(hashtree.Config{
+		K: k, Threshold: 8, Hash: hashtree.HashBitonic, NumItems: d.NumItems(),
+	}, cands)
+}
+
+func main() {
+	out := flag.String("o", "BENCH_counting.json", "output file")
+	dsize := flag.Int("d", 2000, "transactions in the benchmark database")
+	flag.Parse()
+
+	d, err := gen.Generate(gen.Params{T: 10, I: 4, D: *dsize, Seed: 1})
+	if err != nil {
+		fatal(err)
+	}
+	const k = 3
+	tree, err := buildTree(d, k)
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := report{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		TxPerOp:   d.Len(),
+		K:         k,
+	}
+	for _, mode := range []hashtree.CounterMode{
+		hashtree.CounterLocked, hashtree.CounterAtomic, hashtree.CounterPrivate,
+	} {
+		for _, batch := range []bool{false, true} {
+			name := "CountKernel/" + mode.String()
+			if batch {
+				name += "-batched"
+			}
+			counters := hashtree.NewCounters(mode, tree.NumCandidates(), 1)
+			ctx := tree.NewCountCtx(counters, hashtree.CountOpts{
+				ShortCircuit: true, BatchUpdates: batch,
+			})
+			br := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for t := 0; t < d.Len(); t++ {
+						ctx.CountTransaction(d.Items(t))
+					}
+					ctx.Flush()
+				}
+			})
+			rep.Results = append(rep.Results, result{
+				Name:        name,
+				NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+				AllocsPerOp: br.AllocsPerOp(),
+				BytesPerOp:  br.AllocedBytesPerOp(),
+				Iterations:  br.N,
+			})
+			fmt.Printf("%-32s %12.0f ns/op %6d allocs/op\n",
+				name, float64(br.T.Nanoseconds())/float64(br.N), br.AllocsPerOp())
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -176,6 +176,38 @@ func LabelsFromF1(f1 []FrequentItemset, numItems int) []int32 {
 	return labels
 }
 
+// PruneSet builds the (k-1)-subset membership set for candidate pruning: an
+// open-addressing hash set over the raw int32 item encodings of F_{k-1}.
+// Returns nil when no prune probes will be made (k ≤ 2), so callers can skip
+// the build.
+func PruneSet(fkPrev []itemset.Itemset) *itemset.Set {
+	if len(fkPrev) == 0 || fkPrev[0].K() < 2 {
+		return nil
+	}
+	set := itemset.NewSet(fkPrev[0].K(), len(fkPrev))
+	for _, s := range fkPrev {
+		set.Add(s)
+	}
+	return set
+}
+
+// JoinPrune is the per-pair hot step of candidate generation: it writes the
+// join prefix+a+b into scratch (len k) and runs the (k-1)-subset prune
+// against prev. The two subsets that formed the candidate are frequent by
+// construction, so only the k-2 subsets dropping an earlier position are
+// probed. Zero heap allocations; prev may be nil when k ≤ 2.
+func JoinPrune(prev *itemset.Set, scratch, prefix itemset.Itemset, a, b itemset.Item) bool {
+	n := copy(scratch, prefix)
+	scratch[n] = a
+	scratch[n+1] = b
+	for drop := 0; drop < len(scratch)-2; drop++ {
+		if !prev.ContainsSkip(scratch, drop) {
+			return false
+		}
+	}
+	return true
+}
+
 // GenerateCandidates joins sorted F_{k-1} with itself and prunes candidates
 // with an infrequent (k-1)-subset (Section 3.1.1). It returns the candidate
 // (k)-itemsets in lexicographic order plus join/prune accounting.
@@ -184,30 +216,11 @@ func GenerateCandidates(fkPrev []itemset.Itemset, naive bool) (cands []itemset.I
 		return nil, 0, 0
 	}
 	k := fkPrev[0].K() + 1
-	inPrev := make(map[string]bool, len(fkPrev))
-	for _, s := range fkPrev {
-		inPrev[s.Key()] = true
-	}
-	emit := func(cand itemset.Itemset) {
-		// Prune: the two subsets that formed the candidate are frequent by
-		// construction; test the remaining k-2 (all except dropping the
-		// last two positions).
-		ok := true
-		for drop := 0; drop < k-2; drop++ {
-			if !inPrev[cand.WithoutIndex(drop).Key()] {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			cands = append(cands, cand)
-		} else {
-			pruned++
-		}
-	}
+	inPrev := PruneSet(fkPrev)
 	if naive {
 		// Ablation: all C(|F|,2) pairs, joining only when the k-2 prefixes
 		// match (checked pairwise, not via classes).
+		scratch := make(itemset.Itemset, k)
 		for i := 0; i < len(fkPrev); i++ {
 			for j := i + 1; j < len(fkPrev); j++ {
 				joinPairs++
@@ -215,9 +228,17 @@ func GenerateCandidates(fkPrev []itemset.Itemset, naive bool) (cands []itemset.I
 				if !a[:k-2].Equal(b[:k-2]) {
 					continue
 				}
-				cand := a.Union(b)
-				if cand.K() == k {
-					emit(cand)
+				if a[k-2] == b[k-2] {
+					continue // union would not reach length k
+				}
+				lo, hi := a[k-2], b[k-2]
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				if JoinPrune(inPrev, scratch, a[:k-2], lo, hi) {
+					cands = append(cands, scratch.Clone())
+				} else {
+					pruned++
 				}
 			}
 		}
@@ -225,15 +246,17 @@ func GenerateCandidates(fkPrev []itemset.Itemset, naive bool) (cands []itemset.I
 		return cands, joinPairs, pruned
 	}
 	classes := itemset.Classes(fkPrev)
+	scratch := make(itemset.Itemset, k)
 	for ci := range classes {
 		cl := &classes[ci]
 		for i := 0; i < len(cl.Tails); i++ {
 			for j := i + 1; j < len(cl.Tails); j++ {
 				joinPairs++
-				cand := make(itemset.Itemset, 0, k)
-				cand = append(cand, cl.Prefix...)
-				cand = append(cand, cl.Tails[i], cl.Tails[j])
-				emit(cand)
+				if JoinPrune(inPrev, scratch, cl.Prefix, cl.Tails[i], cl.Tails[j]) {
+					cands = append(cands, scratch.Clone())
+				} else {
+					pruned++
+				}
 			}
 		}
 	}

@@ -320,3 +320,49 @@ func TestExtractFrequentSorted(t *testing.T) {
 		}
 	}
 }
+
+// TestJoinPruneZeroAlloc gates the per-pair join/prune hot path: forming a
+// candidate in the caller's scratch and probing the (k-1)-subset set must not
+// touch the heap.
+func TestJoinPruneZeroAlloc(t *testing.T) {
+	prev := []itemset.Itemset{
+		itemset.New(1, 2, 3), itemset.New(1, 2, 4), itemset.New(1, 3, 4),
+		itemset.New(2, 3, 4), itemset.New(1, 2, 5), itemset.New(1, 3, 5),
+	}
+	set := PruneSet(prev)
+	scratch := make(itemset.Itemset, 4)
+	prefix := itemset.New(1, 2)
+	allocs := testing.AllocsPerRun(200, func() {
+		JoinPrune(set, scratch, prefix, 3, 4) // survives
+		JoinPrune(set, scratch, prefix, 4, 5) // pruned: (2 4 5) infrequent
+	})
+	if allocs != 0 {
+		t.Fatalf("JoinPrune allocates: %v allocs/op", allocs)
+	}
+}
+
+// TestJoinPruneSemantics spot-checks survive/prune decisions against the
+// subset definition.
+func TestJoinPruneSemantics(t *testing.T) {
+	prev := []itemset.Itemset{
+		itemset.New(1, 2, 3), itemset.New(1, 2, 4), itemset.New(1, 3, 4),
+		itemset.New(2, 3, 4),
+	}
+	set := PruneSet(prev)
+	scratch := make(itemset.Itemset, 4)
+	// (1 2 3 4): all 3-subsets frequent.
+	if !JoinPrune(set, scratch, itemset.New(1, 2), 3, 4) {
+		t.Error("(1 2 3 4) should survive")
+	}
+	if !scratch.Equal(itemset.New(1, 2, 3, 4)) {
+		t.Errorf("scratch = %v, want (1 2 3 4)", scratch)
+	}
+	// Joining (1 2 3)+(1 2 5): subset (1 3 5) missing.
+	if JoinPrune(set, scratch, itemset.New(1, 2), 3, 5) {
+		t.Error("(1 2 3 5) should be pruned")
+	}
+	// K=2: nil prune set, every pair survives.
+	if !JoinPrune(nil, make(itemset.Itemset, 2), nil, 7, 9) {
+		t.Error("k=2 pairs must always survive")
+	}
+}

@@ -10,7 +10,6 @@ package ccpd
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -243,10 +242,14 @@ func Mine(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 				defer wg.Done()
 				ctx := tree.NewCountCtx(counters, hashtree.CountOpts{
 					ShortCircuit: opts.ShortCircuit, Proc: p,
+					// Batch shared-counter updates to cut lock/atomic
+					// contention on hot candidates (no-op for private mode).
+					BatchUpdates: true,
 				})
 				slices[p].ForEach(func(_ int64, items itemset.Itemset) {
 					ctx.CountTransaction(items)
 				})
+				ctx.Flush()
 				pt.CountWork[p] = ctx.Work
 			}(p)
 		}
@@ -311,13 +314,13 @@ func parallelFrequentOne(d *db.Database, minCount int64, procs int) []apriori.Fr
 // join when there is too little work.
 func generateParallel(prev []itemset.Itemset, opts Options) ([]itemset.Itemset, bool, []int64) {
 	classes := itemset.Classes(prev)
-	var sizes []int
+	sizes := make([]int, len(classes))
 	for i := range classes {
-		sizes = append(sizes, classes[i].Size())
+		sizes[i] = classes[i].Size()
 	}
 	costs, units := partition.MultiClassCosts(sizes)
-	k0 := prev[0].K() + 1
-	perPair := int64(hashtree.WorkJoinPair + (k0-2)*hashtree.WorkPruneCheck)
+	k := prev[0].K() + 1
+	perPair := int64(hashtree.WorkJoinPair + (k-2)*hashtree.WorkPruneCheck)
 	if opts.Procs == 1 || len(units) < opts.AdaptiveMinUnits {
 		cands, joinPairs, _ := apriori.GenerateCandidates(prev, opts.NaiveJoin)
 		// Sequential generation: all work on processor 0.
@@ -336,11 +339,17 @@ func generateParallel(prev []itemset.Itemset, opts Options) ([]itemset.Itemset, 
 		assign = partition.Block(len(units), opts.Procs)
 	}
 
-	inPrev := make(map[string]bool, len(prev))
-	for _, s := range prev {
-		inPrev[s.Key()] = true
+	// Invert the assignment once: each worker receives only its own unit
+	// list instead of all P workers scanning every entry of assign.Bucket.
+	// Unit ids stay ascending within each list, which keeps every worker's
+	// output lexicographically sorted (classes are in prefix order and a
+	// unit's candidates are ordered by tail pair).
+	perProc := make([][]int32, opts.Procs)
+	for u, b := range assign.Bucket {
+		perProc[b] = append(perProc[b], int32(u))
 	}
-	k := prev[0].K() + 1
+
+	inPrev := apriori.PruneSet(prev)
 
 	locals := make([][]itemset.Itemset, opts.Procs)
 	genWork := make([]int64, opts.Procs)
@@ -350,26 +359,19 @@ func generateParallel(prev []itemset.Itemset, opts Options) ([]itemset.Itemset, 
 		go func(p int) {
 			defer wg.Done()
 			var out []itemset.Itemset
-			for u, b := range assign.Bucket {
-				if b != p {
-					continue
-				}
+			scratch := make(itemset.Itemset, k)
+			// Per-worker arena: surviving candidates are copied into one
+			// growing block instead of one heap object per candidate.
+			arena := make([]itemset.Item, 0, 64*k)
+			for _, u := range perProc[p] {
 				cu := units[u]
 				cl := &classes[cu.Class]
 				genWork[p] += int64(len(cl.Tails)-cu.Pos-1) * perPair
 				for j := cu.Pos + 1; j < len(cl.Tails); j++ {
-					cand := make(itemset.Itemset, 0, k)
-					cand = append(cand, cl.Prefix...)
-					cand = append(cand, cl.Tails[cu.Pos], cl.Tails[j])
-					ok := true
-					for drop := 0; drop < k-2; drop++ {
-						if !inPrev[cand.WithoutIndex(drop).Key()] {
-							ok = false
-							break
-						}
-					}
-					if ok {
-						out = append(out, cand)
+					if apriori.JoinPrune(inPrev, scratch, cl.Prefix, cl.Tails[cu.Pos], cl.Tails[j]) {
+						n := len(arena)
+						arena = append(arena, scratch...)
+						out = append(out, itemset.Itemset(arena[n : n+k : n+k]))
 					}
 				}
 			}
@@ -377,10 +379,44 @@ func generateParallel(prev []itemset.Itemset, opts Options) ([]itemset.Itemset, 
 		}(p)
 	}
 	wg.Wait()
-	var all []itemset.Itemset
+	return mergeSortedCandidates(locals), false, genWork
+}
+
+// mergeSortedCandidates k-way merges the per-processor (already
+// lexicographically sorted) candidate lists, replacing the former global
+// sort's serial O(C log C) tail with an O(C·P) pass.
+func mergeSortedCandidates(locals [][]itemset.Itemset) []itemset.Itemset {
+	nonEmpty, total := 0, 0
 	for _, l := range locals {
-		all = append(all, l...)
+		if len(l) > 0 {
+			nonEmpty++
+			total += len(l)
+		}
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].Less(all[j]) })
-	return all, false, genWork
+	if total == 0 {
+		return nil
+	}
+	if nonEmpty == 1 {
+		for _, l := range locals {
+			if len(l) > 0 {
+				return l
+			}
+		}
+	}
+	out := make([]itemset.Itemset, 0, total)
+	idx := make([]int, len(locals))
+	for len(out) < total {
+		best := -1
+		for p := range locals {
+			if idx[p] >= len(locals[p]) {
+				continue
+			}
+			if best < 0 || locals[p][idx[p]].Less(locals[best][idx[best]]) {
+				best = p
+			}
+		}
+		out = append(out, locals[best][idx[best]])
+		idx[best]++
+	}
+	return out
 }

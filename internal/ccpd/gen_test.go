@@ -1,0 +1,68 @@
+package ccpd
+
+import (
+	"testing"
+
+	"repro/internal/apriori"
+	"repro/internal/hashtree"
+	"repro/internal/itemset"
+)
+
+// TestGenerateParallelMatchesSequential checks the parallel candidate
+// generation directly against apriori.GenerateCandidates: identical candidate
+// lists in identical (lexicographic) order, for every balance scheme and
+// several processor counts. Order equality is what validates the k-way merge
+// of per-processor outputs.
+func TestGenerateParallelMatchesSequential(t *testing.T) {
+	d := testDB(t)
+	res, err := apriori.Mine(d, apriori.Options{MinSupport: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := 0
+	for k := 2; k < len(res.ByK); k++ {
+		prev := make([]itemset.Itemset, len(res.ByK[k]))
+		for i, f := range res.ByK[k] {
+			prev[i] = f.Items
+		}
+		if len(prev) == 0 {
+			continue
+		}
+		levels++
+		want, wantPairs, _ := apriori.GenerateCandidates(prev, false)
+		for _, b := range []BalanceScheme{BalanceBlock, BalanceInterleaved, BalanceBitonic} {
+			for _, procs := range []int{2, 3, 8} {
+				opts := Options{Procs: procs, Balance: b, AdaptiveMinUnits: 1}
+				opts.Options = apriori.Options{}
+				got, seq, genWork := generateParallel(prev, opts.withDefaults())
+				if seq {
+					t.Fatalf("k=%d %v procs=%d: fell back to sequential with cutoff 1", k+1, b, procs)
+				}
+				if len(genWork) != procs {
+					t.Fatalf("k=%d %v procs=%d: genWork len %d", k+1, b, procs, len(genWork))
+				}
+				var totalWork int64
+				for _, w := range genWork {
+					totalWork += w
+				}
+				perPair := int64(hashtree.WorkJoinPair + (prev[0].K()-1)*hashtree.WorkPruneCheck)
+				if totalWork != wantPairs*perPair {
+					t.Errorf("k=%d %v procs=%d: total gen work %d, want %d",
+						k+1, b, procs, totalWork, wantPairs*perPair)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("k=%d %v procs=%d: %d candidates, want %d", k+1, b, procs, len(got), len(want))
+				}
+				for i := range want {
+					if !got[i].Equal(want[i]) {
+						t.Fatalf("k=%d %v procs=%d: candidate[%d] = %v, want %v (merge order broken)",
+							k+1, b, procs, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+	if levels < 2 {
+		t.Fatalf("only %d candidate-generation levels exercised; weak test", levels)
+	}
+}

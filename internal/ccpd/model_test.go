@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/apriori"
+	"repro/internal/gen"
 )
 
 // optsFor builds mining options at a support fraction.
@@ -63,6 +64,31 @@ func TestModelTimeDecreasesWithProcs(t *testing.T) {
 			t.Errorf("ModelTime did not shrink at P=%d: %d >= %d", procs, mt, prev)
 		}
 		prev = mt
+	}
+}
+
+// TestModelTimePinned pins the deterministic work-model totals on a fixed
+// dataset. The model is the substitute for parallel wall-clock (see
+// DESIGN.md), so layout or traversal rewrites of the counting kernel must
+// leave these numbers bit-identical; a change here means the cost model
+// moved, which invalidates the regenerated figures until re-derived.
+func TestModelTimePinned(t *testing.T) {
+	d, err := gen.Generate(gen.Params{T: 10, I: 4, D: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]int64{1: 13435543, 4: 3719619}
+	for _, procs := range []int{1, 4} {
+		_, st, err := Mine(d, Options{
+			Options: apriori.Options{AbsSupport: 10, ShortCircuit: true},
+			Procs:   procs, Balance: BalanceBitonic, AdaptiveMinUnits: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := st.ModelTime(); got != want[procs] {
+			t.Errorf("procs=%d: ModelTime = %d, want %d (work model changed)", procs, got, want[procs])
+		}
 	}
 }
 

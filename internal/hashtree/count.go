@@ -1,6 +1,7 @@
 package hashtree
 
 import (
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -81,6 +82,23 @@ func (c *Counters) add(id int32, proc int) {
 	}
 }
 
+// addN adds n to candidate id's counter — one synchronization event per call
+// regardless of n, which is what makes batched flushing cheaper than n
+// individual adds under the locked and atomic modes.
+func (c *Counters) addN(id int32, n int64, proc int) {
+	switch c.Mode {
+	case CounterPrivate:
+		c.priv[proc][id] += n
+	case CounterLocked:
+		l := &c.locks[uint32(id)%lockStripes]
+		l.Lock()
+		c.shared[id] += n
+		l.Unlock()
+	default:
+		atomic.AddInt64(&c.shared[id], n)
+	}
+}
+
 // Reduce folds private arrays into the shared totals (no-op for shared
 // modes). Call once after all counting completes.
 func (c *Counters) Reduce() {
@@ -114,6 +132,12 @@ type CountOpts struct {
 	ShortCircuit bool
 	// Proc is the processor identity (private counters, trace attribution).
 	Proc int
+	// BatchUpdates buffers counter increments per context and flushes them
+	// in aggregated batches, cutting the number of lock/atomic RMW events on
+	// hot candidates under the shared-counter modes. Callers that enable it
+	// MUST call Flush after their last CountTransaction, before reading
+	// counts. Ignored for CounterPrivate (already synchronization-free).
+	BatchUpdates bool
 }
 
 // Deterministic work-unit costs for the counting cost model. On a host
@@ -131,122 +155,246 @@ const (
 	WorkItemScan   = 1 // read one transaction item (iteration 1)
 )
 
-// CountCtx is one processor's reusable counting state: the k·H visited
-// flags of the reduced-memory short-circuit scheme, per-leaf visit stamps
-// for the base case, and a snapshot of the (now immutable) tree.
+// batchCap sizes the per-context update buffer: small enough to stay L1/L2
+// resident, large enough that a flush amortizes its sort over many updates.
+const batchCap = 256
+
+// walkFrame is one level of the explicit traversal stack: the node's hash
+// table offset, the next transaction item index to probe, and the node's
+// short-circuit epoch. The frame index in the stack equals the node depth.
+type walkFrame struct {
+	base int32  // childBase of the internal node
+	i    int32  // next items[] position to hash at this level
+	ep   uint64 // this expansion's epoch (short-circuit mode)
+}
+
+// CountCtx is one processor's reusable counting state over the frozen flat
+// tree: the k·H visited epochs of the reduced-memory short-circuit scheme,
+// per-leaf visit stamps for the base case, the explicit descent stack, and
+// an optional batched counter-update buffer. All state is allocated once at
+// construction; CountTransaction performs zero heap allocations.
 type CountCtx struct {
 	t    *Tree
+	f    *Flat
 	opts CountOpts
 
 	// Work accumulates deterministic work units (see the work* constants);
-	// the harness uses max-over-processors as the modelled parallel time.
+	// the harness uses max-over-processors work as the modelled parallel time.
 	Work int64
 
-	nodes []*node
-	cands []itemset.Item
-
-	// visit[d][c] holds the epoch in which cell c at recursion depth d was
-	// last taken; one H-sized row per level — the k·H·P scheme. Epochs
-	// avoid clearing rows between expansions.
-	visit [][]uint64
+	// visit[d·H+c] holds the epoch in which cell c at depth d was last
+	// taken; one H-sized row per level — the k·H·P scheme. Epochs avoid
+	// clearing rows between expansions.
+	visit []uint64
 	epoch []uint64 // per-depth expansion serial
 
 	// leafStamp[node] holds the transaction serial of the last visit, for
-	// leaf-only deduplication when short-circuiting is off.
+	// leaf-only deduplication when short-circuiting is off. Indexed by flat
+	// (DFS-order) node id.
 	leafStamp []uint64
 	txSerial  uint64
 
+	// itemStamp[it] == txSerial ⇔ item it occurs in the current transaction,
+	// turning the per-candidate containment merge into k O(1) probes. Sized
+	// by Flat.stampLen; nil disables the fast path (negative candidate items).
+	itemStamp []uint64
+
+	stack []walkFrame
+
 	counters *Counters
+	batch    []int32 // pending candidate-id increments (nil ⇔ unbatched)
+	batchLen int
 }
 
-// NewCountCtx prepares a context. The tree must be fully built.
+// NewCountCtx prepares a context, sealing the tree into its flat form on
+// first use. The tree must be fully built.
 func (t *Tree) NewCountCtx(counters *Counters, opts CountOpts) *CountCtx {
+	f := t.Freeze()
 	ctx := &CountCtx{
 		t:        t,
+		f:        f,
 		opts:     opts,
-		nodes:    t.nodes,
-		cands:    t.cands,
 		counters: counters,
 	}
-	k := t.cfg.K
-	ctx.visit = make([][]uint64, k+1)
-	for d := range ctx.visit {
-		ctx.visit[d] = make([]uint64, t.cfg.Fanout)
-	}
+	k := f.k
+	ctx.visit = make([]uint64, (k+1)*f.fanout)
 	ctx.epoch = make([]uint64, k+1)
-	ctx.leafStamp = make([]uint64, len(t.nodes))
+	ctx.leafStamp = make([]uint64, f.NumNodes())
+	if f.stampLen > 0 {
+		ctx.itemStamp = make([]uint64, f.stampLen)
+	}
+	ctx.stack = make([]walkFrame, k+1)
+	if opts.BatchUpdates && counters != nil && counters.Mode != CounterPrivate {
+		ctx.batch = make([]int32, batchCap)
+	}
 	return ctx
-}
-
-// candidateOf returns the snapshot view of a candidate's itemset.
-func (ctx *CountCtx) candidateOf(id int32) itemset.Itemset {
-	k := ctx.t.cfg.K
-	return itemset.Itemset(ctx.cands[int(id)*k : int(id)*k+k])
 }
 
 // CountTransaction updates support counts for every candidate contained in
 // the transaction, walking the tree as in Section 2.1.2: at depth d hash on
-// the transaction items that can still start a valid k-subset suffix.
+// the transaction items that can still start a valid k-subset suffix. The
+// traversal is iterative over the frozen SoA layout — no recursion, no heap
+// allocation — but visits nodes in exactly the order of the recursive walk,
+// so counts, traces and modelled work units are bit-identical to it.
 func (ctx *CountCtx) CountTransaction(items itemset.Itemset) {
-	k := ctx.t.cfg.K
+	f := ctx.f
+	k := f.k
 	if len(items) < k {
 		return
 	}
 	ctx.txSerial++
-	ctx.walk(0, items, 0)
+	if stamp := ctx.itemStamp; stamp != nil {
+		n := itemset.Item(len(stamp))
+		for _, it := range items {
+			if it >= 0 && it < n {
+				stamp[it] = ctx.txSerial
+			}
+		}
+	}
+	sc := ctx.opts.ShortCircuit
+	H := int32(f.fanout)
+
+	ctx.Work += WorkNodeVisit
+	rootBase := f.childBase[0]
+	if rootBase < 0 {
+		ctx.scanLeaf(0, items)
+		return
+	}
+	var ep uint64
+	if sc {
+		ctx.epoch[0]++
+		ep = ctx.epoch[0]
+	}
+	stack := ctx.stack
+	stack[0] = walkFrame{base: rootBase, i: 0, ep: ep}
+	depth := 0
+	for depth >= 0 {
+		fr := &stack[depth]
+		// Items start..(n-k+d) at this level (paper: "hash on the remaining
+		// items i through (n-k+1)+d").
+		limit := int32(len(items) - k + depth)
+		descended := false
+		for fr.i <= limit {
+			c := f.cell(items[fr.i])
+			fr.i++
+			ctx.Work += WorkCellProbe
+			if sc {
+				cell := int32(depth)*H + c
+				if ctx.visit[cell] == fr.ep {
+					continue // short-circuit: subtree already processed
+				}
+				ctx.visit[cell] = fr.ep
+			}
+			child := f.children[fr.base+c]
+			if child < 0 {
+				continue
+			}
+			ctx.Work += WorkNodeVisit
+			childBase := f.childBase[child]
+			if childBase < 0 {
+				ctx.scanLeaf(child, items)
+				continue
+			}
+			depth++
+			var cep uint64
+			if sc {
+				ctx.epoch[depth]++
+				cep = ctx.epoch[depth]
+			}
+			stack[depth] = walkFrame{base: childBase, i: fr.i, ep: cep}
+			descended = true
+			break
+		}
+		if !descended {
+			depth--
+		}
+	}
 }
 
-// walk processes node id; transaction items from position start onward are
-// candidates for hashing at this node's depth.
-func (ctx *CountCtx) walk(id int32, items itemset.Itemset, start int) {
-	n := ctx.nodes[id]
-	k := ctx.t.cfg.K
-	ctx.Work += WorkNodeVisit
-	if n.isLeaf() {
-		if !ctx.opts.ShortCircuit {
-			// Base case: leaf-level VISITED stamp prevents double counting
-			// when multiple root paths reach the same leaf.
-			if ctx.leafStamp[id] == ctx.txSerial {
-				return
-			}
-			ctx.leafStamp[id] = ctx.txSerial
+// scanLeaf runs the containment merge over one leaf's candidate list.
+func (ctx *CountCtx) scanLeaf(node int32, items itemset.Itemset) {
+	if !ctx.opts.ShortCircuit {
+		// Base case: leaf-level VISITED stamp prevents double counting
+		// when multiple root paths reach the same leaf.
+		if ctx.leafStamp[node] == ctx.txSerial {
+			return
 		}
-		// A leaf scan walks one list node and runs a containment merge over
-		// a k-itemset, so its cost grows with k.
-		ctx.Work += int64(len(n.items)) * int64(WorkLeafCand+k)
-		for _, cand := range n.items {
-			if items.Contains(ctx.candidateOf(cand)) {
-				ctx.counters.add(cand, ctx.opts.Proc)
+		ctx.leafStamp[node] = ctx.txSerial
+	}
+	f := ctx.f
+	k := f.k
+	lo, hi := f.leafStart[node], f.leafStart[node+1]
+	// A leaf scan walks one list node and runs a containment merge over a
+	// k-itemset, so its cost grows with k.
+	ctx.Work += int64(hi-lo) * int64(WorkLeafCand+k)
+	if stamp := ctx.itemStamp; stamp != nil {
+		serial := ctx.txSerial
+		cands := f.cands
+		for _, cand := range f.leafItems[lo:hi] {
+			base := int(cand) * k
+			contained := true
+			for _, it := range cands[base : base+k] {
+				if stamp[it] != serial {
+					contained = false
+					break
+				}
+			}
+			if contained {
+				ctx.bump(cand)
 				ctx.Work += WorkCtrUpdate
 			}
 		}
 		return
 	}
-	d := int(n.depth)
-	var row []uint64
-	var ep uint64
-	if ctx.opts.ShortCircuit {
-		ctx.epoch[d]++
-		ep = ctx.epoch[d]
-		row = ctx.visit[d]
-	}
-	// Items 0..n-k+d at this level (paper: "hash on the remaining items i
-	// through (n-k+1)+d").
-	limit := len(items) - k + d
-	for i := start; i <= limit; i++ {
-		c := ctx.t.cell(items[i])
-		ctx.Work += WorkCellProbe
-		if ctx.opts.ShortCircuit {
-			if row[c] == ep {
-				continue // short-circuit: subtree already processed
-			}
-			row[c] = ep
+	for _, cand := range f.leafItems[lo:hi] {
+		if items.Contains(f.candidate(cand)) {
+			ctx.bump(cand)
+			ctx.Work += WorkCtrUpdate
 		}
-		child := n.children[c]
-		if child < 0 {
+	}
+}
+
+// bump records one support increment, buffering it when batching is on.
+func (ctx *CountCtx) bump(cand int32) {
+	if ctx.batch == nil {
+		ctx.counters.add(cand, ctx.opts.Proc)
+		return
+	}
+	ctx.batch[ctx.batchLen] = cand
+	ctx.batchLen++
+	if ctx.batchLen == len(ctx.batch) {
+		ctx.flushBatch()
+	}
+}
+
+// flushBatch sorts the pending ids and applies one addN per distinct
+// candidate, so b buffered hits on a hot candidate cost one RMW instead of b
+// (and locked-mode flushes take each stripe lock in runs).
+func (ctx *CountCtx) flushBatch() {
+	pend := ctx.batch[:ctx.batchLen]
+	if len(pend) == 0 {
+		return
+	}
+	slices.Sort(pend)
+	run := int64(1)
+	for i := 1; i < len(pend); i++ {
+		if pend[i] == pend[i-1] {
+			run++
 			continue
 		}
-		ctx.walk(child, items, i+1)
+		ctx.counters.addN(pend[i-1], run, ctx.opts.Proc)
+		run = 1
+	}
+	ctx.counters.addN(pend[len(pend)-1], run, ctx.opts.Proc)
+	ctx.batchLen = 0
+}
+
+// Flush publishes any buffered counter updates. Required after the last
+// CountTransaction when the context was created with BatchUpdates; a no-op
+// otherwise.
+func (ctx *CountCtx) Flush() {
+	if ctx.batch != nil {
+		ctx.flushBatch()
 	}
 }
 
@@ -254,20 +402,20 @@ func (ctx *CountCtx) walk(id int32, items itemset.Itemset, start int) {
 // context: k·H epoch words — the reduced scheme. The full scheme of the
 // paper's first cut would need H^k flags.
 func (ctx *CountCtx) VisitedMemoryBytes() int64 {
-	var b int64
-	for _, row := range ctx.visit {
-		b += int64(len(row)) * 8
-	}
-	return b
+	return int64(len(ctx.visit)) * 8
 }
 
 // CountDatabase is a sequential convenience: counts every transaction
-// through a fresh context and returns the counters.
+// through a fresh context and returns the reduced counters. The scan is
+// single-threaded, so it uses private (unsynchronized) counters — the
+// sequential baseline must not pay atomic-RMW or locking cost.
 func (t *Tree) CountDatabase(transactions []itemset.Itemset, opts CountOpts) *Counters {
-	counters := NewCounters(CounterAtomic, t.NumCandidates(), 1)
+	counters := NewCounters(CounterPrivate, t.NumCandidates(), 1)
+	opts.Proc = 0
 	ctx := t.NewCountCtx(counters, opts)
 	for _, tx := range transactions {
 		ctx.CountTransaction(tx)
 	}
+	counters.Reduce()
 	return counters
 }

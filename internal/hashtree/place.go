@@ -176,54 +176,74 @@ func (p *Placement) BytesUsed() (tree, rw, private uint64) { return p.placer.Byt
 
 // TraceCtx replays the counting walk of one processor as a memory trace
 // while also producing real support counts (so traced and untraced runs can
-// be cross-checked).
+// be cross-checked). The replay keeps the recursive walk over the original
+// pointer nodes — its addresses model the malloc'd layout and are keyed by
+// creation-order node ids — so freezing the tree for the fast kernel does
+// not perturb trace semantics.
 type TraceCtx struct {
-	p   *Placement
-	ctx *CountCtx
+	p        *Placement
+	t        *Tree
+	opts     CountOpts
+	counters *Counters
+
+	visit     [][]uint64
+	epoch     []uint64
+	leafStamp []uint64 // by creation-order node id
+	txSerial  uint64
+
 	Buf *trace.Buffer
 }
 
 // NewTraceCtx builds a tracing context for processor proc.
 func (p *Placement) NewTraceCtx(counters *Counters, opts CountOpts, capacity int) *TraceCtx {
-	return &TraceCtx{
-		p:   p,
-		ctx: p.Tree.NewCountCtx(counters, opts),
-		Buf: trace.NewBuffer(opts.Proc, capacity),
+	t := p.Tree
+	tc := &TraceCtx{
+		p:        p,
+		t:        t,
+		opts:     opts,
+		counters: counters,
+		Buf:      trace.NewBuffer(opts.Proc, capacity),
 	}
+	tc.visit = make([][]uint64, t.cfg.K+1)
+	for d := range tc.visit {
+		tc.visit[d] = make([]uint64, t.cfg.Fanout)
+	}
+	tc.epoch = make([]uint64, t.cfg.K+1)
+	tc.leafStamp = make([]uint64, len(t.nodes))
+	return tc
 }
 
 // CountTransaction counts one transaction, emitting its access trace.
 func (tc *TraceCtx) CountTransaction(items itemset.Itemset) {
-	ctx := tc.ctx
-	k := ctx.t.cfg.K
+	k := tc.t.cfg.K
 	if len(items) < k {
 		return
 	}
-	ctx.txSerial++
+	tc.txSerial++
 	tc.walk(0, items, 0)
 }
 
 func (tc *TraceCtx) walk(id int32, items itemset.Itemset, start int) {
-	ctx := tc.ctx
 	p := tc.p
-	n := ctx.nodes[id]
-	k := ctx.t.cfg.K
+	t := tc.t
+	n := t.nodes[id]
+	k := t.cfg.K
 	tc.Buf.Load(p.nodeAddr[id], 8) // HTN header
 	if n.isLeaf() {
-		if !ctx.opts.ShortCircuit {
-			if ctx.leafStamp[id] == ctx.txSerial {
+		if !tc.opts.ShortCircuit {
+			if tc.leafStamp[id] == tc.txSerial {
 				return
 			}
-			ctx.leafStamp[id] = ctx.txSerial
+			tc.leafStamp[id] = tc.txSerial
 		}
 		tc.Buf.Load(p.ilhAddr[id], 8) // list header
 		for _, cand := range n.items {
 			tc.Buf.Load(p.lnAddr[cand], 8)             // list node
 			tc.Buf.Load(p.itemAddr[cand], uint16(4*k)) // itemset payload
-			if items.Contains(ctx.candidateOf(cand)) {
-				ctx.counters.add(cand, ctx.opts.Proc)
+			if items.Contains(t.candidateLocked(cand)) {
+				tc.counters.add(cand, tc.opts.Proc)
 				if p.Policy.PrivatizesCounters() {
-					tc.Buf.Store(p.privCtr[ctx.opts.Proc][cand], 4)
+					tc.Buf.Store(p.privCtr[tc.opts.Proc][cand], 4)
 				} else {
 					// lock acquire, counter increment, lock release
 					tc.Buf.Store(p.lockAddr[cand], 4)
@@ -237,15 +257,15 @@ func (tc *TraceCtx) walk(id int32, items itemset.Itemset, start int) {
 	d := int(n.depth)
 	var row []uint64
 	var ep uint64
-	if ctx.opts.ShortCircuit {
-		ctx.epoch[d]++
-		ep = ctx.epoch[d]
-		row = ctx.visit[d]
+	if tc.opts.ShortCircuit {
+		tc.epoch[d]++
+		ep = tc.epoch[d]
+		row = tc.visit[d]
 	}
 	limit := len(items) - k + d
 	for i := start; i <= limit; i++ {
-		c := ctx.t.cell(items[i])
-		if ctx.opts.ShortCircuit {
+		c := t.cell(items[i])
+		if tc.opts.ShortCircuit {
 			if row[c] == ep {
 				continue
 			}

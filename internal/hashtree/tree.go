@@ -129,6 +129,11 @@ type Tree struct {
 	events []event
 	cands  []itemset.Item // flat storage, K items per candidate
 	nCand  int32
+
+	// freezeOnce/flat cache the sealed SoA view (see flat.go). Computed
+	// lazily on the first counting context; Insert after Freeze is invalid.
+	freezeOnce sync.Once
+	flat       *Flat
 }
 
 // New creates an empty tree. If cfg.Fanout ≤ 0 the caller should size it

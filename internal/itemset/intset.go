@@ -1,0 +1,132 @@
+package itemset
+
+// Set is an open-addressing hash set of fixed-length itemsets, keyed on the
+// raw int32 item encoding — the allocation-free replacement for the
+// map[string]bool + Key() prune set of candidate generation. Members all
+// have the same length k; storage is a single flat arena of k items per
+// slot, probed linearly. Lookups (including the drop-one-position variant
+// used by the (k-1)-subset prune) perform zero heap allocations.
+//
+// A Set is safe for concurrent readers once fully populated; Add is not
+// safe for concurrent use.
+type Set struct {
+	k     int
+	mask  uint32
+	items []Item // (mask+1) × k item slots
+	used  []bool
+	n     int
+}
+
+// NewSet returns an empty set for k-itemsets sized for about n members.
+func NewSet(k, n int) *Set {
+	if k < 1 {
+		k = 1
+	}
+	capacity := uint32(8)
+	for int(capacity) < 2*n {
+		capacity *= 2
+	}
+	return &Set{
+		k:     k,
+		mask:  capacity - 1,
+		items: make([]Item, int(capacity)*k),
+		used:  make([]bool, capacity),
+	}
+}
+
+// Len returns the number of members.
+func (s *Set) Len() int { return s.n }
+
+// hashSkip is an FNV-1a style hash over the items of it, skipping position
+// skip (pass skip < 0 to hash all items).
+func hashSkip(it Itemset, skip int) uint32 {
+	h := uint32(2166136261)
+	for i, v := range it {
+		if i == skip {
+			continue
+		}
+		h ^= uint32(v)
+		h *= 16777619
+	}
+	return h
+}
+
+// Add inserts a k-itemset, growing if the load factor passes 1/2. The items
+// are copied into the arena; it may be reused by the caller.
+func (s *Set) Add(it Itemset) {
+	if len(it) != s.k {
+		panic("itemset: Set.Add length mismatch")
+	}
+	if 2*(s.n+1) > int(s.mask)+1 {
+		s.grow()
+	}
+	slot := hashSkip(it, -1) & s.mask
+	for s.used[slot] {
+		if s.equalAt(slot, it, -1) {
+			return
+		}
+		slot = (slot + 1) & s.mask
+	}
+	s.used[slot] = true
+	copy(s.items[int(slot)*s.k:], it)
+	s.n++
+}
+
+// Contains reports whether the k-itemset is a member.
+func (s *Set) Contains(it Itemset) bool {
+	if len(it) != s.k {
+		return false
+	}
+	return s.lookup(it, -1)
+}
+
+// ContainsSkip reports whether the (k)-subset of the (k+1)-itemset it formed
+// by dropping position skip is a member — the prune probe, without
+// materializing the subset.
+func (s *Set) ContainsSkip(it Itemset, skip int) bool {
+	if len(it) != s.k+1 || skip < 0 || skip > s.k {
+		return false
+	}
+	return s.lookup(it, skip)
+}
+
+func (s *Set) lookup(it Itemset, skip int) bool {
+	slot := hashSkip(it, skip) & s.mask
+	for s.used[slot] {
+		if s.equalAt(slot, it, skip) {
+			return true
+		}
+		slot = (slot + 1) & s.mask
+	}
+	return false
+}
+
+// equalAt compares slot's member against it with position skip dropped.
+func (s *Set) equalAt(slot uint32, it Itemset, skip int) bool {
+	member := s.items[int(slot)*s.k : int(slot)*s.k+s.k]
+	j := 0
+	for i, v := range it {
+		if i == skip {
+			continue
+		}
+		if member[j] != v {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+func (s *Set) grow() {
+	oldItems, oldUsed := s.items, s.used
+	capacity := 2 * (s.mask + 1)
+	s.mask = capacity - 1
+	s.items = make([]Item, int(capacity)*s.k)
+	s.used = make([]bool, capacity)
+	s.n = 0
+	for slot, u := range oldUsed {
+		if u {
+			s.Add(Itemset(oldItems[slot*s.k : slot*s.k+s.k]))
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package itemset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSetAddContains(t *testing.T) {
+	s := NewSet(3, 4)
+	a := New(1, 5, 9)
+	b := New(1, 5, 10)
+	s.Add(a)
+	s.Add(b)
+	s.Add(a) // duplicate must not double-count
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if !s.Contains(a) || !s.Contains(b) {
+		t.Fatal("members missing")
+	}
+	if s.Contains(New(1, 5, 11)) || s.Contains(New(2, 5, 9)) {
+		t.Fatal("false positive")
+	}
+	if s.Contains(New(1, 5)) {
+		t.Fatal("length mismatch must be false")
+	}
+}
+
+func TestSetContainsSkip(t *testing.T) {
+	s := NewSet(2, 4)
+	s.Add(New(2, 7))
+	s.Add(New(5, 7))
+	cand := New(2, 5, 7)
+	// Dropping index 0 gives (5 7): member. Dropping 1 gives (2 7): member.
+	// Dropping 2 gives (2 5): not a member.
+	if !s.ContainsSkip(cand, 0) || !s.ContainsSkip(cand, 1) {
+		t.Fatal("ContainsSkip missed members")
+	}
+	if s.ContainsSkip(cand, 2) {
+		t.Fatal("ContainsSkip false positive")
+	}
+	if s.ContainsSkip(New(1, 2), 0) {
+		t.Fatal("wrong-length input must be false")
+	}
+}
+
+// TestSetMatchesMap cross-checks the open-addressing set against the former
+// map[string]bool representation over random workloads, including growth.
+func TestSetMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		k := 1 + rng.Intn(4)
+		s := NewSet(k, 2) // deliberately undersized to exercise grow
+		ref := map[string]bool{}
+		var members []Itemset
+		for i := 0; i < 200; i++ {
+			m := map[Item]bool{}
+			for len(m) < k {
+				m[Item(rng.Intn(30))] = true
+			}
+			var raw Itemset
+			for it := range m {
+				raw = append(raw, it)
+			}
+			it := New(raw...)
+			s.Add(it)
+			ref[it.Key()] = true
+			members = append(members, it)
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("Len = %d, want %d", s.Len(), len(ref))
+		}
+		for _, it := range members {
+			if !s.Contains(it) {
+				t.Fatalf("lost member %v after growth", it)
+			}
+		}
+		// Probe random itemsets both ways.
+		for i := 0; i < 500; i++ {
+			m := map[Item]bool{}
+			for len(m) < k {
+				m[Item(rng.Intn(30))] = true
+			}
+			var raw Itemset
+			for it := range m {
+				raw = append(raw, it)
+			}
+			probe := New(raw...)
+			if s.Contains(probe) != ref[probe.Key()] {
+				t.Fatalf("Contains(%v) = %v, ref %v", probe, s.Contains(probe), ref[probe.Key()])
+			}
+		}
+		// ContainsSkip must agree with materialized WithoutIndex.
+		for i := 0; i < 200; i++ {
+			m := map[Item]bool{}
+			for len(m) < k+1 {
+				m[Item(rng.Intn(30))] = true
+			}
+			var raw Itemset
+			for it := range m {
+				raw = append(raw, it)
+			}
+			cand := New(raw...)
+			drop := rng.Intn(k + 1)
+			want := ref[cand.WithoutIndex(drop).Key()]
+			if got := s.ContainsSkip(cand, drop); got != want {
+				t.Fatalf("ContainsSkip(%v, %d) = %v, want %v", cand, drop, got, want)
+			}
+		}
+	}
+}
+
+func TestSetLookupZeroAlloc(t *testing.T) {
+	s := NewSet(3, 100)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		s.Add(New(Item(rng.Intn(20)), Item(20+rng.Intn(20)), Item(40+rng.Intn(20))))
+	}
+	probe := New(1, 25, 45)
+	cand := New(1, 25, 45, 60)
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Contains(probe)
+		s.ContainsSkip(cand, 3)
+	})
+	if allocs != 0 {
+		t.Fatalf("lookups allocate: %v allocs/op", allocs)
+	}
+}
+
+func TestSetAddLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with wrong length did not panic")
+		}
+	}()
+	NewSet(2, 1).Add(New(1, 2, 3))
+}
