@@ -170,6 +170,15 @@ const (
 	BalanceBitonic     = ccpd.BalanceBitonic
 )
 
+// Counting-phase database partition modes for ParallelOptions: the static
+// splits of Section 3.2.2 plus the dynamic chunk-claiming schedulers.
+const (
+	PartitionBlock    = ccpd.PartitionBlock
+	PartitionWorkload = ccpd.PartitionWorkload
+	PartitionDynamic  = ccpd.PartitionDynamic
+	PartitionStealing = ccpd.PartitionStealing
+)
+
 // --- Section 8 extension tasks: sequential patterns, multi-level
 // (taxonomy) associations and quantitative associations, built on the same
 // hash-tree / balancing / parallelization machinery. ---

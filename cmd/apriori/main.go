@@ -53,6 +53,8 @@ func main() {
 	balance := flag.String("balance", "bitonic", "computation balancing: block | interleaved | bitonic")
 	hash := flag.String("hash", "bitonic", "hash tree balancing: interleaved | bitonic")
 	counter := flag.String("counter", "private", "counter mode: locked | atomic | private")
+	dbpart := flag.String("dbpart", "block", "counting DB partition: block | workload | dynamic | stealing")
+	chunk := flag.Int("chunk", 0, "transactions per dynamic chunk (0 = default 256)")
 	sc := flag.Bool("shortcircuit", true, "short-circuited subset checking")
 	threshold := flag.Int("threshold", 8, "hash tree leaf threshold")
 	fanout := flag.Int("fanout", 0, "hash tree fanout (0 = adaptive)")
@@ -62,14 +64,14 @@ func main() {
 	flag.Parse()
 
 	if err := run(*dbPath, *genSpec, *support, *algo, *procs, *balance, *hash,
-		*counter, *sc, *threshold, *fanout, *ruleConf, *topN, *verbose); err != nil {
+		*counter, *dbpart, *chunk, *sc, *threshold, *fanout, *ruleConf, *topN, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "apriori:", err)
 		os.Exit(1)
 	}
 }
 
 func run(dbPath, genSpec string, support float64, algo string, procs int,
-	balance, hash, counter string, sc bool, threshold, fanout int,
+	balance, hash, counter, dbpart string, chunk int, sc bool, threshold, fanout int,
 	ruleConf float64, topN int, verbose bool) error {
 
 	var d *db.Database
@@ -141,6 +143,19 @@ func run(dbPath, genSpec string, support float64, algo string, procs int,
 		case "private":
 			po.Counter = hashtree.CounterPrivate
 		}
+		switch dbpart {
+		case "block":
+			po.DBPart = ccpd.PartitionBlock
+		case "workload":
+			po.DBPart = ccpd.PartitionWorkload
+		case "dynamic":
+			po.DBPart = ccpd.PartitionDynamic
+		case "stealing":
+			po.DBPart = ccpd.PartitionStealing
+		default:
+			return fmt.Errorf("unknown -dbpart %q", dbpart)
+		}
+		po.ChunkSize = chunk
 		if algo == "ccpd" {
 			res, stats, err = ccpd.Mine(d, po)
 		} else {
@@ -166,6 +181,14 @@ func run(dbPath, genSpec string, support float64, algo string, procs int,
 			for _, it := range stats.PerIter {
 				fmt.Printf("  k=%-2d cands=%-7d freq=%-7d gen=%v build=%v count=%v reduce=%v\n",
 					it.K, it.Candidates, it.Frequent, it.CandGen, it.TreeBuild, it.Count, it.Reduce)
+				if it.ChunksClaimed != nil {
+					var steals int64
+					for _, s := range it.Steals {
+						steals += s
+					}
+					fmt.Printf("       chunks=%v steals=%d idlework=%d countidle=%v\n",
+						it.ChunksClaimed, steals, it.IdleWork(), it.CountIdle)
+				}
 			}
 		}
 	}

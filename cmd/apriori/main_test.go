@@ -49,9 +49,20 @@ func TestRunEndToEnd(t *testing.T) {
 
 	for _, algo := range []string{"seq", "ccpd", "pccd", "dhp", "partition", "countdist"} {
 		if err := run("", "T5.I2.D300", 0.02, algo, 2, "bitonic", "bitonic",
-			"private", true, 8, 0, 0.8, 3, true); err != nil {
+			"private", "block", 0, true, 8, 0, 0.8, 3, true); err != nil {
 			t.Errorf("algo %s: %v", algo, err)
 		}
+	}
+	// Dynamic counting partitions through the CLI surface.
+	for _, dbpart := range []string{"workload", "dynamic", "stealing"} {
+		if err := run("", "T5.I2.D300", 0.02, "ccpd", 2, "bitonic", "bitonic",
+			"private", dbpart, 32, true, 8, 0, 0, 0, true); err != nil {
+			t.Errorf("dbpart %s: %v", dbpart, err)
+		}
+	}
+	if err := run("", "T5.I2.D300", 0.02, "ccpd", 2, "bitonic", "bitonic",
+		"private", "nope", 0, true, 8, 0, 0, 0, false); err == nil {
+		t.Error("unknown -dbpart should fail")
 	}
 	// Database file path.
 	d, err := gen.Generate(gen.Params{T: 5, I: 2, D: 200, Seed: 2})
@@ -63,17 +74,17 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := run(path, "", 0.02, "seq", 1, "block", "interleaved",
-		"locked", false, 4, 8, 0, 0, false); err != nil {
+		"locked", "block", 0, false, 4, 8, 0, 0, false); err != nil {
 		t.Error(err)
 	}
 	// Error paths.
-	if err := run("", "", 0.02, "seq", 1, "", "", "", false, 0, 0, 0, 0, false); err == nil {
+	if err := run("", "", 0.02, "seq", 1, "", "", "", "block", 0, false, 0, 0, 0, 0, false); err == nil {
 		t.Error("missing -db/-gen should fail")
 	}
-	if err := run("", "T5.I2.D200", 0.02, "nope", 1, "", "", "", false, 0, 0, 0, 0, false); err == nil {
+	if err := run("", "T5.I2.D200", 0.02, "nope", 1, "", "", "", "block", 0, false, 0, 0, 0, 0, false); err == nil {
 		t.Error("unknown algo should fail")
 	}
-	if err := run("/nonexistent/x.ardb", "", 0.02, "seq", 1, "", "", "", false, 0, 0, 0, 0, false); err == nil {
+	if err := run("/nonexistent/x.ardb", "", 0.02, "seq", 1, "", "", "", "block", 0, false, 0, 0, 0, 0, false); err == nil {
 		t.Error("missing file should fail")
 	}
 }

@@ -4,9 +4,21 @@
 // push so kernel-performance and allocation regressions show up as an
 // artifact diff rather than a buried log line.
 //
+// With -scaling it instead runs the full miner across processor counts and
+// counting-partition modes (static block/workload vs dynamic cursor/stealing)
+// on a uniform and a skew-planted database and writes BENCH_scaling.json,
+// including a deterministic verdict: dynamic must cut the modelled idle work
+// on the skewed database and stay within 5% modelled time on the uniform one.
+//
+// With -against FILE the fresh kernel measurements are compared to a
+// committed snapshot and the process exits nonzero on a >10% ns/op or
+// allocs/op regression.
+//
 // Usage:
 //
 //	benchjson [-o BENCH_counting.json] [-d 2000]
+//	benchjson -against BENCH_counting.json
+//	benchjson -scaling [-o BENCH_scaling.json]
 package main
 
 import (
@@ -15,9 +27,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 
 	"repro/internal/apriori"
+	"repro/internal/ccpd"
 	"repro/internal/db"
 	"repro/internal/gen"
 	"repro/internal/hashtree"
@@ -67,7 +81,20 @@ func buildTree(d *db.Database, k int) (*hashtree.Tree, error) {
 func main() {
 	out := flag.String("o", "BENCH_counting.json", "output file")
 	dsize := flag.Int("d", 2000, "transactions in the benchmark database")
+	scaling := flag.Bool("scaling", false, "run the procs-scaling scheduler benchmark instead of the counting kernel")
+	against := flag.String("against", "", "committed kernel snapshot to gate against (>10% regression fails)")
+	nsTol := flag.Float64("nstol", 10, "ns/op regression tolerance percent for -against, after host-scale normalization (0 disables the timing gate; allocs are always gated at 10%)")
 	flag.Parse()
+
+	if *scaling {
+		if *out == "BENCH_counting.json" {
+			*out = "BENCH_scaling.json"
+		}
+		if err := runScaling(*out, *dsize); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	d, err := gen.Generate(gen.Params{T: 10, I: 4, D: *dsize, Seed: 1})
 	if err != nil {
@@ -97,36 +124,251 @@ func main() {
 			ctx := tree.NewCountCtx(counters, hashtree.CountOpts{
 				ShortCircuit: true, BatchUpdates: batch,
 			})
-			br := testing.Benchmark(func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					for t := 0; t < d.Len(); t++ {
-						ctx.CountTransaction(d.Items(t))
+			// Best of three repetitions: the minimum is far less noisy
+			// than one sample on a shared host, which is what makes the
+			// -against regression gate usable in CI.
+			var best result
+			for try := 0; try < 3; try++ {
+				br := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						for t := 0; t < d.Len(); t++ {
+							ctx.CountTransaction(d.Items(t))
+						}
+						ctx.Flush()
 					}
-					ctx.Flush()
+				})
+				r := result{
+					Name:        name,
+					NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+					AllocsPerOp: br.AllocsPerOp(),
+					BytesPerOp:  br.AllocedBytesPerOp(),
+					Iterations:  br.N,
 				}
-			})
-			rep.Results = append(rep.Results, result{
-				Name:        name,
-				NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
-				AllocsPerOp: br.AllocsPerOp(),
-				BytesPerOp:  br.AllocedBytesPerOp(),
-				Iterations:  br.N,
-			})
+				if try == 0 || r.NsPerOp < best.NsPerOp {
+					best = r
+				}
+			}
+			rep.Results = append(rep.Results, best)
 			fmt.Printf("%-32s %12.0f ns/op %6d allocs/op\n",
-				name, float64(br.T.Nanoseconds())/float64(br.N), br.AllocsPerOp())
+				name, best.NsPerOp, best.AllocsPerOp)
 		}
 	}
 
-	buf, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fatal(err)
-	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	if err := writeJSON(*out, rep); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *against != "" {
+		if err := gateAgainst(rep, *against, *nsTol); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("no kernel regression vs %s\n", *against)
+	}
+}
+
+// gateAgainst fails when any kernel configuration regressed more than 10%
+// against the committed snapshot. Allocations are compared absolutely (they
+// are deterministic and hardware independent). ns/op is compared after
+// normalizing by the median new/old ratio across all configurations: the
+// median captures the speed difference between the baseline host and this
+// one (plus any uniform load), so the gate trips only when one configuration
+// slows down relative to the others — which is what a kernel regression
+// looks like, and what survives CI-runner hardware churn. Configurations
+// that disappeared fail, so a dropped benchmark cannot hide a regression.
+// nsTol is the relative ns/op tolerance in percent (0 disables the timing
+// gate for hosts too contended to time anything).
+func gateAgainst(cur report, path string, nsTol float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var old report
+	if err := json.Unmarshal(buf, &old); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	curByName := map[string]result{}
+	for _, r := range cur.Results {
+		curByName[r.Name] = r
+	}
+	var ratios []float64
+	for _, o := range old.Results {
+		if n, ok := curByName[o.Name]; ok && o.NsPerOp > 0 {
+			ratios = append(ratios, n.NsPerOp/o.NsPerOp)
+		}
+	}
+	scale := 1.0
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		scale = ratios[len(ratios)/2]
+	}
+	var bad []string
+	for _, o := range old.Results {
+		n, ok := curByName[o.Name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: benchmark disappeared", o.Name))
+			continue
+		}
+		if nsTol > 0 && o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*scale*(1+nsTol/100) {
+			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op vs %.0f baseline ×%.2f host scale (+%.1f%% relative)",
+				o.Name, n.NsPerOp, o.NsPerOp, scale, 100*(n.NsPerOp/(o.NsPerOp*scale)-1)))
+		}
+		if float64(n.AllocsPerOp) > float64(o.AllocsPerOp)*1.10+0.5 {
+			bad = append(bad, fmt.Sprintf("%s: %d allocs/op vs %d",
+				o.Name, n.AllocsPerOp, o.AllocsPerOp))
+		}
+	}
+	if len(bad) > 0 {
+		for _, b := range bad {
+			fmt.Fprintln(os.Stderr, "regression:", b)
+		}
+		return fmt.Errorf("%d kernel regression(s) vs %s", len(bad), path)
+	}
+	return nil
+}
+
+// scalingRow is one (dataset, procs, partition) measurement of the full
+// miner. Wall-clock counting time is recorded for hosts with real cores; the
+// modelled figures are deterministic and are what the verdict gates on.
+type scalingRow struct {
+	Dataset      string `json:"dataset"`
+	Procs        int    `json:"procs"`
+	Partition    string `json:"partition"`
+	CountWallNs  int64  `json:"count_wall_ns"`
+	ModelTime    int64  `json:"model_time"`
+	MaxCountWork int64  `json:"max_count_work"`
+	IdleWork     int64  `json:"idle_work"`
+	Steals       int64  `json:"steals"`
+}
+
+type scalingVerdict struct {
+	// Skewed database, highest processor count: dynamic idle and modelled
+	// time must beat the static block partition.
+	SkewedIdleBlock   int64 `json:"skewed_idle_block"`
+	SkewedIdleDynamic int64 `json:"skewed_idle_dynamic"`
+	SkewedModelBlock  int64 `json:"skewed_model_block"`
+	SkewedModelDyn    int64 `json:"skewed_model_dynamic"`
+	// Uniform database: dynamic modelled time must stay within 5% of block.
+	UniformRegressPct float64 `json:"uniform_regress_pct"`
+	Pass              bool    `json:"pass"`
+}
+
+type scalingReport struct {
+	GoVersion string         `json:"go_version"`
+	GOARCH    string         `json:"goarch"`
+	NumCPU    int            `json:"num_cpu"`
+	ChunkSize int            `json:"chunk_size"`
+	Rows      []scalingRow   `json:"rows"`
+	Verdict   scalingVerdict `json:"verdict"`
+}
+
+// runScaling measures miner scaling across processor counts and partition
+// modes on a uniform and a skew-planted database.
+func runScaling(out string, dsize int) error {
+	const chunk = 16
+	uniform := gen.Params{T: 10, I: 4, D: dsize, Seed: 1}
+	skewed := uniform
+	skewed.SkewFrac, skewed.SkewMult = 0.05, 8
+
+	rep := scalingReport{
+		GoVersion: runtime.Version(), GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(), ChunkSize: chunk,
+	}
+	parts := []ccpd.DBPartition{
+		ccpd.PartitionBlock, ccpd.PartitionWorkload,
+		ccpd.PartitionDynamic, ccpd.PartitionStealing,
+	}
+	procsList := []int{1, 2, 4, 8}
+	idle := map[string]int64{}  // dataset/procs/part → idle work
+	model := map[string]int64{} // dataset/procs/part → model time
+	for _, spec := range []struct {
+		label string
+		p     gen.Params
+	}{{"uniform", uniform}, {"skewed", skewed}} {
+		d, err := gen.Generate(spec.p)
+		if err != nil {
+			return err
+		}
+		for _, procs := range procsList {
+			for _, part := range parts {
+				opts := ccpd.Options{
+					Options: apriori.Options{
+						AbsSupport: 10, ShortCircuit: true,
+						Hash: hashtree.HashBitonic,
+						// The heavy tail makes deep levels dense.
+						MaxK: 4,
+					},
+					Procs: procs, Counter: hashtree.CounterPrivate,
+					Balance: ccpd.BalanceBitonic,
+					DBPart:  part, ChunkSize: chunk,
+				}
+				_, st, err := ccpd.Mine(d, opts)
+				if err != nil {
+					return err
+				}
+				var maxCount int64
+				for i := range st.PerIter {
+					maxCount += maxWork(st.PerIter[i].CountWork)
+				}
+				key := fmt.Sprintf("%s/%d/%s", spec.label, procs, part)
+				idle[key] = st.CountIdleWork()
+				model[key] = st.ModelTime()
+				rep.Rows = append(rep.Rows, scalingRow{
+					Dataset: spec.label, Procs: procs, Partition: part.String(),
+					CountWallNs: st.TotalCount().Nanoseconds(),
+					ModelTime:   st.ModelTime(), MaxCountWork: maxCount,
+					IdleWork: st.CountIdleWork(), Steals: st.TotalSteals(),
+				})
+				fmt.Printf("%-8s procs=%d %-9s model=%-10d idle=%-10d steals=%d\n",
+					spec.label, procs, part, st.ModelTime(), st.CountIdleWork(), st.TotalSteals())
+			}
+		}
+	}
+
+	top := procsList[len(procsList)-1]
+	v := &rep.Verdict
+	v.SkewedIdleBlock = idle[fmt.Sprintf("skewed/%d/%s", top, ccpd.PartitionBlock)]
+	v.SkewedIdleDynamic = idle[fmt.Sprintf("skewed/%d/%s", top, ccpd.PartitionDynamic)]
+	v.SkewedModelBlock = model[fmt.Sprintf("skewed/%d/%s", top, ccpd.PartitionBlock)]
+	v.SkewedModelDyn = model[fmt.Sprintf("skewed/%d/%s", top, ccpd.PartitionDynamic)]
+	ub := model[fmt.Sprintf("uniform/%d/%s", top, ccpd.PartitionBlock)]
+	ud := model[fmt.Sprintf("uniform/%d/%s", top, ccpd.PartitionDynamic)]
+	if ub > 0 {
+		v.UniformRegressPct = 100 * (float64(ud)/float64(ub) - 1)
+	}
+	v.Pass = v.SkewedIdleDynamic < v.SkewedIdleBlock &&
+		v.SkewedModelDyn < v.SkewedModelBlock &&
+		v.UniformRegressPct < 5.0
+	if err := writeJSON(out, rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	if !v.Pass {
+		return fmt.Errorf("scaling verdict failed: skewed idle %d vs %d, model %d vs %d, uniform regress %.2f%%",
+			v.SkewedIdleDynamic, v.SkewedIdleBlock, v.SkewedModelDyn, v.SkewedModelBlock, v.UniformRegressPct)
+	}
+	fmt.Println("scaling verdict: pass")
+	return nil
+}
+
+func maxWork(v []int64) int64 {
+	var m int64
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func writeJSON(path string, v any) error {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	return os.WriteFile(path, buf, 0o644)
 }
 
 func fatal(err error) {

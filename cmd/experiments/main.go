@@ -22,20 +22,21 @@ func main() {
 	figure := flag.Int("figure", 0, "regenerate one figure (4, 6, 7, 8, 9, 10, 11, 12, 13)")
 	table := flag.Int("table", 0, "regenerate one table (1, 2)")
 	all := flag.Bool("all", false, "regenerate everything")
+	sched := flag.Bool("sched", false, "run the static-vs-dynamic scheduler balance study")
 	maxTrace := flag.Int("maxtrace", 200, "transactions traced per processor in placement studies")
 	flag.Parse()
 
-	if !*all && *figure == 0 && *table == 0 {
+	if !*all && *figure == 0 && *table == 0 && !*sched {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *scale, *figure, *table, *all, *maxTrace); err != nil {
+	if err := run(os.Stdout, *scale, *figure, *table, *all, *sched, *maxTrace); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, scale float64, figure, table int, all bool, maxTrace int) error {
+func run(w io.Writer, scale float64, figure, table int, all, sched bool, maxTrace int) error {
 	r := expt.NewRunner(scale)
 	r.MaxTraceTx = maxTrace
 
@@ -55,13 +56,16 @@ func run(w io.Writer, scale float64, figure, table int, all bool, maxTrace int) 
 		"f11": {"Figure 11", r.Figure11},
 		"f12": {"Figure 12", r.Figure12},
 		"f13": {"Figure 13", r.Figure13},
+		"sb":  {"Scheduler balance", r.SchedBalance},
 	}
-	order := []string{"t1", "t2", "f4", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "f13"}
+	order := []string{"t1", "t2", "f4", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "f13", "sb"}
 
 	var selected []string
 	switch {
 	case all:
 		selected = order
+	case sched:
+		selected = []string{"sb"}
 	case table != 0:
 		key := fmt.Sprintf("t%d", table)
 		if _, ok := steps[key]; !ok {

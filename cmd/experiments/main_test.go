@@ -8,14 +8,14 @@ import (
 
 func TestRunSingleTableAndFigure(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 0.002, 0, 1, false, 20); err != nil {
+	if err := run(&buf, 0.002, 0, 1, false, false, 20); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Table 1") {
 		t.Errorf("missing Table 1:\n%s", buf.String())
 	}
 	buf.Reset()
-	if err := run(&buf, 0.002, 4, 0, false, 20); err != nil {
+	if err := run(&buf, 0.002, 4, 0, false, false, 20); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Figure 4") {
@@ -25,10 +25,10 @@ func TestRunSingleTableAndFigure(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 0.002, 99, 0, false, 20); err == nil {
+	if err := run(&buf, 0.002, 99, 0, false, false, 20); err == nil {
 		t.Error("unknown figure should fail")
 	}
-	if err := run(&buf, 0.002, 0, 9, false, 20); err == nil {
+	if err := run(&buf, 0.002, 0, 9, false, false, 20); err == nil {
 		t.Error("unknown table should fail")
 	}
 }
@@ -37,10 +37,21 @@ func TestRunQuickFigures(t *testing.T) {
 	// Exercise a fast real figure end-to-end (7 mines all eight datasets at
 	// the tiniest scale).
 	var buf bytes.Buffer
-	if err := run(&buf, 0.002, 7, 0, false, 10); err != nil {
+	if err := run(&buf, 0.002, 7, 0, false, false, 10); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Figure 7") {
 		t.Error("figure 7 output missing")
+	}
+}
+
+func TestRunSchedBalance(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 0.002, 0, 0, false, true, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Scheduler balance") || !strings.Contains(out, "stealing") {
+		t.Errorf("scheduler balance output missing:\n%s", out)
 	}
 }

@@ -329,3 +329,28 @@ func ExtractFrequent(tree *hashtree.Tree, counters *hashtree.Counters, minCount 
 	sort.Slice(out, func(i, j int) bool { return out[i].Items.Less(out[j].Items) })
 	return out
 }
+
+// ExtractFrequentRange scans candidate ids [lo, hi) and returns those
+// meeting minCount, sorted lexicographically within the range. Candidate
+// ids partition across workers, so a pool can extract ranges concurrently
+// (after reducing the same ranges) and merge with MergeFrequent — the
+// parallel replacement for the serial master extraction.
+func ExtractFrequentRange(tree *hashtree.Tree, counters *hashtree.Counters, minCount int64, lo, hi int32) []FrequentItemset {
+	var out []FrequentItemset
+	for id := lo; id < hi; id++ {
+		if c := counters.Count(id); c >= minCount {
+			out = append(out, FrequentItemset{Items: tree.Candidate(id).Clone(), Count: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Items.Less(out[j].Items) })
+	return out
+}
+
+// MergeFrequent k-way merges per-range (already sorted) frequent lists into
+// one lexicographically sorted list — identical output to sorting the
+// concatenation, in O(C·log P).
+func MergeFrequent(ranges [][]FrequentItemset) []FrequentItemset {
+	return itemset.MergeSortedBy(ranges, func(a, b FrequentItemset) bool {
+		return a.Items.Less(b.Items)
+	})
+}

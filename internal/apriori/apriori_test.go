@@ -366,3 +366,47 @@ func TestJoinPruneSemantics(t *testing.T) {
 		t.Error("k=2 pairs must always survive")
 	}
 }
+
+func TestExtractFrequentRangeMatchesSerial(t *testing.T) {
+	d, err := gen.Generate(gen.Params{N: 60, L: 15, I: 3, T: 6, D: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Mine(d, Options{AbsSupport: 5, MaxK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev []itemset.Itemset
+	for _, f := range res.ByK[1] {
+		prev = append(prev, f.Items)
+	}
+	cands, _, _ := GenerateCandidates(prev, false)
+	tree, err := hashtree.Build(hashtree.Config{K: 2, Threshold: 4, NumItems: d.NumItems()}, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters := hashtree.NewCounters(hashtree.CounterAtomic, tree.NumCandidates(), 1)
+	ctx := tree.NewCountCtx(counters, hashtree.CountOpts{})
+	for i := 0; i < d.Len(); i++ {
+		ctx.CountTransaction(d.Items(i))
+	}
+	want := ExtractFrequent(tree, counters, 5)
+
+	n := int32(tree.NumCandidates())
+	for _, procs := range []int32{1, 2, 3, 7} {
+		var ranges [][]FrequentItemset
+		for p := int32(0); p < procs; p++ {
+			ranges = append(ranges, ExtractFrequentRange(tree, counters, 5, p*n/procs, (p+1)*n/procs))
+		}
+		got := MergeFrequent(ranges)
+		if len(got) != len(want) {
+			t.Fatalf("procs=%d: %d frequent, want %d", procs, len(got), len(want))
+		}
+		for i := range want {
+			if !got[i].Items.Equal(want[i].Items) || got[i].Count != want[i].Count {
+				t.Fatalf("procs=%d: [%d] = %v/%d, want %v/%d",
+					procs, i, got[i].Items, got[i].Count, want[i].Items, want[i].Count)
+			}
+		}
+	}
+}

@@ -10,7 +10,6 @@ package ccpd
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/apriori"
@@ -18,6 +17,7 @@ import (
 	"repro/internal/hashtree"
 	"repro/internal/itemset"
 	"repro/internal/partition"
+	"repro/internal/sched"
 )
 
 // BalanceScheme selects the candidate-generation partitioning of
@@ -53,13 +53,34 @@ const (
 	// PartitionWorkload splits by the estimated Σ C(|t|,k)/T counting cost
 	// (the static heuristic of Section 3.2.2).
 	PartitionWorkload
+	// PartitionDynamic cuts the database into cache-sized transaction
+	// chunks claimed from a shared atomic cursor: no processor idles until
+	// fewer than P chunks remain, bounding load imbalance by one chunk's
+	// work regardless of transaction-size skew.
+	PartitionDynamic
+	// PartitionStealing seeds each processor's deque with a contiguous
+	// chunk block (cache- and model-equivalent to PartitionBlock when
+	// balanced) and lets idle processors steal from the front of a
+	// straggler's block.
+	PartitionStealing
 )
 
 func (p DBPartition) String() string {
-	if p == PartitionWorkload {
+	switch p {
+	case PartitionWorkload:
 		return "workload"
+	case PartitionDynamic:
+		return "dynamic"
+	case PartitionStealing:
+		return "stealing"
 	}
 	return "block"
+}
+
+// Dynamic reports whether the partition mode claims chunks at runtime
+// rather than fixing per-processor transaction ranges up front.
+func (p DBPartition) Dynamic() bool {
+	return p == PartitionDynamic || p == PartitionStealing
 }
 
 // Options configures a parallel run.
@@ -79,6 +100,12 @@ type Options struct {
 	// runs sequentially (parallelization overhead would dominate).
 	// 0 uses 4×Procs.
 	AdaptiveMinUnits int
+	// ChunkSize is the transactions-per-chunk granularity of the dynamic
+	// partition modes: small enough that a few hundred transactions fit in
+	// cache and bound the end-of-phase imbalance, large enough that one
+	// cursor claim or deque operation is noise against counting the chunk.
+	// 0 uses 256.
+	ChunkSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -90,6 +117,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.AdaptiveMinUnits == 0 {
 		o.AdaptiveMinUnits = 4 * o.Procs
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 256
 	}
 	return o
 }
@@ -119,6 +149,32 @@ type PhaseTiming struct {
 	BuildWork int64
 	// ReduceWork is the master's serial reduction/extraction work.
 	ReduceWork int64
+
+	// ChunksClaimed[p] is how many counting chunks processor p claimed
+	// under a dynamic partition mode (nil for static modes). The values
+	// sum to the chunk count of the iteration.
+	ChunksClaimed []int64
+	// Steals[p] counts the chunks processor p took from another
+	// processor's deque (PartitionStealing only; zero for the cursor mode,
+	// whose shared queue has no owner to steal from).
+	Steals []int64
+	// CountIdle is the summed wall-clock idle time of the counting phase:
+	// Σ_p (slowest processor's counting time − processor p's). On a host
+	// with fewer real cores than Procs this is scheduling noise; the
+	// modelled IdleWork is the meaningful figure there.
+	CountIdle time.Duration
+}
+
+// IdleWork returns the modelled counting idle: the work units processors
+// spend waiting for the slowest one, Σ_p (max CountWork − CountWork[p]).
+// A perfectly balanced phase has zero idle work.
+func (pt *PhaseTiming) IdleWork() int64 {
+	m := maxOf(pt.CountWork)
+	var idle int64
+	for _, w := range pt.CountWork {
+		idle += m - w
+	}
+	return idle
 }
 
 // ModelTime returns the modelled parallel time of the iteration: serial
@@ -170,6 +226,27 @@ func (s *Stats) TotalCount() time.Duration {
 	return t
 }
 
+// CountIdleWork sums the modelled counting idle work over all iterations —
+// the figure the static-vs-dynamic scheduling experiments gate on.
+func (s *Stats) CountIdleWork() int64 {
+	var t int64
+	for i := range s.PerIter {
+		t += s.PerIter[i].IdleWork()
+	}
+	return t
+}
+
+// TotalSteals sums the cross-processor chunk steals over all iterations.
+func (s *Stats) TotalSteals() int64 {
+	var t int64
+	for i := range s.PerIter {
+		for _, v := range s.PerIter[i].Steals {
+			t += v
+		}
+	}
+	return t
+}
+
 // Mine runs CCPD on the database and returns the frequent itemsets plus
 // per-phase timings.
 func Mine(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
@@ -179,9 +256,15 @@ func Mine(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 	res := &apriori.Result{MinCount: minCount, ByK: make([][]apriori.FrequentItemset, 2)}
 	stats := &Stats{Procs: opts.Procs}
 
+	// One persistent worker pool serves every phase of every iteration —
+	// the P "processors" of the paper's model, without per-phase goroutine
+	// spawn and teardown.
+	pool := sched.NewPool(opts.Procs)
+	defer pool.Close()
+
 	// Iteration 1: parallel item counting with private arrays + reduction.
 	t0 := time.Now()
-	f1 := parallelFrequentOne(d, minCount, opts.Procs)
+	f1 := parallelFrequentOne(d, minCount, pool)
 	res.ByK[1] = f1
 	it1 := PhaseTiming{
 		K: 1, Count: time.Since(t0), Candidates: d.NumItems(), Frequent: len(f1),
@@ -204,7 +287,7 @@ func Mine(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 		pt.K = k
 
 		t0 = time.Now()
-		cands, seq, genWork := generateParallel(prev, opts)
+		cands, seq, genWork := generateParallel(prev, opts, pool)
 		pt.CandGen = time.Since(t0)
 		pt.GenSequential = seq
 		pt.GenWork = genWork
@@ -220,7 +303,7 @@ func Mine(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 			K: k, Fanout: opts.Fanout, Threshold: opts.Threshold,
 			Hash: opts.Hash, NumItems: d.NumItems(), Labels: labels,
 		}
-		tree, err := hashtree.ParallelBuild(cfg, cands, opts.Procs)
+		tree, err := hashtree.ParallelBuildOn(pool, cfg, cands)
 		if err != nil {
 			return nil, nil, fmt.Errorf("ccpd: iteration %d: %w", k, err)
 		}
@@ -228,38 +311,25 @@ func Mine(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 
 		t0 = time.Now()
 		counters := hashtree.NewCounters(opts.Counter, tree.NumCandidates(), opts.Procs)
-		var slices []db.Slice
-		if opts.DBPart == PartitionWorkload {
-			slices = d.WorkloadPartition(opts.Procs, k)
-		} else {
-			slices = d.BlockPartition(opts.Procs)
-		}
-		pt.CountWork = make([]int64, opts.Procs)
-		var wg sync.WaitGroup
-		for p := 0; p < opts.Procs; p++ {
-			wg.Add(1)
-			go func(p int) {
-				defer wg.Done()
-				ctx := tree.NewCountCtx(counters, hashtree.CountOpts{
-					ShortCircuit: opts.ShortCircuit, Proc: p,
-					// Batch shared-counter updates to cut lock/atomic
-					// contention on hot candidates (no-op for private mode).
-					BatchUpdates: true,
-				})
-				slices[p].ForEach(func(_ int64, items itemset.Itemset) {
-					ctx.CountTransaction(items)
-				})
-				ctx.Flush()
-				pt.CountWork[p] = ctx.Work
-			}(p)
-		}
-		wg.Wait()
+		countPhase(d, tree, counters, opts, k, pool, &pt)
 		pt.Count = time.Since(t0)
 
-		// Master phase: reduction and frequent selection.
+		// Reduction and frequent selection, range-partitioned across the
+		// pool. Candidate ids are extracted in disjoint ascending ranges,
+		// each sorted locally, then k-way merged — the output order is
+		// identical to the serial extract. ReduceWork stays the serial
+		// model figure: the paper's master-phase cost is what the time
+		// model pins, independent of how the wall clock is spent.
 		t0 = time.Now()
-		counters.Reduce()
-		fk := apriori.ExtractFrequent(tree, counters, minCount)
+		nc := tree.NumCandidates()
+		ranges := make([][]apriori.FrequentItemset, opts.Procs)
+		pool.Run(func(p int) {
+			lo := int32(p * nc / opts.Procs)
+			hi := int32((p + 1) * nc / opts.Procs)
+			counters.ReduceRange(int(lo), int(hi))
+			ranges[p] = apriori.ExtractFrequentRange(tree, counters, minCount, lo, hi)
+		})
+		fk := apriori.MergeFrequent(ranges)
 		pt.Reduce = time.Since(t0)
 		pt.ReduceWork = int64(len(cands))
 		pt.Frequent = len(fk)
@@ -275,25 +345,144 @@ func Mine(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 	return res, stats, nil
 }
 
+// countPhase runs the support-counting phase on the pool and fills the
+// timing record's CountWork, ChunksClaimed, Steals and CountIdle fields.
+//
+// Static modes count fixed per-processor slices as before. Dynamic modes cut
+// the database into ChunkSize-transaction chunks claimed at runtime (atomic
+// cursor, or seeded deques with stealing); the racy runtime assignment makes
+// the observed per-processor work non-reproducible, so CountWork is instead
+// the deterministic greedy list-schedule over the per-chunk work units —
+// reproducible across runs, and summing bit-identically to any static split
+// because per-transaction work does not depend on who counts it.
+func countPhase(d *db.Database, tree *hashtree.Tree, counters *hashtree.Counters, opts Options, k int, pool *sched.Pool, pt *PhaseTiming) {
+	procs := opts.Procs
+	pt.CountWork = make([]int64, procs)
+	perProc := make([]time.Duration, procs)
+	newCtx := func(p int) *hashtree.CountCtx {
+		return tree.NewCountCtx(counters, hashtree.CountOpts{
+			ShortCircuit: opts.ShortCircuit, Proc: p,
+			// Batch shared-counter updates to cut lock/atomic contention
+			// on hot candidates (no-op for private mode).
+			BatchUpdates: true,
+		})
+	}
+
+	if !opts.DBPart.Dynamic() {
+		var slices []db.Slice
+		if opts.DBPart == PartitionWorkload {
+			slices = d.WorkloadPartition(procs, k)
+		} else {
+			slices = d.BlockPartition(procs)
+		}
+		pool.Run(func(p int) {
+			t0 := time.Now()
+			ctx := newCtx(p)
+			slices[p].ForEach(func(_ int64, items itemset.Itemset) {
+				ctx.CountTransaction(items)
+			})
+			ctx.Flush()
+			// One store per field at the end: accumulating directly into
+			// the shared slices would false-share their cache lines
+			// across processors for the whole phase.
+			pt.CountWork[p] = ctx.Work
+			perProc[p] = time.Since(t0)
+		})
+		pt.CountIdle = idleOf(perProc)
+		return
+	}
+
+	n := d.Len()
+	numChunks := sched.NumChunks(n, opts.ChunkSize)
+	chunkWork := make([]int64, numChunks)
+	pt.ChunksClaimed = make([]int64, procs)
+	pt.Steals = make([]int64, procs)
+
+	countChunk := func(ctx *hashtree.CountCtx, c int) {
+		lo, hi := sched.ChunkRange(n, opts.ChunkSize, c)
+		before := ctx.Work
+		for i := lo; i < hi; i++ {
+			ctx.CountTransaction(d.Items(i))
+		}
+		// Each chunk is claimed exactly once, so this write is private.
+		chunkWork[c] = ctx.Work - before
+	}
+
+	switch opts.DBPart {
+	case PartitionStealing:
+		st := sched.NewStealing(procs)
+		st.SeedBlocks(numChunks)
+		pool.Run(func(p int) {
+			t0 := time.Now()
+			ctx := newCtx(p)
+			var claimed, stolen int64
+			for {
+				c, wasSteal, ok := st.Next(p)
+				if !ok {
+					break
+				}
+				countChunk(ctx, int(c))
+				claimed++
+				if wasSteal {
+					stolen++
+				}
+			}
+			ctx.Flush()
+			pt.ChunksClaimed[p] = claimed
+			pt.Steals[p] = stolen
+			perProc[p] = time.Since(t0)
+		})
+	default: // PartitionDynamic
+		cur := sched.NewCursor(numChunks)
+		pool.Run(func(p int) {
+			t0 := time.Now()
+			ctx := newCtx(p)
+			var claimed int64
+			for {
+				c, ok := cur.Next()
+				if !ok {
+					break
+				}
+				countChunk(ctx, c)
+				claimed++
+			}
+			ctx.Flush()
+			pt.ChunksClaimed[p] = claimed
+			perProc[p] = time.Since(t0)
+		})
+	}
+	pt.CountWork = sched.GreedySchedule(chunkWork, procs)
+	pt.CountIdle = idleOf(perProc)
+}
+
+// idleOf sums each processor's wall-clock wait for the slowest one.
+func idleOf(per []time.Duration) time.Duration {
+	var m, idle time.Duration
+	for _, t := range per {
+		if t > m {
+			m = t
+		}
+	}
+	for _, t := range per {
+		idle += m - t
+	}
+	return idle
+}
+
 // parallelFrequentOne counts 1-itemsets with per-processor count arrays.
-func parallelFrequentOne(d *db.Database, minCount int64, procs int) []apriori.FrequentItemset {
+func parallelFrequentOne(d *db.Database, minCount int64, pool *sched.Pool) []apriori.FrequentItemset {
+	procs := pool.Procs()
 	local := make([][]int64, procs)
 	slices := d.BlockPartition(procs)
-	var wg sync.WaitGroup
-	for p := 0; p < procs; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			counts := make([]int64, d.NumItems())
-			slices[p].ForEach(func(_ int64, items itemset.Itemset) {
-				for _, it := range items {
-					counts[it]++
-				}
-			})
-			local[p] = counts
-		}(p)
-	}
-	wg.Wait()
+	pool.Run(func(p int) {
+		counts := make([]int64, d.NumItems())
+		slices[p].ForEach(func(_ int64, items itemset.Itemset) {
+			for _, it := range items {
+				counts[it]++
+			}
+		})
+		local[p] = counts
+	})
 	var out []apriori.FrequentItemset
 	for it := 0; it < d.NumItems(); it++ {
 		var c int64
@@ -312,7 +501,7 @@ func parallelFrequentOne(d *db.Database, minCount int64, procs int) []apriori.Fr
 // parallel, and merges the per-processor candidate lists in lexicographic
 // order. Adaptive parallelism (Section 3.1.3) falls back to the sequential
 // join when there is too little work.
-func generateParallel(prev []itemset.Itemset, opts Options) ([]itemset.Itemset, bool, []int64) {
+func generateParallel(prev []itemset.Itemset, opts Options, pool *sched.Pool) ([]itemset.Itemset, bool, []int64) {
 	classes := itemset.Classes(prev)
 	sizes := make([]int, len(classes))
 	for i := range classes {
@@ -353,70 +542,39 @@ func generateParallel(prev []itemset.Itemset, opts Options) ([]itemset.Itemset, 
 
 	locals := make([][]itemset.Itemset, opts.Procs)
 	genWork := make([]int64, opts.Procs)
-	var wg sync.WaitGroup
-	for p := 0; p < opts.Procs; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			var out []itemset.Itemset
-			scratch := make(itemset.Itemset, k)
-			// Per-worker arena: surviving candidates are copied into one
-			// growing block instead of one heap object per candidate.
-			arena := make([]itemset.Item, 0, 64*k)
-			for _, u := range perProc[p] {
-				cu := units[u]
-				cl := &classes[cu.Class]
-				genWork[p] += int64(len(cl.Tails)-cu.Pos-1) * perPair
-				for j := cu.Pos + 1; j < len(cl.Tails); j++ {
-					if apriori.JoinPrune(inPrev, scratch, cl.Prefix, cl.Tails[cu.Pos], cl.Tails[j]) {
-						n := len(arena)
-						arena = append(arena, scratch...)
-						out = append(out, itemset.Itemset(arena[n : n+k : n+k]))
-					}
+	pool.Run(func(p int) {
+		var out []itemset.Itemset
+		// Accumulate work in a register-resident local and store once:
+		// incrementing genWork[p] per unit would bounce the slice's cache
+		// line between all P processors (false sharing) for the whole
+		// generation phase.
+		var work int64
+		scratch := make(itemset.Itemset, k)
+		// Per-worker arena: surviving candidates are copied into one
+		// growing block instead of one heap object per candidate.
+		arena := make([]itemset.Item, 0, 64*k)
+		for _, u := range perProc[p] {
+			cu := units[u]
+			cl := &classes[cu.Class]
+			work += int64(len(cl.Tails)-cu.Pos-1) * perPair
+			for j := cu.Pos + 1; j < len(cl.Tails); j++ {
+				if apriori.JoinPrune(inPrev, scratch, cl.Prefix, cl.Tails[cu.Pos], cl.Tails[j]) {
+					n := len(arena)
+					arena = append(arena, scratch...)
+					out = append(out, itemset.Itemset(arena[n:n+k:n+k]))
 				}
 			}
-			locals[p] = out
-		}(p)
-	}
-	wg.Wait()
+		}
+		genWork[p] = work
+		locals[p] = out
+	})
 	return mergeSortedCandidates(locals), false, genWork
 }
 
 // mergeSortedCandidates k-way merges the per-processor (already
-// lexicographically sorted) candidate lists, replacing the former global
-// sort's serial O(C log C) tail with an O(C·P) pass.
+// lexicographically sorted) candidate lists through the shared heap-based
+// merge: O(C·log P) comparisons, replacing the former O(C·P) linear head
+// scan (which itself replaced a serial O(C log C) global sort).
 func mergeSortedCandidates(locals [][]itemset.Itemset) []itemset.Itemset {
-	nonEmpty, total := 0, 0
-	for _, l := range locals {
-		if len(l) > 0 {
-			nonEmpty++
-			total += len(l)
-		}
-	}
-	if total == 0 {
-		return nil
-	}
-	if nonEmpty == 1 {
-		for _, l := range locals {
-			if len(l) > 0 {
-				return l
-			}
-		}
-	}
-	out := make([]itemset.Itemset, 0, total)
-	idx := make([]int, len(locals))
-	for len(out) < total {
-		best := -1
-		for p := range locals {
-			if idx[p] >= len(locals[p]) {
-				continue
-			}
-			if best < 0 || locals[p][idx[p]].Less(locals[best][idx[best]]) {
-				best = p
-			}
-		}
-		out = append(out, locals[best][idx[best]])
-		idx[best]++
-	}
-	return out
+	return itemset.MergeSortedBy(locals, itemset.Itemset.Less)
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/apriori"
 	"repro/internal/hashtree"
 	"repro/internal/itemset"
+	"repro/internal/sched"
 )
 
 // TestGenerateParallelMatchesSequential checks the parallel candidate
@@ -34,7 +35,9 @@ func TestGenerateParallelMatchesSequential(t *testing.T) {
 			for _, procs := range []int{2, 3, 8} {
 				opts := Options{Procs: procs, Balance: b, AdaptiveMinUnits: 1}
 				opts.Options = apriori.Options{}
-				got, seq, genWork := generateParallel(prev, opts.withDefaults())
+				pool := sched.NewPool(procs)
+				got, seq, genWork := generateParallel(prev, opts.withDefaults(), pool)
+				pool.Close()
 				if seq {
 					t.Fatalf("k=%d %v procs=%d: fell back to sequential with cutoff 1", k+1, b, procs)
 				}

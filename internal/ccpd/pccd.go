@@ -2,14 +2,13 @@ package ccpd
 
 import (
 	"fmt"
-	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/apriori"
 	"repro/internal/db"
 	"repro/internal/hashtree"
 	"repro/internal/itemset"
+	"repro/internal/sched"
 )
 
 // MinePCCD runs the Partitioned Candidate Common Database algorithm
@@ -27,8 +26,13 @@ func MinePCCD(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 	res := &apriori.Result{MinCount: minCount, ByK: make([][]apriori.FrequentItemset, 2)}
 	stats := &Stats{Procs: opts.Procs}
 
+	// The same persistent pool serves the per-iteration build, count and
+	// extract phases.
+	pool := sched.NewPool(opts.Procs)
+	defer pool.Close()
+
 	t0 := time.Now()
-	f1 := parallelFrequentOne(d, minCount, opts.Procs)
+	f1 := parallelFrequentOne(d, minCount, pool)
 	res.ByK[1] = f1
 	stats.PerIter = append(stats.PerIter, PhaseTiming{
 		K: 1, Count: time.Since(t0), Candidates: d.NumItems(), Frequent: len(f1),
@@ -68,21 +72,15 @@ func MinePCCD(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 			Hash: opts.Hash, NumItems: d.NumItems(), Labels: labels,
 		}
 		buildErrs := make([]error, opts.Procs)
-		var wg sync.WaitGroup
-		for p := 0; p < opts.Procs; p++ {
-			wg.Add(1)
-			go func(p int) {
-				defer wg.Done()
-				tr, err := hashtree.Build(cfg, parts[p])
-				if err != nil {
-					buildErrs[p] = err
-					return
-				}
-				trees[p] = tr
-				counters[p] = hashtree.NewCounters(hashtree.CounterAtomic, tr.NumCandidates(), 1)
-			}(p)
-		}
-		wg.Wait()
+		pool.Run(func(p int) {
+			tr, err := hashtree.Build(cfg, parts[p])
+			if err != nil {
+				buildErrs[p] = err
+				return
+			}
+			trees[p] = tr
+			counters[p] = hashtree.NewCounters(hashtree.CounterAtomic, tr.NumCandidates(), 1)
+		})
 		for _, err := range buildErrs {
 			if err != nil {
 				return nil, nil, fmt.Errorf("pccd: iteration %d: %w", k, err)
@@ -92,29 +90,25 @@ func MinePCCD(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 
 		// Counting: every processor scans the ENTIRE database.
 		t0 = time.Now()
-		for p := 0; p < opts.Procs; p++ {
-			wg.Add(1)
-			go func(p int) {
-				defer wg.Done()
-				ctx := trees[p].NewCountCtx(counters[p], hashtree.CountOpts{
-					ShortCircuit: opts.ShortCircuit,
-				})
-				for i := 0; i < d.Len(); i++ {
-					ctx.CountTransaction(d.Items(i))
-				}
-			}(p)
-		}
-		wg.Wait()
+		pool.Run(func(p int) {
+			ctx := trees[p].NewCountCtx(counters[p], hashtree.CountOpts{
+				ShortCircuit: opts.ShortCircuit,
+			})
+			for i := 0; i < d.Len(); i++ {
+				ctx.CountTransaction(d.Items(i))
+			}
+		})
 		pt.Count = time.Since(t0)
 
-		// Master reduction: concatenate per-processor frequent sets
-		// (candidate partitions are disjoint).
+		// Reduction: each processor extracts its own (sorted) frequent
+		// list, and the disjoint lists are k-way merged — replacing the
+		// serial concatenate-and-sort tail.
 		t0 = time.Now()
-		var fk []apriori.FrequentItemset
-		for p := 0; p < opts.Procs; p++ {
-			fk = append(fk, apriori.ExtractFrequent(trees[p], counters[p], minCount)...)
-		}
-		sort.Slice(fk, func(i, j int) bool { return fk[i].Items.Less(fk[j].Items) })
+		locals := make([][]apriori.FrequentItemset, opts.Procs)
+		pool.Run(func(p int) {
+			locals[p] = apriori.ExtractFrequent(trees[p], counters[p], minCount)
+		})
+		fk := apriori.MergeFrequent(locals)
 		pt.Reduce = time.Since(t0)
 		pt.Frequent = len(fk)
 

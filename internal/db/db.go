@@ -149,12 +149,30 @@ func (d *Database) WorkloadPartition(p, maxK int) []Slice {
 		total += cost[i]
 	}
 	out := make([]Slice, 0, p)
-	target := total / float64(p)
-	lo, acc := 0, 0.0
-	for i := 0; i < n; i++ {
-		acc += cost[i]
-		if acc >= target && len(out) < p-1 {
+	lo, acc, remaining := 0, 0.0, total
+	for i := 0; i < n && len(out) < p-1; i++ {
+		// Re-derive the target from the work still unassigned, so an early
+		// slice that overshot (or a giant transaction that consumed a whole
+		// slice) does not leave the final slice with everything left over.
+		target := remaining / float64(p-len(out))
+		c := cost[i]
+		// Cut before transaction i when including it would overshoot the
+		// target by more than stopping short undershoots it — a giant
+		// transaction then opens its own slice instead of overloading the
+		// current one.
+		if acc > 0 && acc+c > target && acc+c-target > target-acc {
+			out = append(out, Slice{DB: d, Lo: lo, Hi: i})
+			remaining -= acc
+			lo, acc = i, 0
+			if len(out) == p-1 {
+				break
+			}
+			target = remaining / float64(p-len(out))
+		}
+		acc += c
+		if acc >= target {
 			out = append(out, Slice{DB: d, Lo: lo, Hi: i + 1})
+			remaining -= acc
 			lo, acc = i+1, 0
 		}
 	}

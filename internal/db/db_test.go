@@ -289,3 +289,138 @@ func TestRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// checkPartitionInvariants asserts p contiguous slices covering [0, Len).
+func checkPartitionInvariants(t *testing.T, d *Database, parts []Slice, p int) {
+	t.Helper()
+	if len(parts) != p {
+		t.Fatalf("%d parts, want %d", len(parts), p)
+	}
+	prev := 0
+	for i, s := range parts {
+		if s.Lo != prev || s.Hi < s.Lo {
+			t.Fatalf("slice %d = [%d,%d), expected Lo=%d", i, s.Lo, s.Hi, prev)
+		}
+		prev = s.Hi
+	}
+	if prev != d.Len() {
+		t.Fatalf("partition covers %d of %d rows", prev, d.Len())
+	}
+}
+
+func maxSliceWork(parts []Slice, k int) int64 {
+	var max int64
+	for _, s := range parts {
+		if w := s.EstimatedWork(k); w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+func TestWorkloadPartitionEmptyDatabase(t *testing.T) {
+	d := New(4)
+	for _, p := range []int{1, 3, 8} {
+		parts := d.WorkloadPartition(p, 3)
+		checkPartitionInvariants(t, d, parts, p)
+		for _, s := range parts {
+			if s.Len() != 0 {
+				t.Errorf("empty db produced non-empty slice %+v", s)
+			}
+		}
+	}
+}
+
+func TestWorkloadPartitionMoreProcsThanRows(t *testing.T) {
+	d := New(10)
+	for i := 0; i < 3; i++ {
+		d.Append(int64(i), itemset.New(itemset.Item(i), itemset.Item(i+1)))
+	}
+	parts := d.WorkloadPartition(8, 2)
+	checkPartitionInvariants(t, d, parts, 8)
+	// Every row should sit alone: no slice may hold more than one of the
+	// three equal-cost transactions.
+	for i, s := range parts {
+		if s.Len() > 1 {
+			t.Errorf("slice %d holds %d rows; with P > N each should be alone", i, s.Len())
+		}
+	}
+}
+
+func TestWorkloadPartitionUniformCosts(t *testing.T) {
+	d := New(50)
+	for i := 0; i < 12; i++ {
+		d.Append(int64(i), itemset.New(1, 2, 3, 4))
+	}
+	parts := d.WorkloadPartition(4, 3)
+	checkPartitionInvariants(t, d, parts, 4)
+	// Uniform costs must split like a block partition: 3 rows each.
+	for i, s := range parts {
+		if s.Len() != 3 {
+			t.Errorf("slice %d has %d rows, want 3", i, s.Len())
+		}
+	}
+}
+
+func TestWorkloadPartitionOneGiantTransaction(t *testing.T) {
+	const k = 3
+	build := func(giantAt int) *Database {
+		d := New(64)
+		big := make(itemset.Itemset, 0, 40)
+		for it := 0; it < 40; it++ {
+			big = append(big, itemset.Item(it))
+		}
+		for i := 0; i < 30; i++ {
+			if i == giantAt {
+				d.Append(int64(i), big)
+				continue
+			}
+			d.Append(int64(i), itemset.New(60, 61, 62))
+		}
+		return d
+	}
+	for _, giantAt := range []int{0, 15, 29} {
+		d := build(giantAt)
+		parts := d.WorkloadPartition(4, 6)
+		checkPartitionInvariants(t, d, parts, 4)
+		giantWork := Slice{DB: d, Lo: giantAt, Hi: giantAt + 1}.EstimatedWork(k)
+		// The giant dominates total work, so the best possible max slice is
+		// the giant alone; the degenerate pre-fix behaviour lumped trailing
+		// (or, for a tail giant, all) small rows in with it.
+		if got := maxSliceWork(parts, k); got != giantWork {
+			t.Errorf("giantAt=%d: max slice work %d, want giant alone (%d)", giantAt, got, giantWork)
+		}
+	}
+}
+
+func TestWorkloadPartitionNoOverloadedLastSlice(t *testing.T) {
+	// Decreasing costs: the old fixed target total/p made every early slice
+	// overshoot, starving or overloading the tail. The remaining-work target
+	// keeps the last slice no worse than ~the largest single transaction
+	// above the ideal share.
+	d := New(64)
+	row := 0
+	addRows := func(n, l int) {
+		for i := 0; i < n; i++ {
+			tx := make(itemset.Itemset, l)
+			for j := range tx {
+				tx[j] = itemset.Item(j)
+			}
+			d.Append(int64(row), tx)
+			row++
+		}
+	}
+	addRows(8, 20)
+	addRows(40, 4)
+	const p, k = 4, 3
+	parts := d.WorkloadPartition(p, k)
+	checkPartitionInvariants(t, d, parts, p)
+	var total int64
+	for _, s := range parts {
+		total += s.EstimatedWork(k)
+	}
+	ideal := total / int64(p)
+	if got := maxSliceWork(parts, k); float64(got) > 1.5*float64(ideal) {
+		t.Errorf("max slice work %d vs ideal %d — partition still degenerate", got, ideal)
+	}
+}

@@ -33,6 +33,17 @@ type Params struct {
 	// Correlation is the fraction of items a pattern inherits from its
 	// predecessor (exponential mean). Quest default 0.5.
 	Correlation float64
+
+	// SkewFrac plants a heavy tail for load-balance experiments: the last
+	// SkewFrac fraction of transactions draw their size from
+	// Poisson(T·SkewMult) instead of Poisson(T), so a block partition by
+	// row count overloads the processors that own the tail. 0 (the default)
+	// disables the knob and leaves the generated stream byte-identical to
+	// earlier versions for the same seed.
+	SkewFrac float64
+	// SkewMult is the tail size multiplier; defaults to 8 when SkewFrac > 0.
+	SkewMult float64
+
 	// Seed makes generation reproducible.
 	Seed int64
 }
@@ -66,6 +77,9 @@ func (p Params) withDefaults() Params {
 	if p.Correlation == 0 {
 		p.Correlation = 0.5
 	}
+	if p.SkewFrac > 0 && p.SkewMult <= 1 {
+		p.SkewMult = 8
+	}
 	return p
 }
 
@@ -77,6 +91,9 @@ func (p Params) Validate() error {
 	}
 	if p.I > p.N {
 		return fmt.Errorf("gen: average pattern size I=%d exceeds item universe N=%d", p.I, p.N)
+	}
+	if p.SkewFrac < 0 || p.SkewFrac > 1 {
+		return fmt.Errorf("gen: SkewFrac=%g outside [0,1]", p.SkewFrac)
 	}
 	return nil
 }
@@ -210,8 +227,23 @@ func (g *Generator) Generate() *db.Database {
 	present := make([]bool, p.N)
 	scratch := make(itemset.Itemset, 0, 64)
 	tx := make(itemset.Itemset, 0, p.T*2)
+	// The heavy tail starts at heavyFrom (== D with the knob off, so no
+	// extra rng draws perturb existing seeds).
+	heavyFrom := p.D
+	if p.SkewFrac > 0 {
+		heavyFrom = p.D - int(p.SkewFrac*float64(p.D))
+	}
 	for t := 0; t < p.D; t++ {
-		size := poisson(g.rng, float64(p.T)-1) + 1
+		mean := float64(p.T) - 1
+		if t >= heavyFrom {
+			mean = float64(p.T)*p.SkewMult - 1
+		}
+		size := poisson(g.rng, mean) + 1
+		// A transaction holds distinct items, so a size beyond N could never
+		// be reached (and the assembly loop would not terminate).
+		if size > p.N {
+			size = p.N
+		}
 		tx = tx[:0]
 		for len(tx) < size {
 			pat := g.pickPattern()

@@ -233,3 +233,60 @@ func TestTransactionsNonEmpty(t *testing.T) {
 		}
 	}
 }
+
+func TestSkewKnobPlantsHeavyTail(t *testing.T) {
+	base := Params{N: 200, L: 50, I: 4, T: 8, D: 1000, Seed: 11}
+	plain, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed := base
+	skewed.SkewFrac = 0.2
+	skewed.SkewMult = 6
+	heavy, err := Generate(skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The head (first 80%) is generated from the same rng stream with the
+	// same means; the tail must be far longer on average.
+	headCut := 800
+	avg := func(d interface {
+		Len() int
+		Items(int) itemset.Itemset
+	}, lo, hi int) float64 {
+		var sum int
+		for i := lo; i < hi; i++ {
+			sum += len(d.Items(i))
+		}
+		return float64(sum) / float64(hi-lo)
+	}
+	headLen := avg(heavy, 0, headCut)
+	tailLen := avg(heavy, headCut, heavy.Len())
+	if tailLen < 3*headLen {
+		t.Errorf("tail not heavy: head avg %.1f, tail avg %.1f", headLen, tailLen)
+	}
+	// Knob off ⇒ byte-identical stream to the pre-knob generator.
+	if plain.Len() != 1000 {
+		t.Fatalf("plain Len = %d", plain.Len())
+	}
+	again, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < plain.Len(); i++ {
+		if !plain.Items(i).Equal(again.Items(i)) {
+			t.Fatalf("transaction %d differs across identical-seed runs", i)
+		}
+	}
+}
+
+func TestSkewFracValidate(t *testing.T) {
+	p := Params{N: 100, L: 20, I: 4, T: 10, D: 100, SkewFrac: 1.5}
+	if _, err := New(p); err == nil {
+		t.Error("SkewFrac > 1 should fail validation")
+	}
+	p.SkewFrac = -0.1
+	if _, err := New(p); err == nil {
+		t.Error("negative SkewFrac should fail validation")
+	}
+}

@@ -102,17 +102,28 @@ func (c *Counters) addN(id int32, n int64, proc int) {
 // Reduce folds private arrays into the shared totals (no-op for shared
 // modes). Call once after all counting completes.
 func (c *Counters) Reduce() {
+	c.ReduceRange(0, len(c.shared))
+}
+
+// ReduceRange folds the private arrays into the shared totals for candidate
+// ids in [lo, hi) only, zeroing the folded private entries. Disjoint ranges
+// touch disjoint indices, so a worker pool can range-partition the reduction
+// and run the pieces concurrently — the parallel replacement for the serial
+// O(P·C) master tail. No-op for the shared modes.
+func (c *Counters) ReduceRange(lo, hi int) {
 	if c.Mode != CounterPrivate {
 		return
 	}
-	for _, arr := range c.priv {
-		for i, v := range arr {
-			c.shared[i] += v
-		}
+	if lo < 0 {
+		lo = 0
 	}
-	for p := range c.priv {
-		for i := range c.priv[p] {
-			c.priv[p][i] = 0
+	if hi > len(c.shared) {
+		hi = len(c.shared)
+	}
+	for _, arr := range c.priv {
+		for i := lo; i < hi; i++ {
+			c.shared[i] += arr[i]
+			arr[i] = 0
 		}
 	}
 }

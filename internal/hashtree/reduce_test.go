@@ -1,0 +1,94 @@
+package hashtree
+
+import (
+	"testing"
+
+	"repro/internal/itemset"
+	"repro/internal/sched"
+)
+
+func TestReduceRangeMatchesReduce(t *testing.T) {
+	const n, procs = 100, 4
+	build := func() *Counters {
+		c := NewCounters(CounterPrivate, n, procs)
+		for p := 0; p < procs; p++ {
+			for id := int32(0); id < n; id++ {
+				for k := 0; k <= p+int(id)%3; k++ {
+					c.add(id, p)
+				}
+			}
+		}
+		return c
+	}
+	whole := build()
+	whole.Reduce()
+
+	ranged := build()
+	pool := sched.NewPool(procs)
+	defer pool.Close()
+	pool.Run(func(p int) {
+		ranged.ReduceRange(p*n/procs, (p+1)*n/procs)
+	})
+	for id := int32(0); id < n; id++ {
+		if ranged.Count(id) != whole.Count(id) {
+			t.Fatalf("id %d: ranged %d != whole %d", id, ranged.Count(id), whole.Count(id))
+		}
+	}
+	// Private entries were zeroed, so a second reduce must not double-count.
+	ranged.Reduce()
+	for id := int32(0); id < n; id++ {
+		if ranged.Count(id) != whole.Count(id) {
+			t.Fatalf("id %d: double reduce changed count to %d", id, ranged.Count(id))
+		}
+	}
+}
+
+func TestReduceRangeClampsAndIgnoresSharedModes(t *testing.T) {
+	c := NewCounters(CounterPrivate, 10, 2)
+	c.add(3, 0)
+	c.ReduceRange(-5, 100) // clamped to [0, 10)
+	if c.Count(3) != 1 {
+		t.Errorf("Count(3) = %d", c.Count(3))
+	}
+	a := NewCounters(CounterAtomic, 10, 2)
+	a.add(3, 0)
+	a.ReduceRange(0, 10) // no-op; count already in shared
+	if a.Count(3) != 1 {
+		t.Errorf("atomic Count(3) = %d", a.Count(3))
+	}
+}
+
+func TestParallelBuildOnMatchesParallelBuild(t *testing.T) {
+	var cands []itemset.Itemset
+	for a := 0; a < 12; a++ {
+		for b := a + 1; b < 12; b++ {
+			cands = append(cands, itemset.New(itemset.Item(a), itemset.Item(b)))
+		}
+	}
+	cfg := Config{K: 2, Threshold: 4, NumItems: 12}
+	want, err := ParallelBuild(cfg, cands, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := sched.NewPool(3)
+	defer pool.Close()
+	got, err := ParallelBuildOn(pool, cfg, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumCandidates() != want.NumCandidates() {
+		t.Fatalf("candidates %d != %d", got.NumCandidates(), want.NumCandidates())
+	}
+	// Same candidate sets regardless of insertion interleaving.
+	seen := map[string]bool{}
+	want.ForEachCandidate(func(id int32) { seen[want.Candidate(id).Key()] = true })
+	got.ForEachCandidate(func(id int32) {
+		if !seen[got.Candidate(id).Key()] {
+			t.Errorf("unexpected candidate %v", got.Candidate(id))
+		}
+	})
+	// Build errors surface.
+	if _, err := ParallelBuildOn(pool, cfg, []itemset.Itemset{itemset.New(1, 2, 3)}); err == nil {
+		t.Error("wrong-length candidate should fail the pooled build")
+	}
+}

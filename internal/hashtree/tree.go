@@ -343,9 +343,47 @@ func Build(cfg Config, cands []itemset.Itemset) (*Tree, error) {
 	return ParallelBuild(cfg, cands, 1)
 }
 
+// Runner abstracts a persistent worker pool (internal/sched.Pool satisfies
+// it): Run executes fn once per processor id in [0, Procs) and blocks until
+// every worker finishes.
+type Runner interface {
+	Procs() int
+	Run(fn func(p int))
+}
+
+// spawnRunner is the transient fallback Runner: it spawns fresh goroutines
+// per Run, preserving the historical ParallelBuild behaviour for callers
+// without a pool.
+type spawnRunner int
+
+func (r spawnRunner) Procs() int { return int(r) }
+
+func (r spawnRunner) Run(fn func(p int)) {
+	var wg sync.WaitGroup
+	for p := 0; p < int(r); p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			fn(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
 // ParallelBuild constructs the tree with procs goroutines inserting
 // partitioned slices of the candidate list concurrently (Section 3.1.4).
 func ParallelBuild(cfg Config, cands []itemset.Itemset, procs int) (*Tree, error) {
+	if procs < 1 {
+		procs = 1
+	}
+	return ParallelBuildOn(spawnRunner(procs), cfg, cands)
+}
+
+// ParallelBuildOn is ParallelBuild driven by an existing worker pool, so the
+// per-iteration tree build reuses the mining run's persistent workers
+// instead of spawning P goroutines each iteration.
+func ParallelBuildOn(r Runner, cfg Config, cands []itemset.Itemset) (*Tree, error) {
+	procs := r.Procs()
 	if procs < 1 {
 		procs = 1
 	}
@@ -354,23 +392,17 @@ func ParallelBuild(cfg Config, cands []itemset.Itemset, procs int) (*Tree, error
 		cfg.Fanout = AdaptiveFanout(int64(len(cands)), cfg.Threshold, cfg.K)
 	}
 	t := New(cfg)
-	var wg sync.WaitGroup
 	errs := make([]error, procs)
-	for p := 0; p < procs; p++ {
+	r.Run(func(p int) {
 		lo := p * len(cands) / procs
 		hi := (p + 1) * len(cands) / procs
-		wg.Add(1)
-		go func(p, lo, hi int) {
-			defer wg.Done()
-			for _, s := range cands[lo:hi] {
-				if _, err := t.Insert(s); err != nil {
-					errs[p] = err
-					return
-				}
+		for _, s := range cands[lo:hi] {
+			if _, err := t.Insert(s); err != nil {
+				errs[p] = err
+				return
 			}
-		}(p, lo, hi)
-	}
-	wg.Wait()
+		}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,0 +1,77 @@
+package itemset
+
+// MergeSortedBy k-way merges already-sorted lists into one sorted slice
+// using a binary min-heap over the list heads: O(C·log P) comparisons for C
+// total elements over P lists, replacing the O(C·P) linear head scan. Ties
+// are broken by list index, so for distinct keys the output equals the fully
+// sorted concatenation. Used by the parallel candidate-generation and
+// frequent-extraction merges, where each worker's output is sorted and only
+// the interleave across workers is unknown.
+func MergeSortedBy[T any](lists [][]T, less func(a, b T) bool) []T {
+	nonEmpty, total := -1, 0
+	heads := 0
+	for i, l := range lists {
+		if len(l) > 0 {
+			heads++
+			nonEmpty = i
+			total += len(l)
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	if heads == 1 {
+		return lists[nonEmpty]
+	}
+
+	out := make([]T, 0, total)
+	idx := make([]int, len(lists))
+	// heap holds list indices ordered by each list's current head element.
+	heap := make([]int32, 0, heads)
+	before := func(a, b int32) bool {
+		la, lb := lists[a], lists[b]
+		if less(la[idx[a]], lb[idx[b]]) {
+			return true
+		}
+		if less(lb[idx[b]], la[idx[a]]) {
+			return false
+		}
+		return a < b
+	}
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			min := i
+			if l < len(heap) && before(heap[l], heap[min]) {
+				min = l
+			}
+			if r < len(heap) && before(heap[r], heap[min]) {
+				min = r
+			}
+			if min == i {
+				return
+			}
+			heap[i], heap[min] = heap[min], heap[i]
+			i = min
+		}
+	}
+	for i, l := range lists {
+		if len(l) > 0 {
+			heap = append(heap, int32(i))
+		}
+	}
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	for len(heap) > 0 {
+		src := heap[0]
+		out = append(out, lists[src][idx[src]])
+		idx[src]++
+		if idx[src] == len(lists[src]) {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		siftDown(0)
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package itemset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestMergeSortedByBasics(t *testing.T) {
+	if got := MergeSortedBy(nil, intLess); got != nil {
+		t.Errorf("nil lists: %v", got)
+	}
+	if got := MergeSortedBy([][]int{{}, {}}, intLess); got != nil {
+		t.Errorf("empty lists: %v", got)
+	}
+	// Single non-empty list is returned as-is.
+	one := []int{1, 2, 3}
+	if got := MergeSortedBy([][]int{{}, one, {}}, intLess); len(got) != 3 || got[0] != 1 {
+		t.Errorf("single list: %v", got)
+	}
+	got := MergeSortedBy([][]int{{1, 4, 7}, {2, 5, 8}, {3, 6, 9}}, intLess)
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("merge = %v", got)
+		}
+	}
+}
+
+func TestMergeSortedByRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		p := 1 + rng.Intn(9)
+		lists := make([][]int, p)
+		var all []int
+		for i := range lists {
+			n := rng.Intn(20)
+			for j := 0; j < n; j++ {
+				lists[i] = append(lists[i], rng.Intn(1000))
+			}
+			sort.Ints(lists[i])
+			all = append(all, lists[i]...)
+		}
+		sort.Ints(all)
+		got := MergeSortedBy(lists, intLess)
+		if len(got) != len(all) {
+			t.Fatalf("trial %d: len %d != %d", trial, len(got), len(all))
+		}
+		for i := range all {
+			if got[i] != all[i] {
+				t.Fatalf("trial %d: got[%d]=%d want %d", trial, i, got[i], all[i])
+			}
+		}
+	}
+}
+
+func TestMergeSortedByItemsets(t *testing.T) {
+	lists := [][]Itemset{
+		{New(1, 2), New(3, 4)},
+		{New(1, 3), New(2, 9)},
+	}
+	got := MergeSortedBy(lists, Itemset.Less)
+	want := []Itemset{New(1, 2), New(1, 3), New(2, 9), New(3, 4)}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("merge = %v", got)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// NumChunks returns how many size-sized chunks cover n items (the last chunk
+// may be short). Zero when n or size is not positive.
+func NumChunks(n, size int) int {
+	if n <= 0 || size <= 0 {
+		return 0
+	}
+	return (n + size - 1) / size
+}
+
+// ChunkRange returns the half-open item range [lo, hi) of chunk c.
+func ChunkRange(n, size, c int) (lo, hi int) {
+	lo = c * size
+	hi = lo + size
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// Cursor hands out chunk indices [0, n) to concurrent claimants, each
+// exactly once — the shared-counter dynamic loop of the counting phase.
+type Cursor struct {
+	next atomic.Int64
+	n    int64
+}
+
+// NewCursor prepares a cursor over n chunks.
+func NewCursor(n int) *Cursor {
+	return &Cursor{n: int64(n)}
+}
+
+// Next claims the next chunk; ok is false once all chunks are taken.
+func (c *Cursor) Next() (chunk int, ok bool) {
+	v := c.next.Add(1) - 1
+	if v >= c.n {
+		return 0, false
+	}
+	return int(v), true
+}
+
+// Deque is a small mutex-guarded double-ended queue of chunk indices. The
+// owner pushes and pops at the tail (LIFO, cache-warm), thieves pop at the
+// head (FIFO, the oldest — and for seeded deques the largest-remaining —
+// work). Chunk counts are small (thousands), so a lock per operation is
+// far below the cost of counting one chunk; the classic lock-free Chase–Lev
+// structure would buy nothing here.
+type Deque struct {
+	mu    sync.Mutex
+	items []int32
+}
+
+// Push appends v at the tail.
+func (d *Deque) Push(v int32) {
+	d.mu.Lock()
+	d.items = append(d.items, v)
+	d.mu.Unlock()
+}
+
+// PopTail removes the newest entry (owner side).
+func (d *Deque) PopTail() (int32, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return 0, false
+	}
+	v := d.items[n-1]
+	d.items = d.items[:n-1]
+	return v, true
+}
+
+// PopHead removes the oldest entry (thief side).
+func (d *Deque) PopHead() (int32, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return 0, false
+	}
+	v := d.items[0]
+	d.items = d.items[1:]
+	return v, true
+}
+
+// Len returns the current entry count.
+func (d *Deque) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items)
+}
+
+// Stealing coordinates per-worker chunk deques: each worker drains its own
+// deque LIFO and, when empty, scans the other workers round-robin stealing
+// FIFO. Chunks are claimed exactly once; when every deque is empty Next
+// reports done (in-flight chunks need no tracking — a claimed chunk is
+// owned by its claimant).
+type Stealing struct {
+	deques []Deque
+}
+
+// NewStealing creates a scheduler for procs workers with empty deques; seed
+// the deques with Seed before starting the workers.
+func NewStealing(procs int) *Stealing {
+	if procs < 1 {
+		procs = 1
+	}
+	return &Stealing{deques: make([]Deque, procs)}
+}
+
+// Seed assigns chunk indices [lo, hi) to worker p's deque in ascending
+// order, so the owner's LIFO pop walks its block back-to-front and thieves
+// take the front — the end a block-partitioned straggler has not reached.
+func (s *Stealing) Seed(p, lo, hi int) {
+	d := &s.deques[p]
+	d.mu.Lock()
+	for c := lo; c < hi; c++ {
+		d.items = append(d.items, int32(c))
+	}
+	d.mu.Unlock()
+}
+
+// SeedBlocks block-partitions n chunks across the deques (worker p receives
+// the contiguous range p·n/P … (p+1)·n/P, mirroring db.BlockPartition).
+func (s *Stealing) SeedBlocks(n int) {
+	procs := len(s.deques)
+	for p := 0; p < procs; p++ {
+		s.Seed(p, p*n/procs, (p+1)*n/procs)
+	}
+}
+
+// Next claims a chunk for worker p: own deque first (LIFO), then victims
+// (p+1, p+2, … mod P) FIFO. stolen reports a steal; ok is false when no
+// work remains anywhere.
+func (s *Stealing) Next(p int) (chunk int32, stolen, ok bool) {
+	if v, ok := s.deques[p].PopTail(); ok {
+		return v, false, true
+	}
+	procs := len(s.deques)
+	for off := 1; off < procs; off++ {
+		victim := (p + off) % procs
+		if v, ok := s.deques[victim].PopHead(); ok {
+			return v, true, true
+		}
+	}
+	return 0, false, false
+}
+
+// GreedySchedule is the deterministic stand-in for the racy runtime chunk
+// assignment: chunks are assigned in index order, each to the processor with
+// the least accumulated work (ties to the lowest id) — the list-scheduling
+// bound dynamic claiming approximates. Per-chunk work units are themselves
+// deterministic, so the returned per-processor totals are reproducible
+// across runs and hosts, and their sum equals the total counting work of
+// any static partition bit-for-bit.
+func GreedySchedule(chunkWork []int64, procs int) []int64 {
+	if procs < 1 {
+		procs = 1
+	}
+	load := make([]int64, procs)
+	for _, w := range chunkWork {
+		min := 0
+		for p := 1; p < procs; p++ {
+			if load[p] < load[min] {
+				min = p
+			}
+		}
+		load[min] += w
+	}
+	return load
+}

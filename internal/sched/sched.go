@@ -1,0 +1,72 @@
+// Package sched provides the dynamic scheduling substrate for the parallel
+// mining phases: a persistent worker pool that replaces per-phase goroutine
+// spawning, chunked work distribution through an atomic claim cursor, and
+// per-worker deques with LIFO self-pop / FIFO steal for skewed workloads.
+// The paper's static block/workload partitions (Section 3.2.2) leave
+// processors idle whenever the transaction cost estimate is wrong; dynamic
+// chunk claiming bounds that idle time by one chunk's work.
+//
+// The package also carries the deterministic greedy list-schedule model
+// (GreedySchedule) that stands in for the racy runtime chunk assignment when
+// the experiment harness needs reproducible per-processor work figures.
+package sched
+
+import "sync"
+
+// Pool is a fixed set of persistent worker goroutines, created once per
+// mining run and reused by every phase of every iteration. Run dispatches
+// one closure per worker and blocks until all workers finish, so a Pool
+// behaves like a barrier-synchronized processor set without paying goroutine
+// spawn and teardown on each phase.
+type Pool struct {
+	procs int
+	work  []chan func(int)
+	wg    sync.WaitGroup
+}
+
+// NewPool starts procs persistent workers (minimum 1). Callers must Close
+// the pool when the run completes.
+func NewPool(procs int) *Pool {
+	if procs < 1 {
+		procs = 1
+	}
+	p := &Pool{procs: procs, work: make([]chan func(int), procs)}
+	for i := range p.work {
+		p.work[i] = make(chan func(int))
+		go p.worker(i)
+	}
+	return p
+}
+
+func (p *Pool) worker(i int) {
+	for fn := range p.work[i] {
+		fn(i)
+		p.wg.Done()
+	}
+}
+
+// Procs returns the number of workers.
+func (p *Pool) Procs() int { return p.procs }
+
+// Run executes fn(p) on every worker p in [0, Procs) and waits for all of
+// them. fn must not call Run on the same pool (the workers are busy). A
+// single-worker pool runs fn inline — phase semantics are identical and the
+// sequential baseline pays no channel hop.
+func (p *Pool) Run(fn func(p int)) {
+	if p.procs == 1 {
+		fn(0)
+		return
+	}
+	p.wg.Add(p.procs)
+	for i := 0; i < p.procs; i++ {
+		p.work[i] <- fn
+	}
+	p.wg.Wait()
+}
+
+// Close shuts the workers down. The pool must be idle (no Run in flight).
+func (p *Pool) Close() {
+	for _, c := range p.work {
+		close(c)
+	}
+}
