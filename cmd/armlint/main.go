@@ -1,0 +1,157 @@
+// Command armlint runs the repo's static analysis suite (internal/lint)
+// over the module: five annotation-driven analyzers enforcing the
+// concurrency, zero-allocation and determinism invariants of the parallel
+// mining kernels. Built entirely on the standard library's go/parser,
+// go/ast and go/types — no external tooling.
+//
+// Usage:
+//
+//	armlint [-json] [-analyzers a,b] [patterns...]
+//
+// Patterns follow the go tool's shape: "./..." (the default) analyzes every
+// non-test package of the enclosing module, "./internal/..." a subtree,
+// "./internal/sched" one package. Test files and testdata trees are not
+// analyzed. Exit status: 0 clean, 1 findings, 2 load or usage error.
+//
+// Findings print as file:line:col: analyzer: message; -json emits the same
+// list as a machine-readable report (the CI artifact).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("armlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers := lint.All()
+	if *names != "" {
+		analyzers = analyzers[:0]
+		for _, n := range strings.Split(*names, ",") {
+			a := lint.ByName(strings.TrimSpace(n))
+			if a == nil {
+				fmt.Fprintf(stderr, "armlint: unknown analyzer %q (have %s)\n", n, analyzerNames())
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "armlint:", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	mod, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	findings := lint.Run(mod, analyzers)
+	findings = filterByPatterns(findings, cwd, patterns)
+	relativize(findings, cwd)
+
+	if *jsonOut {
+		report := struct {
+			Module   string         `json:"module"`
+			Findings []lint.Finding `json:"findings"`
+			Count    int            `json:"count"`
+		}{mod.Path, findings, len(findings)}
+		if report.Findings == nil {
+			report.Findings = []lint.Finding{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(stderr, "armlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+		if len(findings) == 0 {
+			fmt.Fprintln(stdout, "armlint: clean")
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func analyzerNames() string {
+	var names []string
+	for _, a := range lint.All() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// filterByPatterns keeps findings whose file falls under one of the go-style
+// package patterns, resolved relative to cwd.
+func filterByPatterns(findings []lint.Finding, cwd string, patterns []string) []lint.Finding {
+	match := func(file string) bool {
+		abs := file
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(cwd, abs)
+		}
+		dir := filepath.Dir(abs)
+		for _, pat := range patterns {
+			if base, ok := strings.CutSuffix(pat, "/..."); ok {
+				absBase := filepath.Join(cwd, filepath.FromSlash(base))
+				if dir == absBase || strings.HasPrefix(dir, absBase+string(filepath.Separator)) {
+					return true
+				}
+				continue
+			}
+			if dir == filepath.Join(cwd, filepath.FromSlash(pat)) {
+				return true
+			}
+		}
+		return false
+	}
+	out := findings[:0]
+	for _, f := range findings {
+		if match(f.File) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// relativize rewrites finding paths relative to cwd for readable output.
+func relativize(findings []lint.Finding, cwd string) {
+	for i := range findings {
+		if rel, err := filepath.Rel(cwd, findings[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			findings[i].File = rel
+		}
+	}
+}

@@ -3,6 +3,11 @@
 // optimized equivalence-class join and pruning of Section 3.1.1, hash-tree
 // support counting, and frequent itemset extraction. The parallel CCPD/PCCD
 // algorithms in internal/ccpd build on the same pieces.
+//
+// Candidate and frequent-set order feed the pinned work model
+// (TestModelTimePinned), so the package must stay deterministic:
+//
+//armlint:pinned
 package apriori
 
 import (
@@ -196,6 +201,8 @@ func PruneSet(fkPrev []itemset.Itemset) *itemset.Set {
 // against prev. The two subsets that formed the candidate are frequent by
 // construction, so only the k-2 subsets dropping an earlier position are
 // probed. Zero heap allocations; prev may be nil when k ≤ 2.
+//
+//armlint:noalloc
 func JoinPrune(prev *itemset.Set, scratch, prefix itemset.Itemset, a, b itemset.Item) bool {
 	n := copy(scratch, prefix)
 	scratch[n] = a

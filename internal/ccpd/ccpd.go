@@ -357,8 +357,11 @@ func Mine(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 // because per-transaction work does not depend on who counts it.
 func countPhase(d *db.Database, tree *hashtree.Tree, counters *hashtree.Counters, opts Options, k int, pool *sched.Pool, pt *PhaseTiming) {
 	procs := opts.Procs
-	pt.CountWork = make([]int64, procs)
-	perProc := make([]time.Duration, procs)
+	// Workers accumulate into cache-line padded sched.PerWorker records, so
+	// live increments never invalidate a neighbour's line; the bare int64
+	// timing slices (eight counters per line) are filled in only after the
+	// pool barrier.
+	acc := make([]sched.PerWorker, procs)
 	newCtx := func(p int) *hashtree.CountCtx {
 		return tree.NewCountCtx(counters, hashtree.CountOpts{
 			ShortCircuit: opts.ShortCircuit, Proc: p,
@@ -382,21 +385,20 @@ func countPhase(d *db.Database, tree *hashtree.Tree, counters *hashtree.Counters
 				ctx.CountTransaction(items)
 			})
 			ctx.Flush()
-			// One store per field at the end: accumulating directly into
-			// the shared slices would false-share their cache lines
-			// across processors for the whole phase.
-			pt.CountWork[p] = ctx.Work
-			perProc[p] = time.Since(t0)
+			acc[p].Work = ctx.Work
+			acc[p].ElapsedNS = time.Since(t0).Nanoseconds()
 		})
-		pt.CountIdle = idleOf(perProc)
+		pt.CountWork = make([]int64, procs)
+		for p := range acc {
+			pt.CountWork[p] = acc[p].Work
+		}
+		pt.CountIdle = idleOf(acc)
 		return
 	}
 
 	n := d.Len()
 	numChunks := sched.NumChunks(n, opts.ChunkSize)
 	chunkWork := make([]int64, numChunks)
-	pt.ChunksClaimed = make([]int64, procs)
-	pt.Steals = make([]int64, procs)
 
 	countChunk := func(ctx *hashtree.CountCtx, c int) {
 		lo, hi := sched.ChunkRange(n, opts.ChunkSize, c)
@@ -415,58 +417,61 @@ func countPhase(d *db.Database, tree *hashtree.Tree, counters *hashtree.Counters
 		pool.Run(func(p int) {
 			t0 := time.Now()
 			ctx := newCtx(p)
-			var claimed, stolen int64
+			w := &acc[p]
 			for {
 				c, wasSteal, ok := st.Next(p)
 				if !ok {
 					break
 				}
 				countChunk(ctx, int(c))
-				claimed++
+				w.Claimed++
 				if wasSteal {
-					stolen++
+					w.Stolen++
 				}
 			}
 			ctx.Flush()
-			pt.ChunksClaimed[p] = claimed
-			pt.Steals[p] = stolen
-			perProc[p] = time.Since(t0)
+			w.ElapsedNS = time.Since(t0).Nanoseconds()
 		})
 	default: // PartitionDynamic
 		cur := sched.NewCursor(numChunks)
 		pool.Run(func(p int) {
 			t0 := time.Now()
 			ctx := newCtx(p)
-			var claimed int64
+			w := &acc[p]
 			for {
 				c, ok := cur.Next()
 				if !ok {
 					break
 				}
 				countChunk(ctx, c)
-				claimed++
+				w.Claimed++
 			}
 			ctx.Flush()
-			pt.ChunksClaimed[p] = claimed
-			perProc[p] = time.Since(t0)
+			w.ElapsedNS = time.Since(t0).Nanoseconds()
 		})
 	}
+	pt.ChunksClaimed = make([]int64, procs)
+	pt.Steals = make([]int64, procs)
+	for p := range acc {
+		pt.ChunksClaimed[p] = acc[p].Claimed
+		pt.Steals[p] = acc[p].Stolen
+	}
 	pt.CountWork = sched.GreedySchedule(chunkWork, procs)
-	pt.CountIdle = idleOf(perProc)
+	pt.CountIdle = idleOf(acc)
 }
 
 // idleOf sums each processor's wall-clock wait for the slowest one.
-func idleOf(per []time.Duration) time.Duration {
-	var m, idle time.Duration
-	for _, t := range per {
-		if t > m {
-			m = t
+func idleOf(acc []sched.PerWorker) time.Duration {
+	var m, idle int64
+	for i := range acc {
+		if acc[i].ElapsedNS > m {
+			m = acc[i].ElapsedNS
 		}
 	}
-	for _, t := range per {
-		idle += m - t
+	for i := range acc {
+		idle += m - acc[i].ElapsedNS
 	}
-	return idle
+	return time.Duration(idle)
 }
 
 // parallelFrequentOne counts 1-itemsets with per-processor count arrays.

@@ -73,6 +73,9 @@ func Read(r io.Reader) (*Database, error) {
 		return nil, fmt.Errorf("db: unsupported version %d", v)
 	}
 	numItem := int(binary.LittleEndian.Uint32(hdr[8:]))
+	if numItem > 1<<31-1 {
+		return nil, fmt.Errorf("db: item universe %d overflows int32 items", numItem)
+	}
 	count := binary.LittleEndian.Uint64(hdr[12:])
 	d := New(numItem)
 	var buf [12]byte
@@ -91,7 +94,11 @@ func Read(r io.Reader) (*Database, error) {
 			if _, err := io.ReadFull(br, ib[:]); err != nil {
 				return nil, fmt.Errorf("db: transaction %d item %d: %w", t, i, err)
 			}
-			items[i] = itemset.Item(binary.LittleEndian.Uint32(ib[:]))
+			v := binary.LittleEndian.Uint32(ib[:])
+			if v >= uint32(numItem) {
+				return nil, fmt.Errorf("db: transaction %d item %d outside universe [0,%d)", t, v, numItem)
+			}
+			items[i] = itemset.Item(v)
 		}
 		if !items.IsSorted() {
 			return nil, fmt.Errorf("db: transaction %d (tid %d) not sorted", t, tid)

@@ -40,8 +40,18 @@ func (m CounterMode) String() string {
 const lockStripes = 256
 
 // Counters holds the support counts for one tree's candidates.
+//
+// shared's access discipline is Mode-dependent — the Section 5.2 design
+// axis. Under CounterLocked every element access holds its stripe of
+// locks (machine-checked by armlint's guardedby pass); under CounterAtomic
+// elements are only touched through sync/atomic (the atomic-mix pass);
+// under CounterPrivate the counting phase writes only priv, and shared is
+// touched by the single-owner reduction. The Mode never changes after
+// NewCounters, which is the isolation argument each //armlint:allow below
+// states.
 type Counters struct {
-	Mode   CounterMode
+	Mode CounterMode
+	//armlint:guardedby locks
 	shared []int64
 	locks  []sync.Mutex
 	priv   [][]int64
@@ -75,6 +85,7 @@ func (c *Counters) add(id int32, proc int) {
 	case CounterLocked:
 		l := &c.locks[uint32(id)%lockStripes]
 		l.Lock()
+		//armlint:allow atomic-mix locked and atomic modes are mutually exclusive per run (Mode is fixed at construction)
 		c.shared[id]++
 		l.Unlock()
 	default:
@@ -92,6 +103,7 @@ func (c *Counters) addN(id int32, n int64, proc int) {
 	case CounterLocked:
 		l := &c.locks[uint32(id)%lockStripes]
 		l.Lock()
+		//armlint:allow atomic-mix locked and atomic modes are mutually exclusive per run (Mode is fixed at construction)
 		c.shared[id] += n
 		l.Unlock()
 	default:
@@ -122,6 +134,7 @@ func (c *Counters) ReduceRange(lo, hi int) {
 	}
 	for _, arr := range c.priv {
 		for i := lo; i < hi; i++ {
+			//armlint:allow atomic-mix,guardedby private mode only: no lock/atomic traffic exists, and callers reduce disjoint ranges after the counting barrier
 			c.shared[i] += arr[i]
 			arr[i] = 0
 		}
@@ -129,6 +142,8 @@ func (c *Counters) ReduceRange(lo, hi int) {
 }
 
 // Count returns candidate id's total (after Reduce for private mode).
+//
+//armlint:allow atomic-mix,guardedby read-only extraction runs after the counting barrier; no writer is live
 func (c *Counters) Count(id int32) int64 { return c.shared[id] }
 
 // Counts exposes the full totals slice (read-only).
@@ -190,7 +205,13 @@ type CountCtx struct {
 	opts CountOpts
 
 	// Work accumulates deterministic work units (see the work* constants);
-	// the harness uses max-over-processors work as the modelled parallel time.
+	// the harness uses max-over-processors work as the modelled parallel
+	// time. It is bumped on every node visit by the owning worker — hot in
+	// the falseshare sense, which is safe only because contexts are
+	// separately heap-allocated, never packed into a []CountCtx (armlint's
+	// falseshare pass would flag such a slice).
+	//
+	//armlint:hot
 	Work int64
 
 	// visit[d·H+c] holds the epoch in which cell c at depth d was last
@@ -247,6 +268,8 @@ func (t *Tree) NewCountCtx(counters *Counters, opts CountOpts) *CountCtx {
 // traversal is iterative over the frozen SoA layout — no recursion, no heap
 // allocation — but visits nodes in exactly the order of the recursive walk,
 // so counts, traces and modelled work units are bit-identical to it.
+//
+//armlint:noalloc
 func (ctx *CountCtx) CountTransaction(items itemset.Itemset) {
 	f := ctx.f
 	k := f.k
@@ -323,6 +346,8 @@ func (ctx *CountCtx) CountTransaction(items itemset.Itemset) {
 }
 
 // scanLeaf runs the containment merge over one leaf's candidate list.
+//
+//armlint:noalloc
 func (ctx *CountCtx) scanLeaf(node int32, items itemset.Itemset) {
 	if !ctx.opts.ShortCircuit {
 		// Base case: leaf-level VISITED stamp prevents double counting
@@ -366,6 +391,8 @@ func (ctx *CountCtx) scanLeaf(node int32, items itemset.Itemset) {
 }
 
 // bump records one support increment, buffering it when batching is on.
+//
+//armlint:noalloc
 func (ctx *CountCtx) bump(cand int32) {
 	if ctx.batch == nil {
 		ctx.counters.add(cand, ctx.opts.Proc)
@@ -381,6 +408,8 @@ func (ctx *CountCtx) bump(cand int32) {
 // flushBatch sorts the pending ids and applies one addN per distinct
 // candidate, so b buffered hits on a hot candidate cost one RMW instead of b
 // (and locked-mode flushes take each stripe lock in runs).
+//
+//armlint:noalloc
 func (ctx *CountCtx) flushBatch() {
 	pend := ctx.batch[:ctx.batchLen]
 	if len(pend) == 0 {

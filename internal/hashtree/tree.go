@@ -7,6 +7,11 @@
 // support counting with short-circuited subset checking (Section 4.2, the
 // reduced k·H·P memory scheme), and virtual memory placement for the
 // locality study of Section 5.
+//
+// The package's work-unit model backs TestModelTimePinned, so it must stay
+// free of wall-clock and randomness:
+//
+//armlint:pinned
 package hashtree
 
 import (

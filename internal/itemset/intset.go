@@ -83,6 +83,8 @@ func (s *Set) Contains(it Itemset) bool {
 // ContainsSkip reports whether the (k)-subset of the (k+1)-itemset it formed
 // by dropping position skip is a member — the prune probe, without
 // materializing the subset.
+//
+//armlint:noalloc
 func (s *Set) ContainsSkip(it Itemset, skip int) bool {
 	if len(it) != s.k+1 || skip < 0 || skip > s.k {
 		return false
@@ -90,6 +92,7 @@ func (s *Set) ContainsSkip(it Itemset, skip int) bool {
 	return s.lookup(it, skip)
 }
 
+//armlint:noalloc
 func (s *Set) lookup(it Itemset, skip int) bool {
 	slot := hashSkip(it, skip) & s.mask
 	for s.used[slot] {
@@ -102,6 +105,8 @@ func (s *Set) lookup(it Itemset, skip int) bool {
 }
 
 // equalAt compares slot's member against it with position skip dropped.
+//
+//armlint:noalloc
 func (s *Set) equalAt(slot uint32, it Itemset, skip int) bool {
 	member := s.items[int(slot)*s.k : int(slot)*s.k+s.k]
 	j := 0

@@ -2,6 +2,11 @@
 // mining: items, itemsets (sorted sets of items), k-subset enumeration and
 // the prefix-based equivalence classes used by the optimized candidate join
 // of Section 3.1.1 of the paper.
+//
+// Itemset and class order feed the pinned work model (TestModelTimePinned),
+// so the package must stay deterministic:
+//
+//armlint:pinned
 package itemset
 
 import (

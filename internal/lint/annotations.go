@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Annotation grammar (see DESIGN.md "Static analysis"):
+//
+//	//armlint:noalloc                      — on a function declaration
+//	//armlint:guardedby <field>            — on a struct field; <field> is a
+//	                                         sibling mutex or stripe-lock array
+//	//armlint:locked <path>[,<path>]       — on a function declaration: the
+//	                                         named lock paths are held by the
+//	                                         caller on entry (split-style
+//	                                         helpers)
+//	//armlint:hot [group]                  — on a struct field mutated by one
+//	                                         worker (default group "worker")
+//	//armlint:pinned                       — in a package doc comment
+//	//armlint:allow <a>[,<a>...] <reason>  — on/above a line, suppresses the
+//	                                         named analyzers there
+//
+// Directives are ordinary //-comments with no space after the slashes, so
+// godoc hides them and gofmt leaves them alone.
+
+// Allow is one parsed //armlint:allow directive.
+type Allow struct {
+	File      string
+	Line      int
+	Analyzers map[string]bool
+	Reason    string
+}
+
+// Annotations is the module-wide annotation table, keyed by type-checker
+// objects so analyzers in any package resolve annotations declared in
+// another.
+type Annotations struct {
+	// NoAlloc holds functions that must be statically allocation-free.
+	NoAlloc map[*types.Func]bool
+	// Guarded maps an annotated field to its sibling lock field.
+	Guarded map[*types.Var]*types.Var
+	// Locked lists lock paths a function's callers hold on entry.
+	Locked map[*types.Func][]string
+	// Hot maps a per-worker mutable field to its owner group.
+	Hot map[*types.Var]string
+	// HotStructs lists, per named struct type, its hot fields.
+	HotStructs map[*types.Named][]*types.Var
+	// Pinned marks packages whose work model is frozen by
+	// TestModelTimePinned (determinism-critical).
+	Pinned map[string]bool
+
+	allows map[string]map[int]*Allow // file → line → directive
+}
+
+func newAnnotations() *Annotations {
+	return &Annotations{
+		NoAlloc:    map[*types.Func]bool{},
+		Guarded:    map[*types.Var]*types.Var{},
+		Locked:     map[*types.Func][]string{},
+		Hot:        map[*types.Var]string{},
+		HotStructs: map[*types.Named][]*types.Var{},
+		Pinned:     map[string]bool{},
+		allows:     map[string]map[int]*Allow{},
+	}
+}
+
+// directive splits an "//armlint:<verb> <args>" comment; ok is false for
+// ordinary comments.
+func directive(c *ast.Comment) (verb, args string, ok bool) {
+	text, found := strings.CutPrefix(c.Text, "//armlint:")
+	if !found {
+		return "", "", false
+	}
+	verb, args, _ = strings.Cut(text, " ")
+	return verb, strings.TrimSpace(args), true
+}
+
+// collect scans one package's ASTs for armlint directives and merges them
+// into the table. It runs after type checking so directives resolve to
+// checker objects.
+func (a *Annotations) collect(fset *token.FileSet, pkg *Package) {
+	info := pkg.Info
+	for _, file := range pkg.Files {
+		// Package-level: //armlint:pinned in the package doc.
+		if file.Doc != nil {
+			for _, c := range file.Doc.List {
+				if verb, _, ok := directive(c); ok && verb == "pinned" {
+					a.Pinned[pkg.Path] = true
+				}
+			}
+		}
+		// Suppressions can appear in any comment group.
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				verb, args, ok := directive(c)
+				if !ok || verb != "allow" {
+					continue
+				}
+				names, reason, _ := strings.Cut(args, " ")
+				al := &Allow{
+					Analyzers: map[string]bool{},
+					Reason:    strings.TrimSpace(reason),
+				}
+				for _, n := range strings.Split(names, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						al.Analyzers[n] = true
+					}
+				}
+				pos := fset.Position(c.Pos())
+				al.File, al.Line = pos.Filename, pos.Line
+				if a.allows[al.File] == nil {
+					a.allows[al.File] = map[int]*Allow{}
+				}
+				a.allows[al.File][al.Line] = al
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				a.collectFunc(info, n)
+			case *ast.TypeSpec:
+				a.collectType(info, n)
+			}
+			return true
+		})
+	}
+}
+
+func (a *Annotations) collectFunc(info *types.Info, decl *ast.FuncDecl) {
+	if decl.Doc == nil {
+		return
+	}
+	for _, c := range decl.Doc.List {
+		verb, args, ok := directive(c)
+		if !ok {
+			continue
+		}
+		fn := funcObj(info, decl)
+		if fn == nil {
+			continue
+		}
+		switch verb {
+		case "noalloc":
+			a.NoAlloc[fn] = true
+		case "locked":
+			for _, p := range strings.Split(args, ",") {
+				if p = strings.TrimSpace(p); p != "" {
+					a.Locked[fn] = append(a.Locked[fn], p)
+				}
+			}
+		}
+	}
+}
+
+func (a *Annotations) collectType(info *types.Info, spec *ast.TypeSpec) {
+	st, ok := spec.Type.(*ast.StructType)
+	if !ok || st.Fields == nil {
+		return
+	}
+	var named *types.Named
+	if tn, ok := info.Defs[spec.Name].(*types.TypeName); ok {
+		named, _ = tn.Type().(*types.Named)
+	}
+	for _, field := range st.Fields.List {
+		for _, verb := range fieldDirectives(field) {
+			switch verb.verb {
+			case "guardedby":
+				lock := lookupSibling(info, st, verb.args)
+				if lock == nil {
+					continue
+				}
+				for _, v := range fieldVars(info, field) {
+					a.Guarded[v] = lock
+				}
+			case "hot":
+				group := verb.args
+				if group == "" {
+					group = "worker"
+				}
+				for _, v := range fieldVars(info, field) {
+					a.Hot[v] = group
+					if named != nil {
+						a.HotStructs[named] = append(a.HotStructs[named], v)
+					}
+				}
+			}
+		}
+	}
+}
+
+type fieldDirective struct{ verb, args string }
+
+// fieldDirectives extracts armlint directives from a struct field's doc and
+// trailing comments.
+func fieldDirectives(field *ast.Field) []fieldDirective {
+	var out []fieldDirective
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if verb, args, ok := directive(c); ok {
+				out = append(out, fieldDirective{verb, args})
+			}
+		}
+	}
+	return out
+}
+
+// fieldVars resolves a field declaration's names to checker objects.
+func fieldVars(info *types.Info, field *ast.Field) []*types.Var {
+	var out []*types.Var
+	for _, name := range field.Names {
+		if v, ok := info.Defs[name].(*types.Var); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// lookupSibling finds a struct field by name within the same struct literal.
+func lookupSibling(info *types.Info, st *ast.StructType, name string) *types.Var {
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			if n.Name == name {
+				if v, ok := info.Defs[n].(*types.Var); ok {
+					return v
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// filterAllowed drops findings covered by an //armlint:allow directive on
+// the same line or the line immediately above.
+func (a *Annotations) filterAllowed(findings []Finding) []Finding {
+	out := findings[:0]
+	for _, f := range findings {
+		if a.allowed(f) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func (a *Annotations) allowed(f Finding) bool {
+	lines := a.allows[f.File]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{f.Line, f.Line - 1} {
+		if al := lines[line]; al != nil && al.Analyzers[f.Analyzer] {
+			return true
+		}
+	}
+	return false
+}

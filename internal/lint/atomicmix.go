@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix flags plain reads/writes of memory that is elsewhere updated
+// through sync/atomic. A counter that is atomic in one code path and plain
+// in another (the locked/atomic/private counter modes of Section 5.2 are
+// exactly such a design) races unless every plain access is proven to be
+// mode- or phase-isolated — which the code must assert explicitly with an
+// //armlint:allow atomic-mix directive stating the isolation argument.
+//
+// Tracking is per package and object-based: a target is either a variable
+// or field whose address is passed to a sync/atomic function (&x.f), or the
+// element space of a slice field (&x.f[i]). For element targets only index
+// and range accesses are flagged; reading the slice header (len, append
+// targets, passing the slice) is harmless. The typed atomic.Int64 family
+// needs no checking — its API admits no plain access.
+var AtomicMix = &Analyzer{
+	Name: "atomic-mix",
+	Doc:  "field updated via sync/atomic must not get plain reads/writes",
+	Run:  runAtomicMix,
+}
+
+// atomicTarget describes how a variable is atomically accessed.
+type atomicTarget struct {
+	direct bool // &v itself passed to sync/atomic
+	elem   bool // &v[i] passed to sync/atomic (v slice/array)
+}
+
+func runAtomicMix(pass *Pass) {
+	targets := map[*types.Var]*atomicTarget{}
+	var atomicArgs []ast.Expr // &-argument subtrees of atomic calls (exempt)
+
+	// Pass 1: find addresses handed to sync/atomic.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				v, elem := addressedVar(pass.Info, un.X)
+				if v == nil {
+					continue
+				}
+				t := targets[v]
+				if t == nil {
+					t = &atomicTarget{}
+					targets[v] = t
+				}
+				t.direct = t.direct || !elem
+				t.elem = t.elem || elem
+				atomicArgs = append(atomicArgs, un)
+			}
+			return true
+		})
+	}
+	if len(targets) == 0 {
+		return
+	}
+
+	inAtomicArg := func(n ast.Node) bool {
+		for _, arg := range atomicArgs {
+			if n.Pos() >= arg.Pos() && n.End() <= arg.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 2: flag plain accesses of those targets.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IndexExpr:
+				v := usedVar(pass.Info, n.X)
+				t := targets[v]
+				if t == nil || !t.elem || inAtomicArg(n) {
+					return true
+				}
+				pass.Reportf(n.Pos(), "elements of %q are updated via sync/atomic elsewhere in this package; plain indexed access races (isolate by mode/phase and assert with //armlint:allow atomic-mix <reason>)", v.Name())
+				return false
+			case *ast.RangeStmt:
+				v := usedVar(pass.Info, n.X)
+				if t := targets[v]; t != nil && t.elem && !inAtomicArg(n.X) {
+					pass.Reportf(n.X.Pos(), "elements of %q are updated via sync/atomic elsewhere in this package; ranging over them reads racily", v.Name())
+				}
+				return true
+			case *ast.SelectorExpr:
+				v := usedVar(pass.Info, n)
+				t := targets[v]
+				if t == nil || !t.direct || inAtomicArg(n) {
+					return true
+				}
+				pass.Reportf(n.Pos(), "%q is updated via sync/atomic elsewhere in this package; plain access races", v.Name())
+				return false
+			case *ast.Ident:
+				v, ok := pass.Info.Uses[n].(*types.Var)
+				if !ok {
+					return true
+				}
+				t := targets[v]
+				if t == nil || !t.direct || v.IsField() || inAtomicArg(n) {
+					return true
+				}
+				pass.Reportf(n.Pos(), "%q is updated via sync/atomic elsewhere in this package; plain access races", v.Name())
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicCall reports whether call invokes a function from sync/atomic.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+// addressedVar resolves the variable whose storage &expr exposes: a plain
+// variable or field (elem=false), or an element of a slice/array-typed
+// variable or field (elem=true).
+func addressedVar(info *types.Info, expr ast.Expr) (v *types.Var, elem bool) {
+	switch e := expr.(type) {
+	case *ast.IndexExpr:
+		return usedVar(info, e.X), true
+	default:
+		return usedVar(info, expr), false
+	}
+}
+
+// usedVar resolves an identifier or selector to the variable it names.
+func usedVar(info *types.Info, expr ast.Expr) *types.Var {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		return v
+	case *ast.ParenExpr:
+		return usedVar(info, e.X)
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism guards the packages whose outputs TestModelTimePinned freezes
+// bit-for-bit (annotated //armlint:pinned in their package doc). Three
+// nondeterminism sources are banned there:
+//
+//   - wall-clock reads: time.Now / time.Since / time.Sleep (and the timer
+//     constructors). Pinned packages model cost in deterministic work
+//     units; using time.Duration as a data type remains fine.
+//   - math/rand (v1 or v2) imports: any randomness in a pinned package
+//     would leak into candidate order or work totals.
+//   - map-iteration order feeding an ordered accumulation: a `for range m`
+//     over a map whose body appends to a slice declared outside the loop
+//     produces a permutation that varies run to run. Iterate sorted keys
+//     instead, or — if the accumulation is provably order-insensitive —
+//     annotate //armlint:allow determinism <reason>.
+//
+// Unpinned packages (generators, the experiment harness, examples) are
+// exempt: their job is wall time and randomness.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "pinned-model packages stay clock-, rand- and map-order-free",
+	Run:  runDeterminism,
+}
+
+// bannedTimeFuncs are the time functions that read the wall clock or create
+// timers; pure data constructors (time.Duration arithmetic) are allowed.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runDeterminism(pass *Pass) {
+	if !pass.Ann.Pinned[pass.Pkg.Path()] {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "pinned-model package imports %s: randomness would unpin the deterministic work model", path)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := calledFunc(pass.Info, n); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "time" && bannedTimeFuncs[fn.Name()] {
+					pass.Reportf(n.Pos(), "pinned-model package calls time.%s: wall-clock reads are nondeterministic (move timing to the caller)", fn.Name())
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange flags a range over a map whose body appends to a slice
+// declared outside the loop — map order escaping into an ordered result.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt) {
+	t := pass.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := deref(t).Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		switch dst := ast.Unparen(call.Args[0]).(type) {
+		case *ast.Ident:
+			v, ok := pass.Info.Uses[dst].(*types.Var)
+			if !ok {
+				return true
+			}
+			// Appending to a slice declared inside the loop body is a
+			// per-iteration scratch, not an ordered accumulation.
+			if v.Pos() >= rs.Pos() && v.Pos() <= rs.End() {
+				return true
+			}
+		case *ast.SelectorExpr, *ast.IndexExpr:
+			// Fields and elements outlive the loop by construction.
+		default:
+			return true
+		}
+		pass.Reportf(call.Pos(), "append inside a map range leaks nondeterministic iteration order into an ordered accumulation; iterate sorted keys instead")
+		return true
+	})
+}
+
+// calledFunc resolves the *types.Func a call invokes, if any.
+func calledFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FalseShare is the static twin of the cachesim MESI false-sharing
+// classifier (Section 6.4): instead of replaying an access trace, it
+// computes real struct layouts with types.Sizes (the gc rules for the host
+// architecture) and flags //armlint:hot fields — fields mutated continually
+// by their owning worker — whose layout lets two different owners' hot data
+// land on one 64-byte coherence line:
+//
+//  1. A struct with hot fields that is used as a slice or array element
+//     type anywhere in the analyzed package must have a size that is a
+//     multiple of the line: []PerWorker with sizeof 32 puts worker p's
+//     counters and worker p+1's on the same line, and every increment
+//     ping-pongs it (exactly the adjacent-counter hazard of Figs 12–13).
+//  2. Within one struct, hot fields of *different* owner groups
+//     (//armlint:hot <group>) must not share a line. Fields of the same
+//     group share an owner, so co-residence is free — that is why the
+//     default group "worker" never conflicts with itself.
+//
+// The fix is padding (the paper's approach) or sharding; the analyzer
+// reports the offending sizeof/offsets so the pad is easy to compute.
+var FalseShare = &Analyzer{
+	Name: "falseshare",
+	Doc:  "hot per-worker fields must not share a 64-byte cache line across owners",
+	Run:  runFalseShare,
+}
+
+func runFalseShare(pass *Pass) {
+	checkHotStructDefs(pass)
+	checkHotElemUses(pass)
+}
+
+// checkHotStructDefs applies rule 2 to structs defined in this package.
+func checkHotStructDefs(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			spec, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			tn, ok := pass.Info.Defs[spec.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || len(pass.Ann.HotStructs[named]) == 0 {
+				return true
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			fields := make([]*types.Var, st.NumFields())
+			index := map[*types.Var]int{}
+			for i := range fields {
+				fields[i] = st.Field(i)
+				index[fields[i]] = i
+			}
+			offsets := pass.Sizes.Offsetsof(fields)
+			hot := pass.Ann.HotStructs[named]
+			for i := 0; i < len(hot); i++ {
+				for j := i + 1; j < len(hot); j++ {
+					a, b := hot[i], hot[j]
+					ga, gb := pass.Ann.Hot[a], pass.Ann.Hot[b]
+					if ga == gb {
+						continue
+					}
+					ia, ib := index[a], index[b]
+					la0, la1 := lineSpan(offsets[ia], pass.Sizes.Sizeof(a.Type()))
+					lb0, lb1 := lineSpan(offsets[ib], pass.Sizes.Sizeof(b.Type()))
+					if la1 >= lb0 && lb1 >= la0 {
+						pass.Reportf(b.Pos(), "hot fields %q (group %s, offset %d) and %q (group %s, offset %d) of %s share a %d-byte cache line; pad so different owners' hot data never co-reside", a.Name(), ga, offsets[ia], b.Name(), gb, offsets[ib], named.Obj().Name(), lineBytes)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkHotElemUses applies rule 1 to []T / [N]T type expressions whose
+// element type (declared in any module package) carries hot fields.
+func checkHotElemUses(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			at, ok := n.(*ast.ArrayType)
+			if !ok {
+				return true
+			}
+			elemT := pass.Info.TypeOf(at.Elt)
+			if elemT == nil {
+				return true
+			}
+			named, ok := types.Unalias(elemT).(*types.Named)
+			if !ok || len(pass.Ann.HotStructs[named]) == 0 {
+				return true
+			}
+			size := pass.Sizes.Sizeof(named)
+			if size%lineBytes == 0 {
+				return true
+			}
+			pass.Reportf(at.Pos(), "%s has hot per-worker fields but sizeof(%s)=%d is not a multiple of the %d-byte cache line: adjacent elements of this slice/array false-share; pad the struct by %d bytes", named.Obj().Name(), named.Obj().Name(), size, lineBytes, lineBytes-size%lineBytes)
+			return true
+		})
+	}
+}
+
+// lineSpan returns the inclusive range of cache-line indices a field at
+// offset off with the given size touches.
+func lineSpan(off, size int64) (first, last int64) {
+	if size <= 0 {
+		size = 1
+	}
+	return off / lineBytes, (off + size - 1) / lineBytes
+}

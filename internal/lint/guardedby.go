@@ -1,0 +1,371 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GuardedBy enforces //armlint:guardedby mu field annotations: every access
+// to the annotated field must happen while the named sibling lock is held.
+//
+// The check is deliberately conservative and intraprocedural, in the spirit
+// of Java's @GuardedBy: it walks each function body in statement order
+// tracking which lock paths are held. mu.Lock() (and RLock) acquires,
+// mu.Unlock() releases, defer mu.Unlock() holds to function end, and lock
+// state acquired inside a nested branch/loop does not leak out of it. Lock
+// paths are compared textually on the receiver chain with index
+// subscripts dropped, so striped locks work: both `c.locks[i].Lock()` and
+// the alias form `l := &c.locks[i]; l.Lock()` hold the path "c.locks", and
+// any access to a field guarded by `locks` under the same receiver is then
+// legal. Helpers that run with the lock already held by their caller (the
+// hash tree's split-under-lock pattern) declare it with
+// //armlint:locked <path>, which seeds the held set on entry.
+//
+// When the lock field is a stripe array ([]sync.Mutex), only *element*
+// accesses of the guarded slice are checked: stripes partition the element
+// space, and the slice header itself (len, capacity, the slice value) is
+// immutable after construction, so no single stripe could meaningfully
+// guard it. A scalar mutex guards every access, header included.
+//
+// Accesses the walker cannot prove locked are findings; accesses that are
+// safe for a reason the analysis cannot see (single-threaded construction,
+// mode isolation, a barrier) carry an //armlint:allow guardedby <reason>
+// directive. Accesses appearing inside a sync/atomic argument are
+// atomic-mix's jurisdiction and are skipped here.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "annotated fields only accessed with their lock held",
+	Run:  runGuardedBy,
+}
+
+func runGuardedBy(pass *Pass) {
+	if len(pass.Ann.Guarded) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
+				c := &gbChecker{pass: pass, aliases: map[*types.Var]string{}}
+				st := lockSet{}
+				if fn := funcObj(pass.Info, fd); fn != nil {
+					for _, path := range pass.Ann.Locked[fn] {
+						st[path] = true
+					}
+				}
+				c.stmts(fd.Body.List, st)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// lockSet is the set of held lock paths.
+type lockSet map[string]bool
+
+func (s lockSet) clone() lockSet {
+	c := make(lockSet, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+type gbChecker struct {
+	pass *Pass
+	// aliases maps a local variable bound to &lockExpr (or &structExpr)
+	// onto the rendered path of what it aliases.
+	aliases map[*types.Var]string
+}
+
+// stmts walks a statement list, threading lock state sequentially.
+func (c *gbChecker) stmts(list []ast.Stmt, st lockSet) {
+	for _, s := range list {
+		c.stmt(s, st)
+	}
+}
+
+// stmt processes one statement: scans its expressions for guarded accesses
+// against the current state, applies lock/unlock effects, and recurses into
+// nested statements with cloned state (branch-local acquisitions stay
+// branch-local — conservative).
+func (c *gbChecker) stmt(s ast.Stmt, st lockSet) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, op := c.lockOp(s.X); op != lockNone {
+			if op == lockAcquire {
+				st[key] = true
+			} else {
+				delete(st, key)
+			}
+			return
+		}
+		c.scan(s.X, st)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held for the rest of the
+		// function; any other deferred call is scanned normally.
+		if _, op := c.lockOp(s.Call); op != lockNone {
+			return
+		}
+		c.scan(s.Call, st)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.scan(rhs, st)
+		}
+		for _, lhs := range s.Lhs {
+			c.scan(lhs, st)
+		}
+		c.recordAliases(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.scan(v, st)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		c.scan(s.X, st)
+	case *ast.SendStmt:
+		c.scan(s.Chan, st)
+		c.scan(s.Value, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.scan(r, st)
+		}
+	case *ast.GoStmt:
+		// The goroutine body runs concurrently: locks held at spawn time
+		// are not held inside it. scan gives FuncLits a fresh state.
+		c.scan(s.Call, lockSet{})
+	case *ast.BlockStmt:
+		c.stmts(s.List, st.clone())
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		c.scan(s.Cond, st)
+		c.stmts(s.Body.List, st.clone())
+		if s.Else != nil {
+			c.stmt(s.Else, st.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			c.scan(s.Cond, st)
+		}
+		body := st.clone()
+		c.stmts(s.Body.List, body)
+		if s.Post != nil {
+			c.stmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		// Ranging reads elements, which striped locks do guard even though
+		// plain header reads are exempt.
+		c.checkStripedElem(s.X, st)
+		c.scan(s.X, st)
+		c.stmts(s.Body.List, st.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.scan(s.Tag, st)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				cs := st.clone()
+				for _, e := range cc.List {
+					c.scan(e, cs)
+				}
+				c.stmts(cc.Body, cs)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		c.stmt(s.Assign, st)
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, st.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				cs := st.clone()
+				if cc.Comm != nil {
+					c.stmt(cc.Comm, cs)
+				}
+				c.stmts(cc.Body, cs)
+			}
+		}
+	}
+}
+
+// scan inspects an expression tree for accesses to guarded fields, checking
+// each against the held-lock state. Nested function literals are checked
+// with empty state (they may run later, on another goroutine).
+func (c *gbChecker) scan(expr ast.Expr, st lockSet) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			inner := &gbChecker{pass: c.pass, aliases: map[*types.Var]string{}}
+			inner.stmts(n.Body.List, lockSet{})
+			return false
+		case *ast.CallExpr:
+			if isAtomicCall(c.pass.Info, n) {
+				// Atomic access to a guarded field is atomic-mix territory.
+				return false
+			}
+		case *ast.IndexExpr:
+			c.checkStripedElem(n.X, st)
+		case *ast.SelectorExpr:
+			v, _ := c.pass.Info.Uses[n.Sel].(*types.Var)
+			lock := c.pass.Ann.Guarded[v]
+			if lock == nil || stripedLock(lock) {
+				return true
+			}
+			c.check(n, v, lock, st)
+			return true
+		}
+		return true
+	})
+}
+
+// check verifies one access to guarded field v through selector sel.
+func (c *gbChecker) check(sel *ast.SelectorExpr, v, lock *types.Var, st lockSet) {
+	need := c.render(sel.X) + "." + lock.Name()
+	if !st[need] {
+		c.pass.Reportf(sel.Pos(), "access to %q requires holding %q (no %s.Lock() dominates this point; if safe, assert with //armlint:allow guardedby <reason>)", v.Name(), need, need)
+	}
+}
+
+// checkStripedElem flags an element access (index or range) of a field
+// guarded by a stripe-lock array when no stripe of that array is held.
+func (c *gbChecker) checkStripedElem(x ast.Expr, st lockSet) {
+	sel, ok := ast.Unparen(x).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	v, _ := c.pass.Info.Uses[sel.Sel].(*types.Var)
+	lock := c.pass.Ann.Guarded[v]
+	if lock == nil || !stripedLock(lock) {
+		return
+	}
+	c.check(sel, v, lock, st)
+}
+
+// stripedLock reports whether a lock field is a slice/array of sync
+// mutexes rather than a single mutex.
+func stripedLock(lock *types.Var) bool {
+	switch u := lock.Type().Underlying().(type) {
+	case *types.Slice:
+		return isSyncMutex(u.Elem())
+	case *types.Array:
+		return isSyncMutex(u.Elem())
+	}
+	return false
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+type lockOpKind int
+
+const (
+	lockNone lockOpKind = iota
+	lockAcquire
+	lockRelease
+)
+
+// lockOp classifies an expression as mu.Lock()/mu.Unlock() (or RLock
+// variants) on a sync mutex and returns the held-path key.
+func (c *gbChecker) lockOp(expr ast.Expr) (key string, op lockOpKind) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return "", lockNone
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", lockNone
+	}
+	fn, ok := c.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", lockNone
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		op = lockAcquire
+	case "Unlock", "RUnlock":
+		op = lockRelease
+	default:
+		return "", lockNone
+	}
+	return c.render(sel.X), op
+}
+
+// recordAliases notes `l := &path` bindings so a later l.Lock() resolves to
+// path. Index subscripts are dropped by render, which is what makes the
+// striped-lock alias `l := &c.locks[i]` hold "c.locks".
+func (c *gbChecker) recordAliases(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		un, ok := s.Rhs[i].(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			continue
+		}
+		obj, ok := c.pass.Info.Defs[id].(*types.Var)
+		if !ok {
+			if obj, ok = c.pass.Info.Uses[id].(*types.Var); !ok {
+				continue
+			}
+		}
+		c.aliases[obj] = c.render(un.X)
+	}
+}
+
+// render produces the comparison path of a receiver chain: identifiers by
+// object (through aliases), selectors by field name, index subscripts
+// dropped. Unrenderable expressions get a unique never-matching key.
+func (c *gbChecker) render(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		if v, ok := c.pass.Info.Uses[e].(*types.Var); ok {
+			if path, ok := c.aliases[v]; ok {
+				return path
+			}
+		}
+		return e.Name
+	case *ast.SelectorExpr:
+		return c.render(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return c.render(e.X)
+	case *ast.ParenExpr:
+		return c.render(e.X)
+	case *ast.StarExpr:
+		return c.render(e.X)
+	}
+	return "?unrenderable?"
+}

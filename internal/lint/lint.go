@@ -1,0 +1,164 @@
+// Package lint implements armlint, the repo's stdlib-only static analysis
+// suite. It machine-checks the concurrency, zero-allocation and determinism
+// invariants the paper's kernels depend on — the properties the runtime
+// gates (-race, testing.AllocsPerRun, TestModelTimePinned) can only observe
+// dynamically:
+//
+//   - atomic-mix: a field (or the elements of a slice field) updated through
+//     sync/atomic anywhere in its package must never receive a plain read or
+//     write elsewhere — mixing the two disciplines races.
+//   - guardedby: fields annotated //armlint:guardedby mu may only be
+//     accessed while mu (a sibling mutex, or a sibling stripe-lock array) is
+//     held, checked conservatively and intraprocedurally.
+//   - noalloc: functions annotated //armlint:noalloc must contain no
+//     construct that can heap-allocate (make/new/append, closures, slice or
+//     map literals, string concatenation, interface boxing, go/defer) — the
+//     static complement of the AllocsPerRun==0 gates on the counting kernel.
+//   - falseshare: computes real struct layouts with types.Sizes and flags
+//     //armlint:hot per-worker mutable fields whose enclosing struct is used
+//     as a slice/array element without being padded to the 64-byte coherence
+//     line — the static twin of the cachesim MESI false-sharing classifier.
+//   - determinism: packages annotated //armlint:pinned (the ones whose work
+//     model TestModelTimePinned freezes) must not call time.Now/Since/Sleep,
+//     must not import math/rand, and must not feed map-iteration order into
+//     an ordered accumulation (append inside a map range).
+//
+// Everything is built on go/parser, go/ast and go/types with the source
+// importer — no golang.org/x/tools dependency, matching the repo's
+// stdlib-only rule. Findings can be suppressed line-by-line with
+// //armlint:allow <analyzer>[,<analyzer>] <reason>, which doubles as
+// documentation of why the invariant legitimately bends there.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// lineBytes is the coherence-line granularity the falseshare analyzer
+// checks layouts against. It matches cachesim.DefaultConfig's LineSize (and
+// the paper's evaluation platform).
+const lineBytes = 64
+
+// A Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// An Analyzer is one named pass over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{AtomicMix, GuardedBy, NoAlloc, FalseShare, Determinism}
+}
+
+// ByName resolves an analyzer by its Name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Pass carries one analyzer's view of one package plus the module-wide
+// annotation table.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	Sizes    types.Sizes
+	Ann      *Annotations
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the analyzers over every loaded package and returns the
+// findings that survive //armlint:allow suppression, sorted by position.
+func Run(mod *Module, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range mod.Packages {
+		for _, a := range analyzers {
+			a.Run(&Pass{
+				Analyzer: a,
+				Fset:     mod.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Sizes:    mod.Sizes,
+				Ann:      mod.Ann,
+				findings: &findings,
+			})
+		}
+	}
+	findings = mod.Ann.filterAllowed(findings)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// funcObj resolves a FuncDecl to its *types.Func.
+func funcObj(info *types.Info, decl *ast.FuncDecl) *types.Func {
+	if obj, ok := info.Defs[decl.Name].(*types.Func); ok {
+		return obj
+	}
+	return nil
+}
+
+// deref unwraps pointers and aliases down to the core named or unnamed type.
+func deref(t types.Type) types.Type {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(u)
+		default:
+			return t
+		}
+	}
+}

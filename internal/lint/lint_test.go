@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current analyzer output")
+
+// goldenCases pairs each fixture package with the single analyzer it
+// exercises: one package with intentional violations, one provably clean.
+var goldenCases = []struct {
+	fixture  string
+	analyzer string
+}{
+	{"atomicmix_bad", "atomic-mix"},
+	{"atomicmix_ok", "atomic-mix"},
+	{"guardedby_bad", "guardedby"},
+	{"guardedby_ok", "guardedby"},
+	{"noalloc_bad", "noalloc"},
+	{"noalloc_ok", "noalloc"},
+	{"falseshare_bad", "falseshare"},
+	{"falseshare_ok", "falseshare"},
+	{"determinism_bad", "determinism"},
+	{"determinism_ok", "determinism"},
+}
+
+// renderFindings formats findings with file basenames so the golden files
+// are independent of the checkout location.
+func renderFindings(findings []Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n", filepath.Base(f.File), f.Line, f.Col, f.Analyzer, f.Message)
+	}
+	return b.String()
+}
+
+// TestGolden runs each analyzer over its fixture package and compares the
+// findings against testdata/golden/<fixture>.txt. Every *_bad fixture must
+// produce at least one finding (the analyzer provably fires) and every *_ok
+// fixture must be clean.
+func TestGolden(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			a := ByName(tc.analyzer)
+			if a == nil {
+				t.Fatalf("unknown analyzer %q", tc.analyzer)
+			}
+			mod, err := LoadDir(filepath.Join("testdata", "src", tc.fixture))
+			if err != nil {
+				t.Fatalf("LoadDir: %v", err)
+			}
+			got := renderFindings(Run(mod, []*Analyzer{a}))
+
+			if strings.HasSuffix(tc.fixture, "_bad") && got == "" {
+				t.Fatalf("%s produced no findings; the %s analyzer never fired", tc.fixture, tc.analyzer)
+			}
+			if strings.HasSuffix(tc.fixture, "_ok") && got != "" {
+				t.Fatalf("%s should be clean, got:\n%s", tc.fixture, got)
+			}
+
+			golden := filepath.Join("testdata", "golden", tc.fixture+".txt")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings mismatch for %s\n--- got ---\n%s--- want ---\n%s", tc.fixture, got, want)
+			}
+		})
+	}
+}
+
+// TestByName covers the analyzer registry.
+func TestByName(t *testing.T) {
+	for _, a := range All() {
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not return the registered analyzer", a.Name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName of an unknown name should be nil")
+	}
+}

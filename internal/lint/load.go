@@ -1,0 +1,337 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked (non-test) package of the module.
+type Package struct {
+	Dir   string // absolute directory
+	Path  string // import path
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is a fully loaded module: every non-test package parsed,
+// type-checked in dependency order against one shared FileSet, plus the
+// module-wide annotation table.
+type Module struct {
+	Root     string // absolute module root (directory of go.mod)
+	Path     string // module path from go.mod
+	Fset     *token.FileSet
+	Packages []*Package // dependency order (imports before importers)
+	Sizes    types.Sizes
+	Ann      *Annotations
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("armlint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("armlint: no module directive in %s", gomod)
+}
+
+// skipDir reports whether a directory subtree is excluded from analysis:
+// VCS/tool metadata, vendored code, and testdata fixtures (which contain
+// intentional violations for the golden tests).
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// sourceFiles lists the non-test .go files of dir in sorted order.
+func sourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// stdSizes returns the gc layout rules for the host architecture (falling
+// back to amd64 for architectures types does not know).
+func stdSizes() types.Sizes {
+	if s := types.SizesFor("gc", runtime.GOARCH); s != nil {
+		return s
+	}
+	return types.SizesFor("gc", "amd64")
+}
+
+// moduleImporter serves already-checked module packages from a cache and
+// delegates everything else (the standard library) to the stdlib source
+// importer, so the whole module shares one type-checked object world.
+type moduleImporter struct {
+	modpath  string
+	pkgs     map[string]*types.Package
+	fallback types.ImporterFrom
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := m.pkgs[path]; ok {
+		return p, nil
+	}
+	if path == m.modpath || strings.HasPrefix(path, m.modpath+"/") {
+		return nil, fmt.Errorf("module package %q not loaded yet (load-order bug or import cycle)", path)
+	}
+	return m.fallback.ImportFrom(path, dir, mode)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// parsedPkg is the pre-typecheck form of one package directory.
+type parsedPkg struct {
+	dir     string
+	path    string
+	files   []*ast.File
+	imports []string // module-internal imports only
+}
+
+// LoadModule discovers, parses and type-checks every non-test package under
+// root (skipping testdata/vendor/hidden trees) and collects the module-wide
+// armlint annotations.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modpath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+
+	// Discover and parse.
+	byPath := map[string]*parsedPkg{}
+	var order []string
+	walk := func(dir string) error {
+		files, err := sourceFiles(dir)
+		if err != nil || len(files) == 0 {
+			return err
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		path := modpath
+		if rel != "." {
+			path = modpath + "/" + filepath.ToSlash(rel)
+		}
+		pp := &parsedPkg{dir: dir, path: path}
+		for _, f := range files {
+			af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+			if err != nil {
+				return fmt.Errorf("armlint: %w", err)
+			}
+			pp.files = append(pp.files, af)
+			for _, imp := range af.Imports {
+				ip := strings.Trim(imp.Path.Value, `"`)
+				if ip == modpath || strings.HasPrefix(ip, modpath+"/") {
+					pp.imports = append(pp.imports, ip)
+				}
+			}
+		}
+		byPath[path] = pp
+		order = append(order, path)
+		return nil
+	}
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if p != root && skipDir(d.Name()) {
+			return filepath.SkipDir
+		}
+		return walk(p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(order)
+
+	// Topological order: dependencies before dependents.
+	var topo []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("armlint: import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		pp := byPath[path]
+		deps := append([]string(nil), pp.imports...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if byPath[dep] == nil {
+				return fmt.Errorf("armlint: %s imports %s which has no source under %s", path, dep, root)
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = 2
+		topo = append(topo, path)
+		return nil
+	}
+	for _, path := range order {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+
+	// Type-check in that order with a shared importer and object world.
+	mod := &Module{
+		Root:  root,
+		Path:  modpath,
+		Fset:  fset,
+		Sizes: stdSizes(),
+		Ann:   newAnnotations(),
+	}
+	imp := &moduleImporter{
+		modpath:  modpath,
+		pkgs:     map[string]*types.Package{},
+		fallback: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+	for _, path := range topo {
+		pp := byPath[path]
+		pkg, err := checkPackage(fset, path, pp.files, imp, mod.Sizes)
+		if err != nil {
+			return nil, err
+		}
+		imp.pkgs[path] = pkg.Types
+		pkg.Dir = pp.dir
+		mod.Packages = append(mod.Packages, pkg)
+		mod.Ann.collect(fset, pkg)
+	}
+	return mod, nil
+}
+
+// LoadDir parses and type-checks a single directory as a standalone package
+// (used by the analyzer tests to load testdata fixtures, which may import
+// only the standard library).
+func LoadDir(dir string) (*Module, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	files, err := sourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("armlint: no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	var asts []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, af)
+	}
+	mod := &Module{
+		Root:  dir,
+		Path:  filepath.Base(dir),
+		Fset:  fset,
+		Sizes: stdSizes(),
+		Ann:   newAnnotations(),
+	}
+	imp := &moduleImporter{
+		modpath:  mod.Path,
+		pkgs:     map[string]*types.Package{},
+		fallback: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+	pkg, err := checkPackage(fset, mod.Path, asts, imp, mod.Sizes)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = dir
+	mod.Packages = []*Package{pkg}
+	mod.Ann.collect(fset, pkg)
+	return mod, nil
+}
+
+// checkPackage type-checks one package's files.
+func checkPackage(fset *token.FileSet, path string, files []*ast.File, imp types.Importer, sizes types.Sizes) (*Package, error) {
+	info := newInfo()
+	var errs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    sizes,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("armlint: type-checking %s: %w", path, errs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("armlint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,27 @@
+package lint
+
+import "testing"
+
+// TestRepoIsArmlintClean loads the whole module and asserts that the full
+// analyzer suite reports zero findings — the repo must ship armlint-clean,
+// with every legitimate exception carrying an //armlint:allow and a reason.
+func TestRepoIsArmlintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(mod, All())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Fatalf("repo has %d armlint findings; fix them or add //armlint:allow with a reason", len(findings))
+	}
+}

@@ -1,0 +1,23 @@
+// Package atomicmix_bad mixes sync/atomic and plain accesses to the same
+// fields — every plain access is a finding.
+package atomicmix_bad
+
+import "sync/atomic"
+
+type Counters struct {
+	hits  int64
+	elems []int64
+}
+
+func (c *Counters) Inc() { atomic.AddInt64(&c.hits, 1) }
+
+func (c *Counters) IncElem(i int) { atomic.AddInt64(&c.elems[i], 1) }
+
+// Bad reads the atomically-updated field without the atomic package.
+func (c *Counters) Bad() int64 { return c.hits }
+
+// BadWrite stores to it plainly.
+func (c *Counters) BadWrite() { c.hits = 0 }
+
+// BadElem reads an element of the atomically-updated slice plainly.
+func (c *Counters) BadElem(i int) int64 { return c.elems[i] }

@@ -1,0 +1,20 @@
+// Package atomicmix_ok keeps the atomic and plain worlds separate: the
+// atomically-updated field is only ever touched through sync/atomic, and the
+// plain field never is.
+package atomicmix_ok
+
+import "sync/atomic"
+
+type Counters struct {
+	hits  int64
+	plain int64
+}
+
+func (c *Counters) Inc() { atomic.AddInt64(&c.hits, 1) }
+
+func (c *Counters) Load() int64 { return atomic.LoadInt64(&c.hits) }
+
+func (c *Counters) Bump() int64 {
+	c.plain++
+	return c.plain
+}

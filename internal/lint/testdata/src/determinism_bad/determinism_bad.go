@@ -1,0 +1,25 @@
+// Package determinism_bad is pinned but leaks wall-clock, randomness and
+// map-iteration order into its results.
+//
+//armlint:pinned
+package determinism_bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter draws from the global PRNG — the import alone is a finding.
+func Jitter() int64 { return rand.Int63() }
+
+// Stamp reads the wall clock — a finding.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Keys feeds map-iteration order into an ordered accumulation — a finding.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+// Package determinism_ok is pinned and stays deterministic: map iteration
+// only feeds order-insensitive folds, and the one ordered accumulation is
+// sorted immediately and carries an //armlint:allow documenting that.
+//
+//armlint:pinned
+package determinism_ok
+
+import "sort"
+
+// Total is an order-insensitive fold over a map — fine.
+func Total(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// SortedKeys collects then sorts, restoring a deterministic order.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		//armlint:allow determinism keys are sorted before return
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

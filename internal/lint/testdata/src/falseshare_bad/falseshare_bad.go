@@ -1,0 +1,24 @@
+// Package falseshare_bad lays out hot per-worker fields so that adjacent
+// workers share a 64-byte coherence line.
+package falseshare_bad
+
+// Counter is 8 bytes: a []Counter packs eight workers' counters per line.
+type Counter struct {
+	//armlint:hot
+	N int64
+}
+
+// Pool uses the unpadded hot struct as a slice element — a finding at the
+// slice type.
+type Pool struct {
+	counters []Counter
+}
+
+// Mixed puts hot fields of two different groups on the same line — a
+// finding at the struct definition.
+type Mixed struct {
+	//armlint:hot producer
+	Head int64
+	//armlint:hot consumer
+	Tail int64
+}

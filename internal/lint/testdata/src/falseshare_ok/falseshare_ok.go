@@ -1,0 +1,16 @@
+// Package falseshare_ok pads its hot per-worker struct to a full coherence
+// line, so a slice of them gives each worker a private line.
+package falseshare_ok
+
+// Counter is exactly 64 bytes.
+type Counter struct {
+	//armlint:hot
+	N int64
+	//armlint:hot
+	M int64
+	_ [48]byte
+}
+
+type Pool struct {
+	counters []Counter
+}

@@ -1,0 +1,30 @@
+// Package guardedby_bad accesses a //armlint:guardedby field without
+// holding its mutex.
+package guardedby_bad
+
+import "sync"
+
+type Queue struct {
+	mu sync.Mutex
+	//armlint:guardedby mu
+	items []int
+}
+
+// Push holds the lock — clean.
+func (q *Queue) Push(v int) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+}
+
+// Len reads the guarded field with no lock held — a finding.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Drain releases the lock too early — the second access is a finding.
+func (q *Queue) Drain() int {
+	q.mu.Lock()
+	n := len(q.items)
+	q.mu.Unlock()
+	q.items = nil
+	return n
+}

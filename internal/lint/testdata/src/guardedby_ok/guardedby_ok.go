@@ -1,0 +1,40 @@
+// Package guardedby_ok accesses its guarded field only under the mutex,
+// exercising plain Lock/Unlock pairs, defer, and the //armlint:locked
+// caller-holds-the-lock annotation.
+package guardedby_ok
+
+import "sync"
+
+type Queue struct {
+	mu sync.Mutex
+	//armlint:guardedby mu
+	items []int
+}
+
+func (q *Queue) Push(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = append(q.items, v)
+}
+
+func (q *Queue) Pop() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	v := q.items[len(q.items)-1]
+	q.items = q.items[:len(q.items)-1]
+	return v, true
+}
+
+// lenLocked documents that its callers hold q.mu.
+//
+//armlint:locked q.mu
+func (q *Queue) lenLocked() int { return len(q.items) }
+
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.lenLocked()
+}

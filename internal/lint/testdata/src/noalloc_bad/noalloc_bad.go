@@ -1,0 +1,23 @@
+// Package noalloc_bad marks allocating functions //armlint:noalloc — every
+// allocating construct is a finding.
+package noalloc_bad
+
+// Collect allocates a slice and appends to it.
+//
+//armlint:noalloc
+func Collect(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Describe concatenates strings and boxes an int into an interface.
+//
+//armlint:noalloc
+func Describe(name string, v int) (string, any) {
+	s := "item " + name
+	var box any = v
+	return s, box
+}

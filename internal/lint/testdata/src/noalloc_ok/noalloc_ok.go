@@ -1,0 +1,27 @@
+// Package noalloc_ok contains a genuinely allocation-free hot function.
+package noalloc_ok
+
+// Sum folds a slice with nothing but arithmetic, indexing and range — no
+// allocating construct anywhere.
+//
+//armlint:noalloc
+func Sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Max is also clean; calling another noalloc function is fine.
+//
+//armlint:noalloc
+func Max(xs []int) int {
+	m := 0
+	for i := range xs {
+		if xs[i] > m {
+			m = xs[i]
+		}
+	}
+	return m + Sum(nil)
+}

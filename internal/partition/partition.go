@@ -4,6 +4,11 @@
 // equivalence classes. The same bitonic assignment doubles as the balanced
 // hash function for hash-tree balancing (Section 4.1) by substituting the
 // fan-out H for the processor count P.
+//
+// Assignments feed the pinned work model (TestModelTimePinned), so the
+// package must stay deterministic:
+//
+//armlint:pinned
 package partition
 
 import (

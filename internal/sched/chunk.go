@@ -51,9 +51,19 @@ func (c *Cursor) Next() (chunk int, ok bool) {
 // work). Chunk counts are small (thousands), so a lock per operation is
 // far below the cost of counting one chunk; the classic lock-free Chase–Lev
 // structure would buy nothing here.
+//
+// Deques live one-per-worker in a Stealing slice and the owner hammers its
+// own mutex on every chunk claim, so the struct is padded to a full cache
+// line: unpadded it is 32 bytes and two workers' deques would invalidate
+// each other's line on every Push/Pop (armlint falseshare caught exactly
+// that).
 type Deque struct {
-	mu    sync.Mutex
+	//armlint:hot
+	mu sync.Mutex
+	//armlint:hot
+	//armlint:guardedby mu
 	items []int32
+	_     [64 - 8 - 24]byte // pad to one cache line (mutex 8B + slice header 24B)
 }
 
 // Push appends v at the tail.
@@ -149,6 +159,25 @@ func (s *Stealing) Next(p int) (chunk int32, stolen, ok bool) {
 		}
 	}
 	return 0, false, false
+}
+
+// PerWorker is one worker's counting-phase accumulator set, padded to a full
+// cache line so that adjacent workers' counters never share a line. The
+// counting loop increments these on every chunk claim; before padding, the
+// equivalent bare int64 slices (ChunksClaimed/Steals/CountWork in the phase
+// timing arrays) packed eight workers per line and every increment
+// invalidated its neighbours — the textbook false-sharing pattern the paper's
+// Section 5.2 measures and armlint's falseshare analyzer flags.
+type PerWorker struct {
+	//armlint:hot
+	Claimed int64 // chunks claimed by this worker
+	//armlint:hot
+	Stolen int64 // chunks stolen from other workers' deques
+	//armlint:hot
+	Work int64 // deterministic work units counted
+	//armlint:hot
+	ElapsedNS int64          // wall-clock nanoseconds spent in the phase
+	_         [64 - 4*8]byte // pad to one cache line
 }
 
 // GreedySchedule is the deterministic stand-in for the racy runtime chunk

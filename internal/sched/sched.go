@@ -8,7 +8,10 @@
 //
 // The package also carries the deterministic greedy list-schedule model
 // (GreedySchedule) that stands in for the racy runtime chunk assignment when
-// the experiment harness needs reproducible per-processor work figures.
+// the experiment harness needs reproducible per-processor work figures —
+// which is why the package is pinned: no wall clock, no randomness.
+//
+//armlint:pinned
 package sched
 
 import "sync"
