@@ -7,11 +7,13 @@
 //
 //	apriori -db T10.I4.D100K.ardb -support 0.005 -procs 8
 //	apriori -gen T10.I4.D10K -support 0.01 -algo pccd -rules 0.9
+//	apriori -gen T10.I4.D10K -procs 4 -dbpart stealing -trace out.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"strconv"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/gen"
 	"repro/internal/hashtree"
+	"repro/internal/obs"
 	"repro/internal/rules"
 )
 
@@ -44,45 +47,68 @@ func parseGenSpec(s string) (gen.Params, error) {
 	return gen.Params{T: t, I: i, D: d, Seed: 1}, nil
 }
 
+// cliOptions carries every flag of the command. One struct rather than a
+// positional parameter list: run() is exercised directly by the tests, and
+// adding a flag must not ripple through every call site.
+type cliOptions struct {
+	DBPath    string  // -db: database file
+	GenSpec   string  // -gen: synthetic database spec
+	Support   float64 // -support
+	Algo      string  // -algo
+	Procs     int     // -procs
+	Balance   string  // -balance
+	Hash      string  // -hash
+	Counter   string  // -counter
+	DBPart    string  // -dbpart
+	ChunkSize int     // -chunk
+	SC        bool    // -shortcircuit
+	Threshold int     // -threshold
+	Fanout    int     // -fanout
+	RuleConf  float64 // -rules
+	TopN      int     // -top
+	Verbose   bool    // -v
+	TracePath string  // -trace: Chrome trace JSON output (ccpd/pccd only)
+	MetricsTo string  // -metrics: Prometheus-text snapshot output (ccpd/pccd only)
+}
+
 func main() {
-	dbPath := flag.String("db", "", "database file (binary format)")
-	genSpec := flag.String("gen", "", "generate a synthetic database, e.g. T10.I4.D10K")
-	support := flag.Float64("support", 0.005, "minimum support fraction")
-	algo := flag.String("algo", "ccpd", "algorithm: seq | ccpd | pccd | dhp | partition | countdist")
-	procs := flag.Int("procs", 4, "processors (parallel algorithms)")
-	balance := flag.String("balance", "bitonic", "computation balancing: block | interleaved | bitonic")
-	hash := flag.String("hash", "bitonic", "hash tree balancing: interleaved | bitonic")
-	counter := flag.String("counter", "private", "counter mode: locked | atomic | private")
-	dbpart := flag.String("dbpart", "block", "counting DB partition: block | workload | dynamic | stealing")
-	chunk := flag.Int("chunk", 0, "transactions per dynamic chunk (0 = default 256)")
-	sc := flag.Bool("shortcircuit", true, "short-circuited subset checking")
-	threshold := flag.Int("threshold", 8, "hash tree leaf threshold")
-	fanout := flag.Int("fanout", 0, "hash tree fanout (0 = adaptive)")
-	ruleConf := flag.Float64("rules", 0, "generate rules at this min confidence (0 = skip)")
-	topN := flag.Int("top", 10, "rules to print")
-	verbose := flag.Bool("v", false, "per-iteration details")
+	var o cliOptions
+	flag.StringVar(&o.DBPath, "db", "", "database file (binary format)")
+	flag.StringVar(&o.GenSpec, "gen", "", "generate a synthetic database, e.g. T10.I4.D10K")
+	flag.Float64Var(&o.Support, "support", 0.005, "minimum support fraction")
+	flag.StringVar(&o.Algo, "algo", "ccpd", "algorithm: seq | ccpd | pccd | dhp | partition | countdist")
+	flag.IntVar(&o.Procs, "procs", 4, "processors (parallel algorithms)")
+	flag.StringVar(&o.Balance, "balance", "bitonic", "computation balancing: block | interleaved | bitonic")
+	flag.StringVar(&o.Hash, "hash", "bitonic", "hash tree balancing: interleaved | bitonic")
+	flag.StringVar(&o.Counter, "counter", "private", "counter mode: locked | atomic | private")
+	flag.StringVar(&o.DBPart, "dbpart", "block", "counting DB partition: block | workload | dynamic | stealing")
+	flag.IntVar(&o.ChunkSize, "chunk", 0, "transactions per dynamic chunk (0 = default 256)")
+	flag.BoolVar(&o.SC, "shortcircuit", true, "short-circuited subset checking")
+	flag.IntVar(&o.Threshold, "threshold", 8, "hash tree leaf threshold")
+	flag.IntVar(&o.Fanout, "fanout", 0, "hash tree fanout (0 = adaptive)")
+	flag.Float64Var(&o.RuleConf, "rules", 0, "generate rules at this min confidence (0 = skip)")
+	flag.IntVar(&o.TopN, "top", 10, "rules to print")
+	flag.BoolVar(&o.Verbose, "v", false, "per-iteration details")
+	flag.StringVar(&o.TracePath, "trace", "", "write a Chrome trace_event JSON timeline here (ccpd/pccd)")
+	flag.StringVar(&o.MetricsTo, "metrics", "", "write a Prometheus-text metrics snapshot here (ccpd/pccd)")
 	flag.Parse()
 
-	if err := run(*dbPath, *genSpec, *support, *algo, *procs, *balance, *hash,
-		*counter, *dbpart, *chunk, *sc, *threshold, *fanout, *ruleConf, *topN, *verbose); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "apriori:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbPath, genSpec string, support float64, algo string, procs int,
-	balance, hash, counter, dbpart string, chunk int, sc bool, threshold, fanout int,
-	ruleConf float64, topN int, verbose bool) error {
-
+func run(o cliOptions) error {
 	var d *db.Database
 	switch {
-	case dbPath != "":
+	case o.DBPath != "":
 		var err error
-		if d, err = db.ReadFile(dbPath); err != nil {
+		if d, err = db.ReadFile(o.DBPath); err != nil {
 			return err
 		}
-	case genSpec != "":
-		p, err := parseGenSpec(genSpec)
+	case o.GenSpec != "":
+		p, err := parseGenSpec(o.GenSpec)
 		if err != nil {
 			return err
 		}
@@ -94,17 +120,23 @@ func run(dbPath, genSpec string, support float64, algo string, procs int,
 		return fmt.Errorf("need -db or -gen")
 	}
 
-	opts := apriori.Options{
-		MinSupport: support, Threshold: threshold, Fanout: fanout, ShortCircuit: sc,
+	parallel := o.Algo == "ccpd" || o.Algo == "pccd"
+	if (o.TracePath != "" || o.MetricsTo != "") && !parallel {
+		return fmt.Errorf("-trace/-metrics require -algo ccpd or pccd (got %q)", o.Algo)
 	}
-	if hash == "bitonic" {
+
+	opts := apriori.Options{
+		MinSupport: o.Support, Threshold: o.Threshold, Fanout: o.Fanout, ShortCircuit: o.SC,
+	}
+	if o.Hash == "bitonic" {
 		opts.Hash = hashtree.HashBitonic
 	}
 
 	var res *apriori.Result
 	var stats *ccpd.Stats
+	var rec *obs.Recorder
 	var err error
-	switch algo {
+	switch o.Algo {
 	case "seq":
 		res, err = apriori.Mine(d, opts)
 	case "dhp":
@@ -115,27 +147,27 @@ func run(dbPath, genSpec string, support float64, algo string, procs int,
 		}
 	case "partition":
 		var st *baseline.PartitionStats
-		res, st, err = baseline.MinePartition(d, baseline.PartitionOptions{Mining: opts, Chunks: procs})
+		res, st, err = baseline.MinePartition(d, baseline.PartitionOptions{Mining: opts, Chunks: o.Procs})
 		if err == nil {
 			fmt.Printf("partition: %d chunks, %d local candidates, %d scans\n",
 				st.Chunks, st.LocalCandidates, st.Scans)
 		}
 	case "countdist":
 		var st *baseline.CDStats
-		res, st, err = baseline.MineCD(d, baseline.CDOptions{Mining: opts, Procs: procs})
+		res, st, err = baseline.MineCD(d, baseline.CDOptions{Mining: opts, Procs: o.Procs})
 		if err == nil {
 			fmt.Printf("count distribution: %d all-reduce rounds, %.1f KB exchanged\n",
 				st.Rounds, float64(st.BytesExchanged)/1024)
 		}
 	case "ccpd", "pccd":
-		po := ccpd.Options{Options: opts, Procs: procs}
-		switch balance {
+		po := ccpd.Options{Options: opts, Procs: o.Procs}
+		switch o.Balance {
 		case "interleaved":
 			po.Balance = ccpd.BalanceInterleaved
 		case "bitonic":
 			po.Balance = ccpd.BalanceBitonic
 		}
-		switch counter {
+		switch o.Counter {
 		case "locked":
 			po.Counter = hashtree.CounterLocked
 		case "atomic":
@@ -143,7 +175,7 @@ func run(dbPath, genSpec string, support float64, algo string, procs int,
 		case "private":
 			po.Counter = hashtree.CounterPrivate
 		}
-		switch dbpart {
+		switch o.DBPart {
 		case "block":
 			po.DBPart = ccpd.PartitionBlock
 		case "workload":
@@ -153,22 +185,26 @@ func run(dbPath, genSpec string, support float64, algo string, procs int,
 		case "stealing":
 			po.DBPart = ccpd.PartitionStealing
 		default:
-			return fmt.Errorf("unknown -dbpart %q", dbpart)
+			return fmt.Errorf("unknown -dbpart %q", o.DBPart)
 		}
-		po.ChunkSize = chunk
-		if algo == "ccpd" {
+		po.ChunkSize = o.ChunkSize
+		if o.TracePath != "" || o.MetricsTo != "" {
+			rec = obs.NewRecorder(o.Procs)
+			po.Obs = rec
+		}
+		if o.Algo == "ccpd" {
 			res, stats, err = ccpd.Mine(d, po)
 		} else {
 			res, stats, err = ccpd.MinePCCD(d, po)
 		}
 	default:
-		return fmt.Errorf("unknown -algo %q", algo)
+		return fmt.Errorf("unknown -algo %q", o.Algo)
 	}
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("min support: %d transactions (%.3f%%)\n", res.MinCount, support*100)
+	fmt.Printf("min support: %d transactions (%.3f%%)\n", res.MinCount, o.Support*100)
 	fmt.Printf("frequent itemsets: %d\n", res.NumFrequent())
 	for k := 1; k < len(res.ByK); k++ {
 		if len(res.ByK[k]) > 0 {
@@ -177,7 +213,7 @@ func run(dbPath, genSpec string, support float64, algo string, procs int,
 	}
 	if stats != nil {
 		fmt.Printf("total time: %v (counting %v)\n", stats.Total, stats.TotalCount())
-		if verbose {
+		if o.Verbose {
 			for _, it := range stats.PerIter {
 				fmt.Printf("  k=%-2d cands=%-7d freq=%-7d gen=%v build=%v count=%v reduce=%v\n",
 					it.K, it.Candidates, it.Frequent, it.CandGen, it.TreeBuild, it.Count, it.Reduce)
@@ -192,16 +228,49 @@ func run(dbPath, genSpec string, support float64, algo string, procs int,
 			}
 		}
 	}
+	if err := exportObs(rec, o.TracePath, o.MetricsTo); err != nil {
+		return err
+	}
 
-	if ruleConf > 0 {
-		rs := rules.Generate(res, rules.Options{MinConfidence: ruleConf, DBSize: d.Len()})
-		fmt.Printf("rules at confidence >= %.2f: %d\n", ruleConf, len(rs))
+	if o.RuleConf > 0 {
+		rs := rules.Generate(res, rules.Options{MinConfidence: o.RuleConf, DBSize: d.Len()})
+		fmt.Printf("rules at confidence >= %.2f: %d\n", o.RuleConf, len(rs))
 		for i, r := range rs {
-			if i >= topN {
+			if i >= o.TopN {
 				break
 			}
 			fmt.Printf("  %v\n", r)
 		}
 	}
 	return nil
+}
+
+// exportObs writes the recorded trace and/or metrics snapshot to the
+// requested paths. A nil recorder (no -trace/-metrics) is a no-op.
+func exportObs(rec *obs.Recorder, tracePath, metricsPath string) error {
+	if rec == nil {
+		return nil
+	}
+	write := func(path string, emit func(w io.Writer) error, what string) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", what, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%s written to %s\n", what, path)
+		return nil
+	}
+	if err := write(tracePath, rec.WriteTrace, "trace"); err != nil {
+		return err
+	}
+	return write(metricsPath, rec.WriteMetrics, "metrics")
 }

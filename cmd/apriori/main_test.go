@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/gen"
@@ -39,30 +41,47 @@ func TestParseGenSpec(t *testing.T) {
 	}
 }
 
+// base returns the default option set the end-to-end cases tweak.
+func base() cliOptions {
+	return cliOptions{
+		GenSpec: "T5.I2.D300", Support: 0.02, Algo: "ccpd", Procs: 2,
+		Balance: "bitonic", Hash: "bitonic", Counter: "private",
+		DBPart: "block", SC: true, Threshold: 8, TopN: 3,
+	}
+}
+
 func TestRunEndToEnd(t *testing.T) {
 	// Suppress the informational prints.
 	old := os.Stdout
-	null, _ := os.Open(os.DevNull)
 	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	os.Stdout = devnull
-	defer func() { os.Stdout = old; null.Close(); devnull.Close() }()
+	defer func() { os.Stdout = old; devnull.Close() }()
 
 	for _, algo := range []string{"seq", "ccpd", "pccd", "dhp", "partition", "countdist"} {
-		if err := run("", "T5.I2.D300", 0.02, algo, 2, "bitonic", "bitonic",
-			"private", "block", 0, true, 8, 0, 0.8, 3, true); err != nil {
+		o := base()
+		o.Algo = algo
+		o.RuleConf = 0.8
+		o.Verbose = true
+		if err := run(o); err != nil {
 			t.Errorf("algo %s: %v", algo, err)
 		}
 	}
 	// Dynamic counting partitions through the CLI surface.
 	for _, dbpart := range []string{"workload", "dynamic", "stealing"} {
-		if err := run("", "T5.I2.D300", 0.02, "ccpd", 2, "bitonic", "bitonic",
-			"private", dbpart, 32, true, 8, 0, 0, 0, true); err != nil {
+		o := base()
+		o.DBPart = dbpart
+		o.ChunkSize = 32
+		o.Verbose = true
+		if err := run(o); err != nil {
 			t.Errorf("dbpart %s: %v", dbpart, err)
 		}
 	}
-	if err := run("", "T5.I2.D300", 0.02, "ccpd", 2, "bitonic", "bitonic",
-		"private", "nope", 0, true, 8, 0, 0, 0, false); err == nil {
-		t.Error("unknown -dbpart should fail")
+	{
+		o := base()
+		o.DBPart = "nope"
+		if err := run(o); err == nil {
+			t.Error("unknown -dbpart should fail")
+		}
 	}
 	// Database file path.
 	d, err := gen.Generate(gen.Params{T: 5, I: 2, D: 200, Seed: 2})
@@ -73,18 +92,83 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := d.WriteFile(path); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "", 0.02, "seq", 1, "block", "interleaved",
-		"locked", "block", 0, false, 4, 8, 0, 0, false); err != nil {
-		t.Error(err)
+	{
+		o := base()
+		o.GenSpec = ""
+		o.DBPath = path
+		o.Algo = "seq"
+		o.Procs = 1
+		o.Hash = "interleaved"
+		o.SC = false
+		if err := run(o); err != nil {
+			t.Error(err)
+		}
 	}
 	// Error paths.
-	if err := run("", "", 0.02, "seq", 1, "", "", "", "block", 0, false, 0, 0, 0, 0, false); err == nil {
+	if err := run(cliOptions{Support: 0.02, Algo: "seq"}); err == nil {
 		t.Error("missing -db/-gen should fail")
 	}
-	if err := run("", "T5.I2.D200", 0.02, "nope", 1, "", "", "", "block", 0, false, 0, 0, 0, 0, false); err == nil {
+	if err := run(cliOptions{GenSpec: "T5.I2.D200", Support: 0.02, Algo: "nope"}); err == nil {
 		t.Error("unknown algo should fail")
 	}
-	if err := run("/nonexistent/x.ardb", "", 0.02, "seq", 1, "", "", "", "block", 0, false, 0, 0, 0, 0, false); err == nil {
+	if err := run(cliOptions{DBPath: "/nonexistent/x.ardb", Support: 0.02, Algo: "seq"}); err == nil {
 		t.Error("missing file should fail")
+	}
+}
+
+func TestRunTraceAndMetrics(t *testing.T) {
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.txt")
+	o := base()
+	o.GenSpec = "T5.I2.D500"
+	o.Procs = 4
+	o.DBPart = "stealing"
+	o.Counter = "atomic"
+	o.ChunkSize = 16
+	o.TracePath = tracePath
+	o.MetricsTo = metricsPath
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Tid int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("-trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("-trace output has no events")
+	}
+
+	metrics, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"armine_chunks_claimed_total", "armine_frequent{k="} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("-metrics output missing %q", want)
+		}
+	}
+
+	// Tracing a non-parallel algorithm is a usage error.
+	o = base()
+	o.Algo = "seq"
+	o.TracePath = tracePath
+	if err := run(o); err == nil {
+		t.Error("-trace with -algo seq should fail")
 	}
 }

@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	experiments -all                 # every table and figure
-//	experiments -figure 8            # one figure
-//	experiments -table 2 -scale 0.1  # bigger databases
+//	experiments -all                   # every table and figure
+//	experiments -figure 8              # one figure
+//	experiments -table 2 -scale 0.1    # bigger databases
+//	experiments -trace skew.json       # Perfetto trace of a skewed stealing run
 package main
 
 import (
@@ -24,21 +25,28 @@ func main() {
 	all := flag.Bool("all", false, "regenerate everything")
 	sched := flag.Bool("sched", false, "run the static-vs-dynamic scheduler balance study")
 	maxTrace := flag.Int("maxtrace", 200, "transactions traced per processor in placement studies")
+	trace := flag.String("trace", "", "mine the skewed stealing workload and write a Chrome trace JSON here")
+	metrics := flag.String("metrics", "", "with -trace: also write a Prometheus-text metrics snapshot here")
+	procs := flag.Int("procs", 4, "processors for the -trace run")
 	flag.Parse()
 
-	if !*all && *figure == 0 && *table == 0 && !*sched {
+	if !*all && *figure == 0 && *table == 0 && !*sched && *trace == "" && *metrics == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *scale, *figure, *table, *all, *sched, *maxTrace); err != nil {
+	if err := run(os.Stdout, *scale, *figure, *table, *all, *sched, *maxTrace, *trace, *metrics, *procs); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, scale float64, figure, table int, all, sched bool, maxTrace int) error {
+func run(w io.Writer, scale float64, figure, table int, all, sched bool, maxTrace int, trace, metrics string, procs int) error {
 	r := expt.NewRunner(scale)
 	r.MaxTraceTx = maxTrace
+
+	if trace != "" || metrics != "" {
+		return writeSkewTrace(r, trace, metrics, procs)
+	}
 
 	type step struct {
 		name string
@@ -89,4 +97,33 @@ func run(w io.Writer, scale float64, figure, table int, all, sched bool, maxTrac
 		}
 	}
 	return nil
+}
+
+// writeSkewTrace runs the canonical skewed stealing workload and exports its
+// timeline and/or metrics snapshot to the given paths.
+func writeSkewTrace(r *expt.Runner, tracePath, metricsPath string, procs int) error {
+	open := func(path string) (*os.File, error) {
+		if path == "" {
+			return nil, nil
+		}
+		return os.Create(path)
+	}
+	tf, err := open(tracePath)
+	if err != nil {
+		return err
+	}
+	mf, err := open(metricsPath)
+	if err != nil {
+		return err
+	}
+	var tw, mw io.Writer
+	if tf != nil {
+		defer tf.Close()
+		tw = tf
+	}
+	if mf != nil {
+		defer mf.Close()
+		mw = mf
+	}
+	return r.TraceSkewed(tw, mw, procs)
 }

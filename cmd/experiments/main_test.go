@@ -2,20 +2,23 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 func TestRunSingleTableAndFigure(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 0.002, 0, 1, false, false, 20); err != nil {
+	if err := run(&buf, 0.002, 0, 1, false, false, 20, "", "", 4); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Table 1") {
 		t.Errorf("missing Table 1:\n%s", buf.String())
 	}
 	buf.Reset()
-	if err := run(&buf, 0.002, 4, 0, false, false, 20); err != nil {
+	if err := run(&buf, 0.002, 4, 0, false, false, 20, "", "", 4); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Figure 4") {
@@ -25,10 +28,10 @@ func TestRunSingleTableAndFigure(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 0.002, 99, 0, false, false, 20); err == nil {
+	if err := run(&buf, 0.002, 99, 0, false, false, 20, "", "", 4); err == nil {
 		t.Error("unknown figure should fail")
 	}
-	if err := run(&buf, 0.002, 0, 9, false, false, 20); err == nil {
+	if err := run(&buf, 0.002, 0, 9, false, false, 20, "", "", 4); err == nil {
 		t.Error("unknown table should fail")
 	}
 }
@@ -37,7 +40,7 @@ func TestRunQuickFigures(t *testing.T) {
 	// Exercise a fast real figure end-to-end (7 mines all eight datasets at
 	// the tiniest scale).
 	var buf bytes.Buffer
-	if err := run(&buf, 0.002, 7, 0, false, false, 10); err != nil {
+	if err := run(&buf, 0.002, 7, 0, false, false, 10, "", "", 4); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Figure 7") {
@@ -47,11 +50,41 @@ func TestRunQuickFigures(t *testing.T) {
 
 func TestRunSchedBalance(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 0.002, 0, 0, false, true, 20); err != nil {
+	if err := run(&buf, 0.002, 0, 0, false, true, 20, "", "", 4); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
 	if !strings.Contains(out, "Scheduler balance") || !strings.Contains(out, "stealing") {
 		t.Errorf("scheduler balance output missing:\n%s", out)
+	}
+}
+
+func TestRunSkewTrace(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "skew.json")
+	metricsPath := filepath.Join(dir, "skew.txt")
+	var buf bytes.Buffer
+	if err := run(&buf, 0.002, 0, 0, false, false, 20, tracePath, metricsPath, 4); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("-trace output invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("skew trace has no events")
+	}
+	metrics, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metrics), "armine_steals_total") {
+		t.Error("metrics snapshot missing steal counters")
 	}
 }

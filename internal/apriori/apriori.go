@@ -341,12 +341,14 @@ func ExtractFrequent(tree *hashtree.Tree, counters *hashtree.Counters, minCount 
 // meeting minCount, sorted lexicographically within the range. Candidate
 // ids partition across workers, so a pool can extract ranges concurrently
 // (after reducing the same ranges) and merge with MergeFrequent — the
-// parallel replacement for the serial master extraction.
-func ExtractFrequentRange(tree *hashtree.Tree, counters *hashtree.Counters, minCount int64, lo, hi int32) []FrequentItemset {
+// parallel replacement for the serial master extraction. The bounds are
+// plain ints so callers can do their range arithmetic without narrowing;
+// ids narrow to int32 only at the hashtree API boundary.
+func ExtractFrequentRange(tree *hashtree.Tree, counters *hashtree.Counters, minCount int64, lo, hi int) []FrequentItemset {
 	var out []FrequentItemset
 	for id := lo; id < hi; id++ {
-		if c := counters.Count(id); c >= minCount {
-			out = append(out, FrequentItemset{Items: tree.Candidate(id).Clone(), Count: c})
+		if c := counters.Count(int32(id)); c >= minCount {
+			out = append(out, FrequentItemset{Items: tree.Candidate(int32(id)).Clone(), Count: c})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Items.Less(out[j].Items) })

@@ -392,10 +392,10 @@ func TestExtractFrequentRangeMatchesSerial(t *testing.T) {
 	}
 	want := ExtractFrequent(tree, counters, 5)
 
-	n := int32(tree.NumCandidates())
-	for _, procs := range []int32{1, 2, 3, 7} {
+	n := tree.NumCandidates()
+	for _, procs := range []int{1, 2, 3, 7} {
 		var ranges [][]FrequentItemset
-		for p := int32(0); p < procs; p++ {
+		for p := 0; p < procs; p++ {
 			ranges = append(ranges, ExtractFrequentRange(tree, counters, 5, p*n/procs, (p+1)*n/procs))
 		}
 		got := MergeFrequent(ranges)

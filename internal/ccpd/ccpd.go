@@ -16,6 +16,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/hashtree"
 	"repro/internal/itemset"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sched"
 )
@@ -106,6 +107,11 @@ type Options struct {
 	// cursor claim or deque operation is noise against counting the chunk.
 	// 0 uses 256.
 	ChunkSize int
+	// Obs, when non-nil, records phase spans, chunk claims, steals and
+	// counter flushes for trace/metrics export, and labels the pool workers
+	// for pprof. Nil disables recording: every obs call site nil-checks and
+	// returns, so the counting kernel keeps its zero-allocation guarantee.
+	Obs *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -261,20 +267,26 @@ func Mine(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 	// spawn and teardown.
 	pool := sched.NewPool(opts.Procs)
 	defer pool.Close()
+	rec := opts.Obs
+	if rec.Enabled() {
+		pool.SetWrap(rec.PoolWrap)
+		defer pool.SetWrap(nil)
+	}
 
 	// Iteration 1: parallel item counting with private arrays + reduction.
 	t0 := time.Now()
+	rec.SetPhase(obs.PhaseF1, 1)
+	rec.BeginPhase(obs.PhaseF1, 1)
 	f1 := parallelFrequentOne(d, minCount, pool)
+	rec.EndPhase(obs.PhaseF1, 1)
 	res.ByK[1] = f1
 	it1 := PhaseTiming{
 		K: 1, Count: time.Since(t0), Candidates: d.NumItems(), Frequent: len(f1),
-		CountWork: make([]int64, opts.Procs),
-	}
-	for p, s := range d.BlockPartition(opts.Procs) {
-		it1.CountWork[p] = s.EstimatedWork(1) * hashtree.WorkItemScan
+		CountWork: iterOneCountWork(d, opts),
 	}
 	it1.ReduceWork = int64(d.NumItems())
 	stats.PerIter = append(stats.PerIter, it1)
+	rec.IterStats(1, d.NumItems(), len(f1))
 	labels := apriori.LabelsFromF1(f1, d.NumItems())
 
 	prev := make([]itemset.Itemset, len(f1))
@@ -287,13 +299,17 @@ func Mine(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 		pt.K = k
 
 		t0 = time.Now()
+		rec.SetPhase(obs.PhaseCandGen, k)
+		rec.BeginPhase(obs.PhaseCandGen, k)
 		cands, seq, genWork := generateParallel(prev, opts, pool)
+		rec.EndPhase(obs.PhaseCandGen, k)
 		pt.CandGen = time.Since(t0)
 		pt.GenSequential = seq
 		pt.GenWork = genWork
 		pt.Candidates = len(cands)
 		pt.BuildWork = int64(len(cands)) * hashtree.WorkInsert
 		if len(cands) == 0 {
+			rec.IterStats(k, 0, 0)
 			stats.PerIter = append(stats.PerIter, pt)
 			break
 		}
@@ -303,7 +319,10 @@ func Mine(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 			K: k, Fanout: opts.Fanout, Threshold: opts.Threshold,
 			Hash: opts.Hash, NumItems: d.NumItems(), Labels: labels,
 		}
+		rec.SetPhase(obs.PhaseTreeBuild, k)
+		rec.BeginPhase(obs.PhaseTreeBuild, k)
 		tree, err := hashtree.ParallelBuildOn(pool, cfg, cands)
+		rec.EndPhase(obs.PhaseTreeBuild, k)
 		if err != nil {
 			return nil, nil, fmt.Errorf("ccpd: iteration %d: %w", k, err)
 		}
@@ -311,8 +330,12 @@ func Mine(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 
 		t0 = time.Now()
 		counters := hashtree.NewCounters(opts.Counter, tree.NumCandidates(), opts.Procs)
+		rec.SetPhase(obs.PhaseCount, k)
+		rec.BeginPhase(obs.PhaseCount, k)
 		countPhase(d, tree, counters, opts, k, pool, &pt)
+		rec.EndPhase(obs.PhaseCount, k)
 		pt.Count = time.Since(t0)
+		rec.AddIdle(pt.CountIdle)
 
 		// Reduction and frequent selection, range-partitioned across the
 		// pool. Candidate ids are extracted in disjoint ascending ranges,
@@ -323,16 +346,19 @@ func Mine(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 		t0 = time.Now()
 		nc := tree.NumCandidates()
 		ranges := make([][]apriori.FrequentItemset, opts.Procs)
+		rec.SetPhase(obs.PhaseReduce, k)
+		rec.BeginPhase(obs.PhaseReduce, k)
 		pool.Run(func(p int) {
-			lo := int32(p * nc / opts.Procs)
-			hi := int32((p + 1) * nc / opts.Procs)
-			counters.ReduceRange(int(lo), int(hi))
+			lo, hi := splitRange(p, opts.Procs, nc)
+			counters.ReduceRange(lo, hi)
 			ranges[p] = apriori.ExtractFrequentRange(tree, counters, minCount, lo, hi)
 		})
+		rec.EndPhase(obs.PhaseReduce, k)
 		fk := apriori.MergeFrequent(ranges)
 		pt.Reduce = time.Since(t0)
 		pt.ReduceWork = int64(len(cands))
 		pt.Frequent = len(fk)
+		rec.IterStats(k, len(cands), len(fk))
 
 		res.ByK = append(res.ByK, fk)
 		stats.PerIter = append(stats.PerIter, pt)
@@ -343,6 +369,51 @@ func Mine(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 	}
 	stats.Total = time.Since(start)
 	return res, stats, nil
+}
+
+// splitRange returns the half-open sub-range [lo, hi) of [0, n) handled by
+// processor p of procs. The products run in int64 end-to-end: the former
+// int32(p*n/procs) form multiplied in int first and truncated on conversion,
+// which for candidate counts within a factor of procs of 2^31 corrupted the
+// reduce fan-out boundaries.
+func splitRange(p, procs, n int) (lo, hi int) {
+	lo = int(int64(p) * int64(n) / int64(procs))
+	hi = int(int64(p+1) * int64(n) / int64(procs))
+	return lo, hi
+}
+
+// iterOneCountWork models the per-processor work of the iteration-1 item
+// counting pass under the selected partition mode. The pass itself always
+// runs block-partitioned with private count arrays (parallelFrequentOne) —
+// item counting has no hash-tree walk to balance — but the *model* must
+// follow opts.DBPart: attributing block-partition work to a workload or
+// dynamic run misstated per-processor CountWork and every idle/balance
+// figure derived from it. Dynamic modes use the same deterministic greedy
+// list-schedule over per-chunk work that countPhase reports, so k=1 and k≥2
+// figures are attributed consistently.
+func iterOneCountWork(d *db.Database, opts Options) []int64 {
+	if opts.DBPart.Dynamic() {
+		n := d.Len()
+		numChunks := sched.NumChunks(n, opts.ChunkSize)
+		chunkWork := make([]int64, numChunks)
+		for c := range chunkWork {
+			lo, hi := sched.ChunkRange(n, opts.ChunkSize, c)
+			s := db.Slice{DB: d, Lo: lo, Hi: hi}
+			chunkWork[c] = s.EstimatedWork(1) * hashtree.WorkItemScan
+		}
+		return sched.GreedySchedule(chunkWork, opts.Procs)
+	}
+	work := make([]int64, opts.Procs)
+	var slices []db.Slice
+	if opts.DBPart == PartitionWorkload {
+		slices = d.WorkloadPartition(opts.Procs, 1)
+	} else {
+		slices = d.BlockPartition(opts.Procs)
+	}
+	for p, s := range slices {
+		work[p] = s.EstimatedWork(1) * hashtree.WorkItemScan
+	}
+	return work
 }
 
 // countPhase runs the support-counting phase on the pool and fills the
@@ -357,18 +428,27 @@ func Mine(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 // because per-transaction work does not depend on who counts it.
 func countPhase(d *db.Database, tree *hashtree.Tree, counters *hashtree.Counters, opts Options, k int, pool *sched.Pool, pt *PhaseTiming) {
 	procs := opts.Procs
+	rec := opts.Obs
 	// Workers accumulate into cache-line padded sched.PerWorker records, so
 	// live increments never invalidate a neighbour's line; the bare int64
 	// timing slices (eight counters per line) are filled in only after the
 	// pool barrier.
 	acc := make([]sched.PerWorker, procs)
 	newCtx := func(p int) *hashtree.CountCtx {
-		return tree.NewCountCtx(counters, hashtree.CountOpts{
+		co := hashtree.CountOpts{
 			ShortCircuit: opts.ShortCircuit, Proc: p,
 			// Batch shared-counter updates to cut lock/atomic contention
 			// on hot candidates (no-op for private mode).
 			BatchUpdates: true,
-		})
+		}
+		// The flush hook is a bound method on the worker's padded obs
+		// record: one closure per (worker, iteration), nothing per
+		// transaction, and absent entirely when recording is off so the
+		// kernel's zero-allocation path is untouched.
+		if ow := rec.Worker(p); ow != nil {
+			co.OnFlush = func(n int) { ow.Flush(k, n) }
+		}
+		return tree.NewCountCtx(counters, co)
 	}
 
 	if !opts.DBPart.Dynamic() {
@@ -385,6 +465,7 @@ func countPhase(d *db.Database, tree *hashtree.Tree, counters *hashtree.Counters
 				ctx.CountTransaction(items)
 			})
 			ctx.Flush()
+			rec.Worker(p).AddWork(ctx.Work)
 			acc[p].Work = ctx.Work
 			acc[p].ElapsedNS = time.Since(t0).Nanoseconds()
 		})
@@ -418,18 +499,23 @@ func countPhase(d *db.Database, tree *hashtree.Tree, counters *hashtree.Counters
 			t0 := time.Now()
 			ctx := newCtx(p)
 			w := &acc[p]
+			ow := rec.Worker(p)
 			for {
-				c, wasSteal, ok := st.Next(p)
+				c, victim, ok := st.Next(p)
 				if !ok {
 					break
 				}
-				countChunk(ctx, int(c))
-				w.Claimed++
-				if wasSteal {
+				if victim != p {
 					w.Stolen++
+					ow.Steal(k, int(c), victim)
 				}
+				ow.BeginChunk(k, int(c))
+				countChunk(ctx, int(c))
+				ow.EndChunk(k, int(c))
+				w.Claimed++
 			}
 			ctx.Flush()
+			ow.AddWork(ctx.Work)
 			w.ElapsedNS = time.Since(t0).Nanoseconds()
 		})
 	default: // PartitionDynamic
@@ -438,15 +524,19 @@ func countPhase(d *db.Database, tree *hashtree.Tree, counters *hashtree.Counters
 			t0 := time.Now()
 			ctx := newCtx(p)
 			w := &acc[p]
+			ow := rec.Worker(p)
 			for {
 				c, ok := cur.Next()
 				if !ok {
 					break
 				}
+				ow.BeginChunk(k, c)
 				countChunk(ctx, c)
+				ow.EndChunk(k, c)
 				w.Claimed++
 			}
 			ctx.Flush()
+			ow.AddWork(ctx.Work)
 			w.ElapsedNS = time.Since(t0).Nanoseconds()
 		})
 	}

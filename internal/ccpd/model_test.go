@@ -68,26 +68,69 @@ func TestModelTimeDecreasesWithProcs(t *testing.T) {
 }
 
 // TestModelTimePinned pins the deterministic work-model totals on a fixed
-// dataset. The model is the substitute for parallel wall-clock (see
-// DESIGN.md), so layout or traversal rewrites of the counting kernel must
-// leave these numbers bit-identical; a change here means the cost model
-// moved, which invalidates the regenerated figures until re-derived.
+// dataset, per partition mode. The model is the substitute for parallel
+// wall-clock (see DESIGN.md), so layout or traversal rewrites of the
+// counting kernel must leave these numbers bit-identical; a change here
+// means the cost model moved, which invalidates the regenerated figures
+// until re-derived.
+//
+// The per-mode figures differ only through iteration balance: at procs=1
+// every mode must agree exactly (work is conserved), dynamic and stealing
+// share the greedy list-schedule model, and workload's static heuristic
+// lands in between. Before the k=1 attribution fix, all four modes wrongly
+// reported the block figure.
 func TestModelTimePinned(t *testing.T) {
 	d, err := gen.Generate(gen.Params{T: 10, I: 4, D: 2000, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := map[int]int64{1: 13435543, 4: 3719619}
-	for _, procs := range []int{1, 4} {
-		_, st, err := Mine(d, Options{
-			Options: apriori.Options{AbsSupport: 10, ShortCircuit: true},
-			Procs:   procs, Balance: BalanceBitonic, AdaptiveMinUnits: 1,
-		})
-		if err != nil {
-			t.Fatal(err)
+	want := map[DBPartition]map[int]int64{
+		PartitionBlock:    {1: 13435543, 4: 3719619},
+		PartitionWorkload: {1: 13435543, 4: 3633905},
+		PartitionDynamic:  {1: 13435543, 4: 3689075},
+		PartitionStealing: {1: 13435543, 4: 3689075},
+	}
+	for part, byProcs := range want {
+		for _, procs := range []int{1, 4} {
+			_, st, err := Mine(d, Options{
+				Options: apriori.Options{AbsSupport: 10, ShortCircuit: true},
+				Procs:   procs, Balance: BalanceBitonic, AdaptiveMinUnits: 1,
+				DBPart: part,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := st.ModelTime(); got != byProcs[procs] {
+				t.Errorf("%s procs=%d: ModelTime = %d, want %d (work model changed)",
+					part, procs, got, byProcs[procs])
+			}
 		}
-		if got := st.ModelTime(); got != want[procs] {
-			t.Errorf("procs=%d: ModelTime = %d, want %d (work model changed)", procs, got, want[procs])
+	}
+}
+
+// TestIterOneCountWorkConserved asserts the k=1 attribution fix: every
+// partition mode distributes the same total iteration-1 work (work is
+// conserved across partitionings), and the dynamic modes report the greedy
+// list-schedule rather than the block split.
+func TestIterOneCountWorkConserved(t *testing.T) {
+	d := testDB(t)
+	var blockTotal int64
+	for _, part := range []DBPartition{PartitionBlock, PartitionWorkload, PartitionDynamic, PartitionStealing} {
+		opts := Options{
+			Options: optsFor(0.01), Procs: 4, DBPart: part,
+		}.withDefaults()
+		work := iterOneCountWork(d, opts)
+		if len(work) != 4 {
+			t.Fatalf("%s: %d entries, want 4", part, len(work))
+		}
+		var total int64
+		for _, w := range work {
+			total += w
+		}
+		if part == PartitionBlock {
+			blockTotal = total
+		} else if total != blockTotal {
+			t.Errorf("%s: total k=1 work %d, want %d (conservation)", part, total, blockTotal)
 		}
 	}
 }

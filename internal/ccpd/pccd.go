@@ -8,6 +8,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/hashtree"
 	"repro/internal/itemset"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -30,13 +31,22 @@ func MinePCCD(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 	// extract phases.
 	pool := sched.NewPool(opts.Procs)
 	defer pool.Close()
+	rec := opts.Obs
+	if rec.Enabled() {
+		pool.SetWrap(rec.PoolWrap)
+		defer pool.SetWrap(nil)
+	}
 
 	t0 := time.Now()
+	rec.SetPhase(obs.PhaseF1, 1)
+	rec.BeginPhase(obs.PhaseF1, 1)
 	f1 := parallelFrequentOne(d, minCount, pool)
+	rec.EndPhase(obs.PhaseF1, 1)
 	res.ByK[1] = f1
 	stats.PerIter = append(stats.PerIter, PhaseTiming{
 		K: 1, Count: time.Since(t0), Candidates: d.NumItems(), Frequent: len(f1),
 	})
+	rec.IterStats(1, d.NumItems(), len(f1))
 
 	labels := apriori.LabelsFromF1(f1, d.NumItems())
 	prev := make([]itemset.Itemset, len(f1))
@@ -49,10 +59,13 @@ func MinePCCD(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 		pt.K = k
 
 		t0 = time.Now()
+		rec.BeginPhase(obs.PhaseCandGen, k)
 		cands, _, _ := apriori.GenerateCandidates(prev, opts.NaiveJoin)
+		rec.EndPhase(obs.PhaseCandGen, k)
 		pt.CandGen = time.Since(t0)
 		pt.Candidates = len(cands)
 		if len(cands) == 0 {
+			rec.IterStats(k, 0, 0)
 			stats.PerIter = append(stats.PerIter, pt)
 			break
 		}
@@ -60,6 +73,8 @@ func MinePCCD(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 		// Partition candidates across processors (interleaved keeps the
 		// per-proc trees similar in size since candidates are sorted).
 		t0 = time.Now()
+		rec.SetPhase(obs.PhaseTreeBuild, k)
+		rec.BeginPhase(obs.PhaseTreeBuild, k)
 		parts := make([][]itemset.Itemset, opts.Procs)
 		for i, c := range cands {
 			p := i % opts.Procs
@@ -81,6 +96,7 @@ func MinePCCD(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 			trees[p] = tr
 			counters[p] = hashtree.NewCounters(hashtree.CounterAtomic, tr.NumCandidates(), 1)
 		})
+		rec.EndPhase(obs.PhaseTreeBuild, k)
 		for _, err := range buildErrs {
 			if err != nil {
 				return nil, nil, fmt.Errorf("pccd: iteration %d: %w", k, err)
@@ -90,6 +106,8 @@ func MinePCCD(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 
 		// Counting: every processor scans the ENTIRE database.
 		t0 = time.Now()
+		rec.SetPhase(obs.PhaseCount, k)
+		rec.BeginPhase(obs.PhaseCount, k)
 		pool.Run(func(p int) {
 			ctx := trees[p].NewCountCtx(counters[p], hashtree.CountOpts{
 				ShortCircuit: opts.ShortCircuit,
@@ -98,6 +116,7 @@ func MinePCCD(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 				ctx.CountTransaction(d.Items(i))
 			}
 		})
+		rec.EndPhase(obs.PhaseCount, k)
 		pt.Count = time.Since(t0)
 
 		// Reduction: each processor extracts its own (sorted) frequent
@@ -105,12 +124,16 @@ func MinePCCD(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 		// serial concatenate-and-sort tail.
 		t0 = time.Now()
 		locals := make([][]apriori.FrequentItemset, opts.Procs)
+		rec.SetPhase(obs.PhaseReduce, k)
+		rec.BeginPhase(obs.PhaseReduce, k)
 		pool.Run(func(p int) {
 			locals[p] = apriori.ExtractFrequent(trees[p], counters[p], minCount)
 		})
+		rec.EndPhase(obs.PhaseReduce, k)
 		fk := apriori.MergeFrequent(locals)
 		pt.Reduce = time.Since(t0)
 		pt.Frequent = len(fk)
+		rec.IterStats(k, len(cands), len(fk))
 
 		res.ByK = append(res.ByK, fk)
 		stats.PerIter = append(stats.PerIter, pt)

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/db"
 	"repro/internal/gen"
+	"repro/internal/obs"
 )
 
 // PaperDatasets lists the Table 2 databases in paper order (N=1000, L=2000).
@@ -66,6 +67,10 @@ type Runner struct {
 	// MaxTraceTx caps traced transactions per processor in the placement
 	// studies (0 = everything).
 	MaxTraceTx int
+	// Obs, when non-nil, receives cachesim miss-rate gauges from the
+	// placement figures and is threaded into any mining run the harness
+	// exports traces from.
+	Obs *obs.Recorder
 
 	cache map[string]*db.Database
 }

@@ -39,6 +39,18 @@ func ccpdOpts(minCount int64, procs int, comp, tree, sc bool) ccpd.Options {
 	return o
 }
 
+// gaugeMissRate exports one placement-study row's cachesim miss rate to the
+// runner's recorder (no-op when recording is off), so a metrics snapshot of
+// a figure run carries the locality evidence alongside the printed tables.
+func (r *Runner) gaugeMissRate(db string, procs int, sup float64, pr *core.PolicyResult) {
+	if r.Obs == nil || pr == nil || pr.Totals.Accesses == 0 {
+		return
+	}
+	series := fmt.Sprintf(`armine_cachesim_miss_rate{db=%q,procs="%d",support="%.1f%%",policy=%q}`,
+		db, procs, sup*100, pr.Policy.String())
+	r.Obs.SetGauge(series, float64(pr.Totals.Misses)/float64(pr.Totals.Accesses))
+}
+
 // Table1 prints the bitonic indirection vector of Section 4.1 (Table 1):
 // ten labels hashed into H=3 cells.
 func Table1(w io.Writer) error {
@@ -353,6 +365,7 @@ func (r *Runner) Figure12(w io.Writer) error {
 			row := []string{name, fmt.Sprintf("%.1f%%", sup*100)}
 			for _, pol := range pols {
 				row = append(row, f2s(res.ByPolicy(pol).Normalized))
+				r.gaugeMissRate(name, 1, sup, res.ByPolicy(pol))
 			}
 			t.AddRow(row...)
 		}
@@ -394,6 +407,7 @@ func (r *Runner) Figure13(w io.Writer) error {
 				row := []string{name, fmt.Sprintf("%d", procs), fmt.Sprintf("%.1f%%", sup*100)}
 				for _, pol := range mem.AllPolicies {
 					row = append(row, f2s(res.ByPolicy(pol).Normalized))
+					r.gaugeMissRate(name, procs, sup, res.ByPolicy(pol))
 				}
 				t.AddRow(row...)
 			}

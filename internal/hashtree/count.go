@@ -164,6 +164,11 @@ type CountOpts struct {
 	// MUST call Flush after their last CountTransaction, before reading
 	// counts. Ignored for CounterPrivate (already synchronization-free).
 	BatchUpdates bool
+	// OnFlush, when set, observes every batched counter flush with the
+	// number of buffered updates applied — the observability layer's flush
+	// event hook. It is called from the counting hot path and must not
+	// allocate or block.
+	OnFlush func(updates int)
 }
 
 // Deterministic work-unit costs for the counting cost model. On a host
@@ -427,6 +432,9 @@ func (ctx *CountCtx) flushBatch() {
 	}
 	ctx.counters.addN(pend[len(pend)-1], run, ctx.opts.Proc)
 	ctx.batchLen = 0
+	if ctx.opts.OnFlush != nil {
+		ctx.opts.OnFlush(len(pend))
+	}
 }
 
 // Flush publishes any buffered counter updates. Required after the last

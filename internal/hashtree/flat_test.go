@@ -272,6 +272,35 @@ func TestCountTransactionZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestCountTransactionZeroAllocWithFlushHook extends the allocation gate to
+// the observability wiring: an installed OnFlush hook (itself non-allocating)
+// must keep the batched counting path at zero heap allocations, so mining
+// with trace recording on cannot regress the kernel.
+func TestCountTransactionZeroAllocWithFlushHook(t *testing.T) {
+	cands := combinations(16, 3)
+	tr, err := Build(Config{K: 3, Fanout: 4, Threshold: 3, NumItems: 16}, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := itemset.New(0, 2, 3, 5, 7, 8, 10, 11, 13, 15)
+	var flushes, updates int64
+	counters := NewCounters(CounterAtomic, tr.NumCandidates(), 1)
+	ctx := tr.NewCountCtx(counters, CountOpts{
+		BatchUpdates: true,
+		OnFlush:      func(n int) { flushes++; updates += int64(n) },
+	})
+	allocs := testing.AllocsPerRun(200, func() {
+		ctx.CountTransaction(tx)
+	})
+	if allocs != 0 {
+		t.Errorf("with OnFlush hook: %v allocs/op, want 0", allocs)
+	}
+	ctx.Flush()
+	if flushes == 0 || updates == 0 {
+		t.Errorf("flush hook never fired (flushes=%d updates=%d)", flushes, updates)
+	}
+}
+
 // TestCountDatabaseUsesUnsynchronizedCounters pins the sequential-baseline
 // bugfix: CountDatabase must not pay atomic/lock cost on its single-threaded
 // scan.

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WorkerStats is one processor's aggregated counters.
+type WorkerStats struct {
+	Proc      int
+	Claimed   int64 // chunks claimed
+	Stolen    int64 // chunks stolen from other workers
+	Flushes   int64 // batched counter flushes
+	WorkUnits int64 // deterministic work units
+	Events    int   // buffered events on this track
+	Dropped   int64 // events recycled out of a saturated ring
+}
+
+// Snapshot is a point-in-time aggregate of everything the recorder holds,
+// safe to serialize or assert against. Take it only after a pool barrier.
+type Snapshot struct {
+	Procs   int
+	Workers []WorkerStats // one entry per processor (master track excluded)
+	Iters   []IterStat
+	IdleNS  int64
+	Gauges  []Gauge
+}
+
+// Snapshot aggregates the per-worker counters and master-side statistics.
+func (r *Recorder) Snapshot() *Snapshot {
+	if r == nil {
+		return &Snapshot{}
+	}
+	s := &Snapshot{Procs: r.procs}
+	for p := 0; p < r.procs; p++ {
+		w := &r.workers[p]
+		n := len(w.cur)
+		for _, seg := range w.full {
+			n += len(seg)
+		}
+		s.Workers = append(s.Workers, WorkerStats{
+			Proc: p, Claimed: w.claimed, Stolen: w.stolen,
+			Flushes: w.flushes, WorkUnits: w.workUnits,
+			Events: n, Dropped: w.dropped,
+		})
+	}
+	r.mu.Lock()
+	s.Iters = append(s.Iters, r.iters...)
+	s.IdleNS = r.idleNS
+	s.Gauges = append(s.Gauges, r.gauges...)
+	r.mu.Unlock()
+	return s
+}
+
+// WriteMetrics renders the snapshot in Prometheus text exposition format:
+// per-processor chunk/steal/flush/work counters, counting idle time, per-k
+// candidate and frequent series, and any gauges (e.g. cachesim miss rates
+// when a placement replay ran). Output order is deterministic.
+func (r *Recorder) WriteMetrics(w io.Writer) error {
+	return r.Snapshot().WritePrometheus(w)
+}
+
+// WritePrometheus renders the snapshot in Prometheus text format.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	series := func(name, help, typ string, emit func(out io.Writer)) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		emit(w)
+	}
+	series("armine_chunks_claimed_total", "counting chunks claimed per processor", "counter", func(out io.Writer) {
+		for _, ws := range s.Workers {
+			fmt.Fprintf(out, "armine_chunks_claimed_total{proc=\"%d\"} %d\n", ws.Proc, ws.Claimed)
+		}
+	})
+	series("armine_steals_total", "chunks stolen from another processor's deque", "counter", func(out io.Writer) {
+		for _, ws := range s.Workers {
+			fmt.Fprintf(out, "armine_steals_total{proc=\"%d\"} %d\n", ws.Proc, ws.Stolen)
+		}
+	})
+	series("armine_batch_flushes_total", "batched counter flushes per processor", "counter", func(out io.Writer) {
+		for _, ws := range s.Workers {
+			fmt.Fprintf(out, "armine_batch_flushes_total{proc=\"%d\"} %d\n", ws.Proc, ws.Flushes)
+		}
+	})
+	series("armine_work_units_total", "deterministic counting work units per processor", "counter", func(out io.Writer) {
+		for _, ws := range s.Workers {
+			fmt.Fprintf(out, "armine_work_units_total{proc=\"%d\"} %d\n", ws.Proc, ws.WorkUnits)
+		}
+	})
+	series("armine_trace_events", "buffered trace events per processor track", "gauge", func(out io.Writer) {
+		for _, ws := range s.Workers {
+			fmt.Fprintf(out, "armine_trace_events{proc=\"%d\"} %d\n", ws.Proc, ws.Events)
+		}
+	})
+	series("armine_trace_events_dropped_total", "events recycled out of saturated ring buffers", "counter", func(out io.Writer) {
+		for _, ws := range s.Workers {
+			fmt.Fprintf(out, "armine_trace_events_dropped_total{proc=\"%d\"} %d\n", ws.Proc, ws.Dropped)
+		}
+	})
+	series("armine_count_idle_ns_total", "summed counting-phase wall-clock idle (Σ_p max−elapsed_p)", "counter", func(out io.Writer) {
+		fmt.Fprintf(out, "armine_count_idle_ns_total %d\n", s.IdleNS)
+	})
+	series("armine_candidates", "candidate itemsets per iteration", "gauge", func(out io.Writer) {
+		for _, it := range s.Iters {
+			fmt.Fprintf(out, "armine_candidates{k=\"%d\"} %d\n", it.K, it.Candidates)
+		}
+	})
+	series("armine_frequent", "frequent itemsets per iteration", "gauge", func(out io.Writer) {
+		for _, it := range s.Iters {
+			fmt.Fprintf(out, "armine_frequent{k=\"%d\"} %d\n", it.K, it.Frequent)
+		}
+	})
+	for _, g := range s.Gauges {
+		fmt.Fprintf(w, "%s %g\n", g.Series, g.Value)
+	}
+	return nil
+}

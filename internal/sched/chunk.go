@@ -54,16 +54,26 @@ func (c *Cursor) Next() (chunk int, ok bool) {
 //
 // Deques live one-per-worker in a Stealing slice and the owner hammers its
 // own mutex on every chunk claim, so the struct is padded to a full cache
-// line: unpadded it is 32 bytes and two workers' deques would invalidate
+// line: unpadded it is 40 bytes and two workers' deques would invalidate
 // each other's line on every Push/Pop (armlint falseshare caught exactly
 // that).
+//
+// Live entries are items[head:len(items)]: PopHead advances the head index
+// instead of re-slicing items[1:], which would strand the consumed prefix
+// of the backing array and force every post-steal Push or Seed to grow a
+// fresh one — a capacity leak across reused deques. Whenever the deque
+// drains, both ends reset (head=0, items[:0]) so the full backing array is
+// reusable by the next Seed cycle.
 type Deque struct {
 	//armlint:hot
 	mu sync.Mutex
 	//armlint:hot
 	//armlint:guardedby mu
 	items []int32
-	_     [64 - 8 - 24]byte // pad to one cache line (mutex 8B + slice header 24B)
+	//armlint:hot
+	//armlint:guardedby mu
+	head int
+	_    [64 - 8 - 24 - 8]byte // pad to one cache line (mutex 8B + slice header 24B + head 8B)
 }
 
 // Push appends v at the tail.
@@ -78,11 +88,15 @@ func (d *Deque) PopTail() (int32, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	n := len(d.items)
-	if n == 0 {
+	if n == d.head {
 		return 0, false
 	}
 	v := d.items[n-1]
 	d.items = d.items[:n-1]
+	if len(d.items) == d.head {
+		d.head = 0
+		d.items = d.items[:0]
+	}
 	return v, true
 }
 
@@ -90,11 +104,15 @@ func (d *Deque) PopTail() (int32, bool) {
 func (d *Deque) PopHead() (int32, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if len(d.items) == 0 {
+	if len(d.items) == d.head {
 		return 0, false
 	}
-	v := d.items[0]
-	d.items = d.items[1:]
+	v := d.items[d.head]
+	d.head++
+	if d.head == len(d.items) {
+		d.head = 0
+		d.items = d.items[:0]
+	}
 	return v, true
 }
 
@@ -102,7 +120,7 @@ func (d *Deque) PopHead() (int32, bool) {
 func (d *Deque) Len() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return len(d.items)
+	return len(d.items) - d.head
 }
 
 // Stealing coordinates per-worker chunk deques: each worker drains its own
@@ -145,20 +163,22 @@ func (s *Stealing) SeedBlocks(n int) {
 }
 
 // Next claims a chunk for worker p: own deque first (LIFO), then victims
-// (p+1, p+2, … mod P) FIFO. stolen reports a steal; ok is false when no
-// work remains anywhere.
-func (s *Stealing) Next(p int) (chunk int32, stolen, ok bool) {
+// (p+1, p+2, … mod P) FIFO. victim is the deque the chunk came from — equal
+// to p for a self-pop, another worker for a steal (the trace export draws
+// the victim→thief flow arrow from it); ok is false when no work remains
+// anywhere.
+func (s *Stealing) Next(p int) (chunk int32, victim int, ok bool) {
 	if v, ok := s.deques[p].PopTail(); ok {
-		return v, false, true
+		return v, p, true
 	}
 	procs := len(s.deques)
 	for off := 1; off < procs; off++ {
 		victim := (p + off) % procs
 		if v, ok := s.deques[victim].PopHead(); ok {
-			return v, true, true
+			return v, victim, true
 		}
 	}
-	return 0, false, false
+	return 0, p, false
 }
 
 // PerWorker is one worker's counting-phase accumulator set, padded to a full

@@ -25,6 +25,10 @@ type Pool struct {
 	procs int
 	work  []chan func(int)
 	wg    sync.WaitGroup
+	// wrap, when set, brackets every dispatched closure — the hook the
+	// observability layer uses to record per-worker phase spans and apply
+	// runtime/pprof phase labels without sched importing either.
+	wrap func(worker int, fn func(int))
 }
 
 // NewPool starts procs persistent workers (minimum 1). Callers must Close
@@ -43,13 +47,31 @@ func NewPool(procs int) *Pool {
 
 func (p *Pool) worker(i int) {
 	for fn := range p.work[i] {
-		fn(i)
+		p.dispatch(i, fn)
 		p.wg.Done()
 	}
 }
 
+// dispatch runs fn(i) through the wrap hook when one is installed.
+func (p *Pool) dispatch(i int, fn func(int)) {
+	if w := p.wrap; w != nil {
+		w(i, fn)
+		return
+	}
+	fn(i)
+}
+
 // Procs returns the number of workers.
 func (p *Pool) Procs() int { return p.procs }
+
+// SetWrap installs a hook invoked around every closure Run dispatches:
+// wrap(worker, fn) must call fn(worker) exactly once. Call only while the
+// pool is idle (no Run in flight) — workers observe the new hook on their
+// next dispatch via the Run channel's happens-before edge. A nil wrap
+// removes the hook.
+func (p *Pool) SetWrap(wrap func(worker int, fn func(int))) {
+	p.wrap = wrap
+}
 
 // Run executes fn(p) on every worker p in [0, Procs) and waits for all of
 // them. fn must not call Run on the same pool (the workers are busy). A
@@ -57,7 +79,7 @@ func (p *Pool) Procs() int { return p.procs }
 // sequential baseline pays no channel hop.
 func (p *Pool) Run(fn func(p int)) {
 	if p.procs == 1 {
-		fn(0)
+		p.dispatch(0, fn)
 		return
 	}
 	p.wg.Add(p.procs)

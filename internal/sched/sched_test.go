@@ -128,6 +128,54 @@ func TestDequeEnds(t *testing.T) {
 	}
 }
 
+// TestDequeBackingArrayStable pins the PopHead capacity fix: draining a
+// deque from the head (the thief side) and reseeding it must reuse the same
+// backing array instead of growing a fresh one per cycle. The former
+// items = items[1:] re-slice stranded the consumed prefix, so every
+// Seed/drain cycle over a reused deque allocated anew.
+func TestDequeBackingArrayStable(t *testing.T) {
+	const chunks = 64
+	var d Deque
+	for i := 0; i < chunks; i++ {
+		d.Push(int32(i))
+	}
+	base := &d.items[0]
+	baseCap := cap(d.items)
+	for cycle := 0; cycle < 10; cycle++ {
+		// Drain entirely from the head, as a persistent thief would.
+		for i := 0; i < chunks; i++ {
+			if v, ok := d.PopHead(); !ok || v != int32(i) {
+				t.Fatalf("cycle %d: PopHead = %d,%v want %d", cycle, v, ok, i)
+			}
+		}
+		if _, ok := d.PopHead(); ok {
+			t.Fatalf("cycle %d: deque not empty after drain", cycle)
+		}
+		if d.head != 0 || len(d.items) != 0 {
+			t.Fatalf("cycle %d: drain did not reset ends (head=%d len=%d)", cycle, d.head, len(d.items))
+		}
+		for i := 0; i < chunks; i++ {
+			d.Push(int32(i))
+		}
+		if cap(d.items) != baseCap || &d.items[0] != base {
+			t.Fatalf("cycle %d: backing array changed (cap %d → %d) — capacity leak", cycle, baseCap, cap(d.items))
+		}
+	}
+	// Mixed-end drain must also converge back to the same array.
+	for d.Len() > 0 {
+		d.PopHead()
+		if d.Len() > 0 {
+			d.PopTail()
+		}
+	}
+	for i := 0; i < chunks; i++ {
+		d.Push(int32(i))
+	}
+	if &d.items[0] != base {
+		t.Error("mixed-end drain leaked the backing array")
+	}
+}
+
 func TestStealingClaimsEachChunkOnce(t *testing.T) {
 	const procs, chunks = 4, 500
 	st := NewStealing(procs)
@@ -141,13 +189,13 @@ func TestStealingClaimsEachChunkOnce(t *testing.T) {
 		go func(p int) {
 			defer wg.Done()
 			for {
-				c, stolen, ok := st.Next(p)
+				c, victim, ok := st.Next(p)
 				if !ok {
 					return
 				}
 				mu.Lock()
 				got[c]++
-				if stolen {
+				if victim != p {
 					steals++
 				}
 				mu.Unlock()
@@ -169,14 +217,14 @@ func TestStealingOrder(t *testing.T) {
 	// Single-threaded semantics: owner LIFO, theft FIFO from the next victim.
 	st := NewStealing(2)
 	st.Seed(0, 0, 3) // worker 0 holds 0,1,2
-	if c, stolen, ok := st.Next(0); !ok || stolen || c != 2 {
-		t.Errorf("owner pop = %d stolen=%v", c, stolen)
+	if c, victim, ok := st.Next(0); !ok || victim != 0 || c != 2 {
+		t.Errorf("owner pop = %d victim=%d", c, victim)
 	}
-	if c, stolen, ok := st.Next(1); !ok || !stolen || c != 0 {
-		t.Errorf("steal = %d stolen=%v, want FIFO chunk 0", c, stolen)
+	if c, victim, ok := st.Next(1); !ok || victim != 0 || c != 0 {
+		t.Errorf("steal = %d victim=%d, want FIFO chunk 0 from victim 0", c, victim)
 	}
-	if c, _, ok := st.Next(1); !ok || c != 1 {
-		t.Errorf("second steal = %d", c)
+	if c, victim, ok := st.Next(1); !ok || victim != 0 || c != 1 {
+		t.Errorf("second steal = %d victim=%d", c, victim)
 	}
 	if _, _, ok := st.Next(0); ok {
 		t.Error("expected exhaustion")
