@@ -23,6 +23,8 @@
 package armine
 
 import (
+	"context"
+
 	"repro/internal/apriori"
 	"repro/internal/cachesim"
 	"repro/internal/ccpd"
@@ -34,6 +36,7 @@ import (
 	"repro/internal/itemset"
 	"repro/internal/mem"
 	"repro/internal/quant"
+	"repro/internal/robust"
 	"repro/internal/rules"
 	"repro/internal/sampling"
 	"repro/internal/seqpat"
@@ -101,6 +104,33 @@ func MinePCCD(d *Database, opts ParallelOptions) (*Result, *ParallelStats, error
 func MineParallel(d *Database, minSupport float64, procs int) (*Result, *ParallelStats, error) {
 	return core.MineParallel(d, minSupport, procs)
 }
+
+// MineCCPDCtx is MineCCPD with cooperative cancellation: on ctx
+// cancellation the completed iterations are returned together with a
+// *robust.CanceledError naming the interrupted phase.
+func MineCCPDCtx(ctx context.Context, d *Database, opts ParallelOptions) (*Result, *ParallelStats, error) {
+	return ccpd.MineCtx(ctx, d, opts)
+}
+
+// MinePCCDCtx is MinePCCD with cooperative cancellation.
+func MinePCCDCtx(ctx context.Context, d *Database, opts ParallelOptions) (*Result, *ParallelStats, error) {
+	return ccpd.MinePCCDCtx(ctx, d, opts)
+}
+
+// ResumeCCPD continues a checkpointed CCPD run (ParallelOptions.Checkpoint)
+// bit-identically from its last completed iteration. The options must match
+// the checkpointed run except MaxK, which may grow.
+func ResumeCCPD(ctx context.Context, checkpointPath string, d *Database, opts ParallelOptions) (*Result, *ParallelStats, error) {
+	return ccpd.Resume(ctx, checkpointPath, d, opts)
+}
+
+// WorkerPanicError reports a panic contained in a pool worker: the mining
+// call returns it instead of crashing the process.
+type WorkerPanicError = robust.WorkerPanicError
+
+// CanceledError reports cooperative cancellation, naming the mining phase
+// and iteration that observed it.
+type CanceledError = robust.CanceledError
 
 // Rule is an association rule.
 type Rule = rules.Rule

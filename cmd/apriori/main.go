@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -51,24 +53,70 @@ func parseGenSpec(s string) (gen.Params, error) {
 // positional parameter list: run() is exercised directly by the tests, and
 // adding a flag must not ripple through every call site.
 type cliOptions struct {
-	DBPath    string  // -db: database file
-	GenSpec   string  // -gen: synthetic database spec
-	Support   float64 // -support
-	Algo      string  // -algo
-	Procs     int     // -procs
-	Balance   string  // -balance
-	Hash      string  // -hash
-	Counter   string  // -counter
-	DBPart    string  // -dbpart
-	ChunkSize int     // -chunk
-	SC        bool    // -shortcircuit
-	Threshold int     // -threshold
-	Fanout    int     // -fanout
-	RuleConf  float64 // -rules
-	TopN      int     // -top
-	Verbose   bool    // -v
-	TracePath string  // -trace: Chrome trace JSON output (ccpd/pccd only)
-	MetricsTo string  // -metrics: Prometheus-text snapshot output (ccpd/pccd only)
+	DBPath     string  // -db: database file
+	GenSpec    string  // -gen: synthetic database spec
+	Support    float64 // -support
+	Algo       string  // -algo
+	Procs      int     // -procs
+	Balance    string  // -balance
+	Hash       string  // -hash
+	Counter    string  // -counter
+	DBPart     string  // -dbpart
+	ChunkSize  int     // -chunk
+	SC         bool    // -shortcircuit
+	Threshold  int     // -threshold
+	Fanout     int     // -fanout
+	MaxK       int     // -maxk: iteration bound (0 = fixpoint)
+	MaxCands   int     // -max-candidates: per-tree candidate budget (0 = unlimited)
+	Checkpoint string  // -checkpoint: per-iteration snapshot path (ccpd only)
+	Resume     bool    // -resume: continue from -checkpoint instead of starting over
+	RuleConf   float64 // -rules
+	TopN       int     // -top
+	Verbose    bool    // -v
+	TracePath  string  // -trace: Chrome trace JSON output (ccpd/pccd only)
+	MetricsTo  string  // -metrics: Prometheus-text snapshot output (ccpd/pccd only)
+}
+
+// usageError marks a command-line validation failure; main exits with
+// status 2 for these (the conventional usage-error code), versus 1 for
+// runtime failures.
+type usageError struct{ msg string }
+
+func (e *usageError) Error() string { return e.msg }
+
+func usagef(format string, args ...any) error {
+	return &usageError{msg: fmt.Sprintf(format, args...)}
+}
+
+// validate rejects option values that can only be mistakes, before any work
+// (or worse, a silent misrun: -support 0 used to mine every itemset at
+// min count 1, and -procs 0 was silently bumped to 1 deep in withDefaults).
+func validate(o cliOptions) error {
+	if o.Support <= 0 || o.Support > 1 {
+		return usagef("-support must be a fraction in (0, 1], got %g", o.Support)
+	}
+	if o.Procs <= 0 {
+		return usagef("-procs must be positive, got %d", o.Procs)
+	}
+	if o.ChunkSize <= 0 {
+		return usagef("-chunk must be positive, got %d", o.ChunkSize)
+	}
+	if o.MaxK < 0 {
+		return usagef("-maxk must be >= 0 (0 = run to fixpoint), got %d", o.MaxK)
+	}
+	if o.MaxCands < 0 {
+		return usagef("-max-candidates must be >= 0 (0 = unlimited), got %d", o.MaxCands)
+	}
+	if o.Threshold <= 0 {
+		return usagef("-threshold must be positive, got %d", o.Threshold)
+	}
+	if o.Resume && o.Checkpoint == "" {
+		return usagef("-resume requires -checkpoint")
+	}
+	if o.Checkpoint != "" && o.Algo != "ccpd" {
+		return usagef("-checkpoint/-resume require -algo ccpd (got %q)", o.Algo)
+	}
+	return nil
 }
 
 func main() {
@@ -82,10 +130,14 @@ func main() {
 	flag.StringVar(&o.Hash, "hash", "bitonic", "hash tree balancing: interleaved | bitonic")
 	flag.StringVar(&o.Counter, "counter", "private", "counter mode: locked | atomic | private")
 	flag.StringVar(&o.DBPart, "dbpart", "block", "counting DB partition: block | workload | dynamic | stealing")
-	flag.IntVar(&o.ChunkSize, "chunk", 0, "transactions per dynamic chunk (0 = default 256)")
+	flag.IntVar(&o.ChunkSize, "chunk", 256, "transactions per dynamic chunk / cancellation poll stride")
 	flag.BoolVar(&o.SC, "shortcircuit", true, "short-circuited subset checking")
 	flag.IntVar(&o.Threshold, "threshold", 8, "hash tree leaf threshold")
 	flag.IntVar(&o.Fanout, "fanout", 0, "hash tree fanout (0 = adaptive)")
+	flag.IntVar(&o.MaxK, "maxk", 0, "stop after itemsets of this size (0 = run to fixpoint)")
+	flag.IntVar(&o.MaxCands, "max-candidates", 0, "max candidates held in one hash tree; larger iterations run batched with one DB pass per batch (0 = unlimited)")
+	flag.StringVar(&o.Checkpoint, "checkpoint", "", "write a resumable snapshot here after every iteration (ccpd)")
+	flag.BoolVar(&o.Resume, "resume", false, "continue from the -checkpoint snapshot instead of starting over")
 	flag.Float64Var(&o.RuleConf, "rules", 0, "generate rules at this min confidence (0 = skip)")
 	flag.IntVar(&o.TopN, "top", 10, "rules to print")
 	flag.BoolVar(&o.Verbose, "v", false, "per-iteration details")
@@ -95,11 +147,18 @@ func main() {
 
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "apriori:", err)
+		var ue *usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
 
 func run(o cliOptions) error {
+	if err := validate(o); err != nil {
+		return err
+	}
 	var d *db.Database
 	switch {
 	case o.DBPath != "":
@@ -127,6 +186,7 @@ func run(o cliOptions) error {
 
 	opts := apriori.Options{
 		MinSupport: o.Support, Threshold: o.Threshold, Fanout: o.Fanout, ShortCircuit: o.SC,
+		MaxK: o.MaxK, MaxCandidatesInMemory: o.MaxCands,
 	}
 	if o.Hash == "bitonic" {
 		opts.Hash = hashtree.HashBitonic
@@ -188,13 +248,17 @@ func run(o cliOptions) error {
 			return fmt.Errorf("unknown -dbpart %q", o.DBPart)
 		}
 		po.ChunkSize = o.ChunkSize
+		po.Checkpoint = o.Checkpoint
 		if o.TracePath != "" || o.MetricsTo != "" {
 			rec = obs.NewRecorder(o.Procs)
 			po.Obs = rec
 		}
-		if o.Algo == "ccpd" {
+		switch {
+		case o.Resume:
+			res, stats, err = ccpd.Resume(context.Background(), o.Checkpoint, d, po)
+		case o.Algo == "ccpd":
 			res, stats, err = ccpd.Mine(d, po)
-		} else {
+		default:
 			res, stats, err = ccpd.MinePCCD(d, po)
 		}
 	default:

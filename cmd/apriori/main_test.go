@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -46,7 +47,7 @@ func base() cliOptions {
 	return cliOptions{
 		GenSpec: "T5.I2.D300", Support: 0.02, Algo: "ccpd", Procs: 2,
 		Balance: "bitonic", Hash: "bitonic", Counter: "private",
-		DBPart: "block", SC: true, Threshold: 8, TopN: 3,
+		DBPart: "block", SC: true, Threshold: 8, ChunkSize: 256, TopN: 3,
 	}
 }
 
@@ -105,14 +106,111 @@ func TestRunEndToEnd(t *testing.T) {
 		}
 	}
 	// Error paths.
-	if err := run(cliOptions{Support: 0.02, Algo: "seq"}); err == nil {
-		t.Error("missing -db/-gen should fail")
+	{
+		o := base()
+		o.GenSpec = ""
+		if err := run(o); err == nil {
+			t.Error("missing -db/-gen should fail")
+		}
 	}
-	if err := run(cliOptions{GenSpec: "T5.I2.D200", Support: 0.02, Algo: "nope"}); err == nil {
-		t.Error("unknown algo should fail")
+	{
+		o := base()
+		o.Algo = "nope"
+		if err := run(o); err == nil {
+			t.Error("unknown algo should fail")
+		}
 	}
-	if err := run(cliOptions{DBPath: "/nonexistent/x.ardb", Support: 0.02, Algo: "seq"}); err == nil {
-		t.Error("missing file should fail")
+	{
+		o := base()
+		o.GenSpec = ""
+		o.DBPath = "/nonexistent/x.ardb"
+		if err := run(o); err == nil {
+			t.Error("missing file should fail")
+		}
+	}
+}
+
+// TestValidateFlags pins the CLI validation contract: out-of-range flag
+// values are rejected up front as usage errors (exit code 2 from main), and
+// the boundary values inside the valid range are accepted.
+func TestValidateFlags(t *testing.T) {
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	cases := []struct {
+		name  string
+		tweak func(o *cliOptions)
+	}{
+		{"support zero", func(o *cliOptions) { o.Support = 0 }},
+		{"support negative", func(o *cliOptions) { o.Support = -0.1 }},
+		{"support above one", func(o *cliOptions) { o.Support = 1.5 }},
+		{"procs zero", func(o *cliOptions) { o.Procs = 0 }},
+		{"procs negative", func(o *cliOptions) { o.Procs = -3 }},
+		{"chunk zero", func(o *cliOptions) { o.ChunkSize = 0 }},
+		{"chunk negative", func(o *cliOptions) { o.ChunkSize = -1 }},
+		{"maxk negative", func(o *cliOptions) { o.MaxK = -1 }},
+		{"max-candidates negative", func(o *cliOptions) { o.MaxCands = -1 }},
+		{"threshold zero", func(o *cliOptions) { o.Threshold = 0 }},
+		{"resume without checkpoint", func(o *cliOptions) { o.Resume = true }},
+		{"checkpoint with seq", func(o *cliOptions) { o.Checkpoint = "x.ckpt"; o.Algo = "seq" }},
+	}
+	for _, c := range cases {
+		o := base()
+		c.tweak(&o)
+		err := run(o)
+		if err == nil {
+			t.Errorf("%s: run should fail", c.name)
+			continue
+		}
+		var ue *usageError
+		if !errors.As(err, &ue) {
+			t.Errorf("%s: error %v is not a usage error (would exit 1, want 2)", c.name, err)
+		}
+	}
+
+	// Boundary values inside the range must pass validation.
+	for _, c := range []struct {
+		name  string
+		tweak func(o *cliOptions)
+	}{
+		{"support one", func(o *cliOptions) { o.Support = 1 }},
+		{"procs one", func(o *cliOptions) { o.Procs = 1 }},
+		{"chunk one", func(o *cliOptions) { o.ChunkSize = 1 }},
+	} {
+		o := base()
+		c.tweak(&o)
+		if err := run(o); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+// TestRunCheckpointResume drives the kill-and-resume recipe through the CLI
+// surface: a -maxk-bounded run leaves a checkpoint, and -resume with the
+// bound lifted completes the mine with the same frequent-set counts as a
+// straight-through run.
+func TestRunCheckpointResume(t *testing.T) {
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	o := base()
+	o.Checkpoint = ckpt
+	o.MaxK = 2
+	if err := run(o); err != nil {
+		t.Fatalf("bounded run: %v", err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	o.MaxK = 0
+	o.Resume = true
+	if err := run(o); err != nil {
+		t.Fatalf("resume: %v", err)
 	}
 }
 

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -17,6 +18,13 @@ import (
 
 	"repro/internal/expt"
 )
+
+// usageError marks a command-line validation failure; main exits with
+// status 2 for these (the conventional usage-error code), versus 1 for
+// runtime failures.
+type usageError struct{ msg string }
+
+func (e *usageError) Error() string { return e.msg }
 
 func main() {
 	scale := flag.Float64("scale", 0.02, "database scale factor (1.0 = paper sizes)")
@@ -36,11 +44,23 @@ func main() {
 	}
 	if err := run(os.Stdout, *scale, *figure, *table, *all, *sched, *maxTrace, *trace, *metrics, *procs); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		var ue *usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
 
 func run(w io.Writer, scale float64, figure, table int, all, sched bool, maxTrace int, trace, metrics string, procs int) error {
+	switch {
+	case scale <= 0 || scale > 1:
+		return &usageError{msg: fmt.Sprintf("-scale must be a fraction in (0, 1], got %g", scale)}
+	case procs <= 0:
+		return &usageError{msg: fmt.Sprintf("-procs must be positive, got %d", procs)}
+	case maxTrace < 0:
+		return &usageError{msg: fmt.Sprintf("-maxtrace must be >= 0, got %d", maxTrace)}
+	}
 	r := expt.NewRunner(scale)
 	r.MaxTraceTx = maxTrace
 

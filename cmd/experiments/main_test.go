@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -33,6 +34,41 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(&buf, 0.002, 0, 9, false, false, 20, "", "", 4); err == nil {
 		t.Error("unknown table should fail")
+	}
+}
+
+// TestRunValidation pins the flag-range contract: out-of-range -scale,
+// -procs and -maxtrace are usage errors (exit 2 from main), and in-range
+// boundary values are accepted.
+func TestRunValidation(t *testing.T) {
+	var buf bytes.Buffer
+	cases := []struct {
+		name     string
+		scale    float64
+		maxTrace int
+		procs    int
+	}{
+		{"scale zero", 0, 20, 4},
+		{"scale negative", -0.5, 20, 4},
+		{"scale above one", 1.5, 20, 4},
+		{"procs zero", 0.002, 20, 0},
+		{"procs negative", 0.002, 20, -2},
+		{"maxtrace negative", 0.002, -1, 4},
+	}
+	for _, c := range cases {
+		err := run(&buf, c.scale, 0, 1, false, false, c.maxTrace, "", "", c.procs)
+		if err == nil {
+			t.Errorf("%s: run should fail", c.name)
+			continue
+		}
+		var ue *usageError
+		if !errors.As(err, &ue) {
+			t.Errorf("%s: error %v is not a usage error (would exit 1, want 2)", c.name, err)
+		}
+	}
+	// Boundary values inside the range pass validation (table 1 is cheap).
+	if err := run(&buf, 1, 0, 1, false, false, 0, "", "", 1); err != nil {
+		t.Errorf("boundary values rejected: %v", err)
 	}
 }
 

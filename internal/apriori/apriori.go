@@ -12,6 +12,7 @@ package apriori
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/db"
@@ -42,6 +43,15 @@ type Options struct {
 	// NaiveJoin disables the equivalence-class join and considers all
 	// C(|F|,2) pairs — the ablation baseline.
 	NaiveJoin bool
+	// MaxCandidatesInMemory caps how many candidates one hash tree may
+	// hold (the paper's assumption that C_k fits in memory does not
+	// survive low supports on large databases). When an iteration
+	// generates more, the candidate list is split into contiguous
+	// lexicographic batches of at most this size, each built, counted
+	// (one full database pass per batch) and extracted separately; the
+	// concatenated output is bit-identical to the unbatched run. 0 means
+	// unlimited.
+	MaxCandidatesInMemory int
 }
 
 func (o Options) withDefaults() Options {
@@ -56,7 +66,26 @@ func (o Options) MinCount(dbLen int) int64 {
 	if o.AbsSupport > 0 {
 		return o.AbsSupport
 	}
-	c := int64(o.MinSupport * float64(dbLen))
+	return CeilSupport(o.MinSupport, dbLen)
+}
+
+// CeilSupport converts a fractional minimum support into the smallest count
+// satisfying it: support(X) = count/dbLen ≥ minSupport requires
+// count = ⌈minSupport·dbLen⌉. The former int64(minSupport·dbLen) floor
+// admitted itemsets BELOW the requested threshold whenever the product was
+// not integral — 0.01 × 300 floored to 2, accepting 2/300 ≈ 0.67% against a
+// 1% threshold. Products that are mathematically integral can land on either
+// side of the integer in float64 (0.01×300 = 2.999…96, 0.1×300 = 30.000…004),
+// so values within a relative epsilon of an integer snap to it before the
+// ceiling is taken.
+func CeilSupport(minSupport float64, dbLen int) int64 {
+	x := minSupport * float64(dbLen)
+	var c int64
+	if r := math.Round(x); math.Abs(x-r) <= 1e-9*math.Max(1, math.Abs(x)) {
+		c = int64(r)
+	} else {
+		c = int64(math.Ceil(x))
+	}
 	if c < 1 {
 		c = 1
 	}
@@ -77,7 +106,12 @@ type IterStats struct {
 	Frequent       int
 	JoinPairs      int64 // join pairs considered (equivalence-class or naive)
 	PrunedBySubset int   // candidates removed by the (k-1)-subset test
-	TreeStats      hashtree.Stats
+	// Batches is how many candidate batches the iteration ran under
+	// Options.MaxCandidatesInMemory (1 when everything fit in one tree).
+	Batches int
+	// TreeStats describes the iteration's hash tree; for a batched
+	// iteration, the last batch's tree.
+	TreeStats hashtree.Stats
 }
 
 // Result is the output of a mining run.
@@ -278,7 +312,7 @@ func Mine(d *db.Database, opts Options) (*Result, error) {
 
 	f1 := FrequentOne(d, minCount)
 	res.ByK[1] = f1
-	res.Iters = append(res.Iters, IterStats{K: 1, Candidates: d.NumItems(), Frequent: len(f1)})
+	res.Iters = append(res.Iters, IterStats{K: 1, Candidates: d.NumItems(), Frequent: len(f1), Batches: 1})
 	labels := LabelsFromF1(f1, d.NumItems())
 
 	prev := make([]itemset.Itemset, len(f1))
@@ -299,21 +333,41 @@ func Mine(d *db.Database, opts Options) (*Result, error) {
 			NumItems:  d.NumItems(),
 			Labels:    labels,
 		}
-		tree, err := hashtree.Build(cfg, cands)
-		if err != nil {
-			return nil, fmt.Errorf("apriori: iteration %d: %w", k, err)
+		// Memory-budget batching: contiguous lexicographic sub-ranges of
+		// the sorted candidate list, one full database pass each. Batch
+		// outputs cover disjoint ascending lexicographic ranges, so plain
+		// concatenation reproduces the unbatched extraction bit-identically.
+		batchSize := len(cands)
+		if lim := opts.MaxCandidatesInMemory; lim > 0 && lim < batchSize {
+			batchSize = lim
 		}
-		counters := hashtree.NewCounters(hashtree.CounterAtomic, tree.NumCandidates(), 1)
-		ctx := tree.NewCountCtx(counters, hashtree.CountOpts{ShortCircuit: opts.ShortCircuit})
-		for i := 0; i < d.Len(); i++ {
-			ctx.CountTransaction(d.Items(i))
+		numBatches := (len(cands) + batchSize - 1) / batchSize
+		var fk []FrequentItemset
+		var treeStats hashtree.Stats
+		for b := 0; b < numBatches; b++ {
+			lo := b * batchSize
+			hi := lo + batchSize
+			if hi > len(cands) {
+				hi = len(cands)
+			}
+			tree, err := hashtree.Build(cfg, cands[lo:hi])
+			if err != nil {
+				return nil, fmt.Errorf("apriori: iteration %d: %w", k, err)
+			}
+			counters := hashtree.NewCounters(hashtree.CounterAtomic, tree.NumCandidates(), 1)
+			ctx := tree.NewCountCtx(counters, hashtree.CountOpts{ShortCircuit: opts.ShortCircuit})
+			for i := 0; i < d.Len(); i++ {
+				ctx.CountTransaction(d.Items(i))
+			}
+			fk = append(fk, ExtractFrequent(tree, counters, minCount)...)
+			treeStats = tree.ComputeStats()
 		}
-		fk := ExtractFrequent(tree, counters, minCount)
 		res.ByK = append(res.ByK, fk)
 		res.Iters = append(res.Iters, IterStats{
 			K: k, Candidates: len(cands), Frequent: len(fk),
 			JoinPairs: joinPairs, PrunedBySubset: pruned,
-			TreeStats: tree.ComputeStats(),
+			Batches:   numBatches,
+			TreeStats: treeStats,
 		})
 		prev = prev[:0]
 		for _, f := range fk {

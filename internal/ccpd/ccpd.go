@@ -6,10 +6,23 @@
 // Computation balancing for candidate generation (Section 3.1.2), adaptive
 // parallelism (Section 3.1.3), database partitioning (Section 3.2.2) and the
 // counter update modes of Section 5.2 are all selectable.
+//
+// The package also carries the robustness layer of the production story:
+// cooperative cancellation (MineCtx), worker panic containment (a panic in
+// any phase surfaces as a *robust.WorkerPanicError instead of killing the
+// process), per-iteration checkpointing with bit-identical resume (Resume),
+// and memory-budget candidate batching (Options.MaxCandidatesInMemory) for
+// candidate sets larger than memory — the classic limited-memory Apriori
+// regime of multiple database passes per iteration.
 package ccpd
 
 import (
+	"context"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"time"
 
 	"repro/internal/apriori"
@@ -18,6 +31,8 @@ import (
 	"repro/internal/itemset"
 	"repro/internal/obs"
 	"repro/internal/partition"
+	"repro/internal/robust"
+	"repro/internal/robust/faultinj"
 	"repro/internal/sched"
 )
 
@@ -105,13 +120,23 @@ type Options struct {
 	// partition modes: small enough that a few hundred transactions fit in
 	// cache and bound the end-of-phase imbalance, large enough that one
 	// cursor claim or deque operation is noise against counting the chunk.
-	// 0 uses 256.
+	// It is also the stride at which static-partition workers poll for
+	// cancellation. 0 uses 256.
 	ChunkSize int
 	// Obs, when non-nil, records phase spans, chunk claims, steals and
 	// counter flushes for trace/metrics export, and labels the pool workers
 	// for pprof. Nil disables recording: every obs call site nil-checks and
 	// returns, so the counting kernel keeps its zero-allocation guarantee.
 	Obs *obs.Recorder
+	// Checkpoint, when non-empty, writes a versioned binary snapshot of the
+	// run (frequent sets + deterministic work model) to this path after
+	// every completed iteration, atomically (temp file + rename). A killed
+	// run continues bit-identically via Resume. "" disables checkpointing.
+	Checkpoint string
+	// FaultInj, when non-nil, enables the fault-injection harness at
+	// phase/chunk granularity — tests and CI smoke only; a nil injector
+	// compiles to a nil check at every site.
+	FaultInj *faultinj.Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -130,6 +155,42 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// fingerprint hashes the options that determine the run's output and work
+// model, so Resume can refuse a checkpoint recorded under different
+// settings. MaxK is deliberately excluded (resuming with a larger bound
+// extends a run), as are Checkpoint, Obs and FaultInj (observation and
+// harness knobs, not model inputs).
+func (o Options) fingerprint() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	put(math.Float64bits(o.MinSupport))
+	put(uint64(o.AbsSupport))
+	put(uint64(o.Threshold))
+	put(uint64(o.Fanout))
+	put(uint64(o.Hash))
+	putBool := func(v bool) {
+		if v {
+			put(1)
+		} else {
+			put(0)
+		}
+	}
+	putBool(o.ShortCircuit)
+	putBool(o.NaiveJoin)
+	put(uint64(o.MaxCandidatesInMemory))
+	put(uint64(o.Procs))
+	put(uint64(o.Counter))
+	put(uint64(o.Balance))
+	put(uint64(o.DBPart))
+	put(uint64(o.AdaptiveMinUnits))
+	put(uint64(o.ChunkSize))
+	return h.Sum64()
+}
+
 // PhaseTiming records wall-clock and modelled work per phase of one
 // iteration. The Work fields count deterministic work units (see the
 // hashtree cost model); on hosts without enough real cores the harness uses
@@ -145,11 +206,16 @@ type PhaseTiming struct {
 	// GenSequential reports whether adaptive parallelism chose a
 	// sequential candidate generation this iteration.
 	GenSequential bool
+	// Batches is how many candidate batches the iteration was split into
+	// under Options.MaxCandidatesInMemory (1 = everything fit in one tree;
+	// each batch pays a full database pass).
+	Batches int
 
 	// GenWork[p] is processor p's candidate-generation work; for a
 	// sequential generation all work lands on processor 0.
 	GenWork []int64
-	// CountWork[p] is processor p's support-counting work.
+	// CountWork[p] is processor p's support-counting work (summed over
+	// candidate batches when the iteration was batched).
 	CountWork []int64
 	// BuildWork is the total tree-insertion work (parallelized evenly).
 	BuildWork int64
@@ -158,7 +224,8 @@ type PhaseTiming struct {
 
 	// ChunksClaimed[p] is how many counting chunks processor p claimed
 	// under a dynamic partition mode (nil for static modes). The values
-	// sum to the chunk count of the iteration.
+	// sum to the chunk count of the iteration (times the batch count when
+	// batched).
 	ChunksClaimed []int64
 	// Steals[p] counts the chunks processor p took from another
 	// processor's deque (PartitionStealing only; zero for the cursor mode,
@@ -253,122 +320,315 @@ func (s *Stats) TotalSteals() int64 {
 	return t
 }
 
-// Mine runs CCPD on the database and returns the frequent itemsets plus
-// per-phase timings.
-func Mine(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
-	opts = opts.withDefaults()
-	start := time.Now()
-	minCount := opts.MinCount(d.Len())
-	res := &apriori.Result{MinCount: minCount, ByK: make([][]apriori.FrequentItemset, 2)}
-	stats := &Stats{Procs: opts.Procs}
+// miner is the per-run state shared by MineCtx and Resume: the database,
+// resolved options, persistent pool, recorder, and the result/stats being
+// accumulated.
+type miner struct {
+	d        *db.Database
+	opts     Options
+	pool     *sched.Pool
+	rec      *obs.Recorder
+	fi       *faultinj.Injector
+	minCount int64
+	labels   []int32
+	res      *apriori.Result
+	stats    *Stats
+	ckpts    int // checkpoints written (exported as a gauge)
+}
 
+// newMiner builds the shared run state; the returned cleanup must run when
+// the mine completes (it unhooks the recorder and closes the pool).
+func newMiner(d *db.Database, opts Options) (*miner, func()) {
+	m := &miner{
+		d: d, opts: opts, fi: opts.FaultInj,
+		minCount: opts.MinCount(d.Len()),
+		rec:      opts.Obs,
+	}
 	// One persistent worker pool serves every phase of every iteration —
 	// the P "processors" of the paper's model, without per-phase goroutine
 	// spawn and teardown.
-	pool := sched.NewPool(opts.Procs)
-	defer pool.Close()
-	rec := opts.Obs
-	if rec.Enabled() {
-		pool.SetWrap(rec.PoolWrap)
-		defer pool.SetWrap(nil)
+	m.pool = sched.NewPool(opts.Procs)
+	if m.rec.Enabled() {
+		m.pool.SetWrap(m.rec.PoolWrap)
+	}
+	cleanup := func() {
+		if m.rec.Enabled() {
+			m.pool.SetWrap(nil)
+		}
+		m.pool.Close()
+	}
+	return m, cleanup
+}
+
+// annotate stamps phase/iteration context onto a contained worker panic, so
+// the error from Mine names where the worker died.
+func annotate(err error, phase string, k int) error {
+	var wp *robust.WorkerPanicError
+	if errors.As(err, &wp) {
+		wp.Phase, wp.K = phase, k
+	}
+	return err
+}
+
+// Mine runs CCPD on the database and returns the frequent itemsets plus
+// per-phase timings. It is MineCtx without cancellation.
+func Mine(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
+	return MineCtx(context.Background(), d, opts)
+}
+
+// MineCtx runs CCPD under a context. Cancellation is cooperative: workers
+// observe it at chunk boundaries (dynamic modes) or every ChunkSize
+// transactions (static modes), the current phase drains promptly, and the
+// call returns the partial result — every iteration completed before the
+// cancellation point — together with a *robust.CanceledError naming the
+// interrupted phase. A worker panic in any phase is contained by the pool
+// and returned as a *robust.WorkerPanicError; the process stays alive.
+func MineCtx(ctx context.Context, d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	m, cleanup := newMiner(d, opts)
+	defer cleanup()
+	m.res = &apriori.Result{MinCount: m.minCount, ByK: make([][]apriori.FrequentItemset, 2)}
+	m.stats = &Stats{Procs: opts.Procs}
+
+	if err := robust.Canceled(ctx, "f1", 1); err != nil {
+		return nil, nil, err
 	}
 
 	// Iteration 1: parallel item counting with private arrays + reduction.
 	t0 := time.Now()
-	rec.SetPhase(obs.PhaseF1, 1)
-	rec.BeginPhase(obs.PhaseF1, 1)
-	f1 := parallelFrequentOne(d, minCount, pool)
-	rec.EndPhase(obs.PhaseF1, 1)
-	res.ByK[1] = f1
+	m.rec.SetPhase(obs.PhaseF1, 1)
+	m.rec.BeginPhase(obs.PhaseF1, 1)
+	f1, err := parallelFrequentOne(ctx, d, m.minCount, m.pool, m.fi, opts.ChunkSize)
+	m.rec.EndPhase(obs.PhaseF1, 1)
+	if err != nil {
+		return nil, nil, annotate(err, "f1", 1)
+	}
+	if err := robust.Canceled(ctx, "f1", 1); err != nil {
+		// The pass was interrupted: its counts are partial, so there is no
+		// usable partial result yet.
+		return nil, nil, err
+	}
+	m.res.ByK[1] = f1
 	it1 := PhaseTiming{
 		K: 1, Count: time.Since(t0), Candidates: d.NumItems(), Frequent: len(f1),
-		CountWork: iterOneCountWork(d, opts),
+		CountWork: iterOneCountWork(d, opts), Batches: 1,
 	}
 	it1.ReduceWork = int64(d.NumItems())
-	stats.PerIter = append(stats.PerIter, it1)
-	rec.IterStats(1, d.NumItems(), len(f1))
-	labels := apriori.LabelsFromF1(f1, d.NumItems())
+	m.stats.PerIter = append(m.stats.PerIter, it1)
+	m.rec.IterStats(1, d.NumItems(), len(f1))
+	m.labels = apriori.LabelsFromF1(f1, d.NumItems())
+	if err := m.checkpoint(2, false); err != nil {
+		return nil, nil, err
+	}
 
 	prev := make([]itemset.Itemset, len(f1))
 	for i, f := range f1 {
 		prev[i] = f.Items
 	}
 
-	for k := 2; len(prev) > 0 && (opts.MaxK == 0 || k <= opts.MaxK); k++ {
-		var pt PhaseTiming
-		pt.K = k
+	err = m.loop(ctx, 2, prev)
+	m.stats.Total = time.Since(start)
+	return m.finish(err)
+}
 
-		t0 = time.Now()
-		rec.SetPhase(obs.PhaseCandGen, k)
-		rec.BeginPhase(obs.PhaseCandGen, k)
-		cands, seq, genWork := generateParallel(prev, opts, pool)
-		rec.EndPhase(obs.PhaseCandGen, k)
-		pt.CandGen = time.Since(t0)
-		pt.GenSequential = seq
-		pt.GenWork = genWork
-		pt.Candidates = len(cands)
-		pt.BuildWork = int64(len(cands)) * hashtree.WorkInsert
-		if len(cands) == 0 {
-			rec.IterStats(k, 0, 0)
-			stats.PerIter = append(stats.PerIter, pt)
-			break
-		}
+// finish maps the loop's error to the Mine return contract: cancellation
+// returns the partial result alongside the error; a worker panic or
+// infrastructure failure returns the error alone.
+func (m *miner) finish(err error) (*apriori.Result, *Stats, error) {
+	if err == nil {
+		return m.res, m.stats, nil
+	}
+	var ce *robust.CanceledError
+	if errors.As(err, &ce) {
+		return m.res, m.stats, err
+	}
+	return nil, nil, err
+}
 
-		t0 = time.Now()
-		cfg := hashtree.Config{
-			K: k, Fanout: opts.Fanout, Threshold: opts.Threshold,
-			Hash: opts.Hash, NumItems: d.NumItems(), Labels: labels,
-		}
-		rec.SetPhase(obs.PhaseTreeBuild, k)
-		rec.BeginPhase(obs.PhaseTreeBuild, k)
-		tree, err := hashtree.ParallelBuildOn(pool, cfg, cands)
-		rec.EndPhase(obs.PhaseTreeBuild, k)
+// loop runs iterations startK, startK+1, … until fixpoint, MaxK or error.
+// prev holds F_{startK-1}.
+func (m *miner) loop(ctx context.Context, startK int, prev []itemset.Itemset) error {
+	opts := m.opts
+	for k := startK; len(prev) > 0 && (opts.MaxK == 0 || k <= opts.MaxK); k++ {
+		fk, stop, err := m.iterate(ctx, k, prev)
 		if err != nil {
-			return nil, nil, fmt.Errorf("ccpd: iteration %d: %w", k, err)
+			return err
 		}
-		pt.TreeBuild = time.Since(t0)
-
-		t0 = time.Now()
-		counters := hashtree.NewCounters(opts.Counter, tree.NumCandidates(), opts.Procs)
-		rec.SetPhase(obs.PhaseCount, k)
-		rec.BeginPhase(obs.PhaseCount, k)
-		countPhase(d, tree, counters, opts, k, pool, &pt)
-		rec.EndPhase(obs.PhaseCount, k)
-		pt.Count = time.Since(t0)
-		rec.AddIdle(pt.CountIdle)
-
-		// Reduction and frequent selection, range-partitioned across the
-		// pool. Candidate ids are extracted in disjoint ascending ranges,
-		// each sorted locally, then k-way merged — the output order is
-		// identical to the serial extract. ReduceWork stays the serial
-		// model figure: the paper's master-phase cost is what the time
-		// model pins, independent of how the wall clock is spent.
-		t0 = time.Now()
-		nc := tree.NumCandidates()
-		ranges := make([][]apriori.FrequentItemset, opts.Procs)
-		rec.SetPhase(obs.PhaseReduce, k)
-		rec.BeginPhase(obs.PhaseReduce, k)
-		pool.Run(func(p int) {
-			lo, hi := splitRange(p, opts.Procs, nc)
-			counters.ReduceRange(lo, hi)
-			ranges[p] = apriori.ExtractFrequentRange(tree, counters, minCount, lo, hi)
-		})
-		rec.EndPhase(obs.PhaseReduce, k)
-		fk := apriori.MergeFrequent(ranges)
-		pt.Reduce = time.Since(t0)
-		pt.ReduceWork = int64(len(cands))
-		pt.Frequent = len(fk)
-		rec.IterStats(k, len(cands), len(fk))
-
-		res.ByK = append(res.ByK, fk)
-		stats.PerIter = append(stats.PerIter, pt)
+		if stop {
+			// No candidates: the natural fixpoint. Record it in the
+			// checkpoint so a resume returns immediately.
+			return m.checkpoint(k, true)
+		}
+		m.res.ByK = append(m.res.ByK, fk)
+		if err := m.checkpoint(k+1, false); err != nil {
+			return err
+		}
 		prev = prev[:0]
 		for _, f := range fk {
 			prev = append(prev, f.Items)
 		}
 	}
-	stats.Total = time.Since(start)
-	return res, stats, nil
+	if len(prev) == 0 {
+		// The last iteration produced no frequent sets — also a fixpoint.
+		// (A MaxK exit is deliberately not marked done: resuming with a
+		// larger bound continues the run.)
+		return m.checkpoint(len(m.res.ByK), true)
+	}
+	return nil
+}
+
+// iterate runs one k-iteration: candidate generation, then per-batch tree
+// build / count / extract. stop reports the no-candidates fixpoint.
+func (m *miner) iterate(ctx context.Context, k int, prev []itemset.Itemset) (fk []apriori.FrequentItemset, stop bool, err error) {
+	opts := m.opts
+	var pt PhaseTiming
+	pt.K = k
+
+	if err := robust.Canceled(ctx, "gen", k); err != nil {
+		return nil, false, err
+	}
+	t0 := time.Now()
+	m.rec.SetPhase(obs.PhaseCandGen, k)
+	m.rec.BeginPhase(obs.PhaseCandGen, k)
+	cands, seq, genWork, err := generateParallel(prev, opts, m.pool)
+	m.rec.EndPhase(obs.PhaseCandGen, k)
+	if err != nil {
+		return nil, false, annotate(err, "gen", k)
+	}
+	pt.CandGen = time.Since(t0)
+	pt.GenSequential = seq
+	pt.GenWork = genWork
+	pt.Candidates = len(cands)
+	pt.BuildWork = int64(len(cands)) * hashtree.WorkInsert
+	if len(cands) == 0 {
+		m.rec.IterStats(k, 0, 0)
+		m.stats.PerIter = append(m.stats.PerIter, pt)
+		return nil, true, nil
+	}
+
+	// Memory-budget batching: when the candidate set exceeds the in-memory
+	// budget, build/count/extract contiguous lexicographic sub-ranges, one
+	// database pass each. Each batch's frequent list covers a disjoint,
+	// ascending lexicographic range, so plain concatenation reproduces the
+	// unbatched output bit-identically.
+	batchSize := len(cands)
+	if lim := opts.MaxCandidatesInMemory; lim > 0 && lim < batchSize {
+		batchSize = lim
+	}
+	numBatches := (len(cands) + batchSize - 1) / batchSize
+	pt.Batches = numBatches
+	for b := 0; b < numBatches; b++ {
+		lo := b * batchSize
+		hi := lo + batchSize
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		bfk, err := m.buildCountExtract(ctx, k, cands[lo:hi], &pt)
+		if err != nil {
+			m.stats.PerIter = append(m.stats.PerIter, pt)
+			return nil, false, err
+		}
+		fk = append(fk, bfk...)
+	}
+	if numBatches > 1 {
+		m.rec.SetGauge(fmt.Sprintf("armine_candidate_batches{k=%q}", fmt.Sprint(k)), float64(numBatches))
+	}
+	pt.Frequent = len(fk)
+	m.rec.IterStats(k, len(cands), len(fk))
+	m.stats.PerIter = append(m.stats.PerIter, pt)
+	return fk, false, nil
+}
+
+// buildCountExtract builds the hash tree over one candidate batch, counts
+// the whole database against it, and extracts its frequent itemsets,
+// accumulating work-model figures into pt.
+func (m *miner) buildCountExtract(ctx context.Context, k int, cands []itemset.Itemset, pt *PhaseTiming) ([]apriori.FrequentItemset, error) {
+	opts := m.opts
+	if err := robust.Canceled(ctx, "build", k); err != nil {
+		return nil, err
+	}
+	// The build phase's injection sites live inside ParallelBuildOn's
+	// closures, which the harness cannot reach; when injection is active an
+	// extra (test-only) barrier exposes a per-worker build site.
+	if m.fi != nil {
+		if err := m.pool.Run(func(p int) { m.fi.Fire("build", k, p, -1) }); err != nil {
+			return nil, annotate(err, "build", k)
+		}
+	}
+	t0 := time.Now()
+	cfg := hashtree.Config{
+		K: k, Fanout: opts.Fanout, Threshold: opts.Threshold,
+		Hash: opts.Hash, NumItems: m.d.NumItems(), Labels: m.labels,
+	}
+	m.rec.SetPhase(obs.PhaseTreeBuild, k)
+	m.rec.BeginPhase(obs.PhaseTreeBuild, k)
+	tree, err := hashtree.ParallelBuildOn(m.pool, cfg, cands)
+	m.rec.EndPhase(obs.PhaseTreeBuild, k)
+	if err != nil {
+		return nil, annotate(fmt.Errorf("ccpd: iteration %d: %w", k, err), "build", k)
+	}
+	pt.TreeBuild += time.Since(t0)
+
+	t0 = time.Now()
+	counters := hashtree.NewCounters(opts.Counter, tree.NumCandidates(), opts.Procs)
+	m.rec.SetPhase(obs.PhaseCount, k)
+	m.rec.BeginPhase(obs.PhaseCount, k)
+	cr, err := countPhase(ctx, m.d, tree, counters, opts, k, m.pool)
+	m.rec.EndPhase(obs.PhaseCount, k)
+	if err != nil {
+		return nil, annotate(err, "count", k)
+	}
+	pt.Count += time.Since(t0)
+	pt.CountIdle += cr.Idle
+	m.rec.AddIdle(cr.Idle)
+	pt.CountWork = addVec(pt.CountWork, cr.Work)
+	pt.ChunksClaimed = addVec(pt.ChunksClaimed, cr.Claimed)
+	pt.Steals = addVec(pt.Steals, cr.Steals)
+	if err := robust.Canceled(ctx, "count", k); err != nil {
+		return nil, err
+	}
+
+	// Reduction and frequent selection, range-partitioned across the
+	// pool. Candidate ids are extracted in disjoint ascending ranges,
+	// each sorted locally, then k-way merged — the output order is
+	// identical to the serial extract. ReduceWork stays the serial
+	// model figure: the paper's master-phase cost is what the time
+	// model pins, independent of how the wall clock is spent.
+	t0 = time.Now()
+	nc := tree.NumCandidates()
+	ranges := make([][]apriori.FrequentItemset, opts.Procs)
+	m.rec.SetPhase(obs.PhaseReduce, k)
+	m.rec.BeginPhase(obs.PhaseReduce, k)
+	err = m.pool.Run(func(p int) {
+		m.fi.Fire("reduce", k, p, -1)
+		lo, hi := splitRange(p, opts.Procs, nc)
+		counters.ReduceRange(lo, hi)
+		ranges[p] = apriori.ExtractFrequentRange(tree, counters, m.minCount, lo, hi)
+	})
+	m.rec.EndPhase(obs.PhaseReduce, k)
+	if err != nil {
+		return nil, annotate(err, "reduce", k)
+	}
+	fk := apriori.MergeFrequent(ranges)
+	pt.Reduce += time.Since(t0)
+	pt.ReduceWork += int64(len(cands))
+	return fk, nil
+}
+
+// addVec element-wise adds b into a (allocating a when nil). A nil b leaves
+// a unchanged, so static modes keep nil ChunksClaimed/Steals.
+func addVec(a, b []int64) []int64 {
+	if b == nil {
+		return a
+	}
+	if a == nil {
+		a = make([]int64, len(b))
+	}
+	for i := range b {
+		a[i] += b[i]
+	}
+	return a
 }
 
 // splitRange returns the half-open sub-range [lo, hi) of [0, n) handled by
@@ -416,19 +676,31 @@ func iterOneCountWork(d *db.Database, opts Options) []int64 {
 	return work
 }
 
-// countPhase runs the support-counting phase on the pool and fills the
-// timing record's CountWork, ChunksClaimed, Steals and CountIdle fields.
+// countResult is one counting pass's deterministic accounting: per-processor
+// work, chunk claims/steals (dynamic modes) and wall-clock idle.
+type countResult struct {
+	Work    []int64
+	Claimed []int64
+	Steals  []int64
+	Idle    time.Duration
+}
+
+// countPhase runs the support-counting phase on the pool and returns its
+// accounting.
 //
-// Static modes count fixed per-processor slices as before. Dynamic modes cut
-// the database into ChunkSize-transaction chunks claimed at runtime (atomic
-// cursor, or seeded deques with stealing); the racy runtime assignment makes
-// the observed per-processor work non-reproducible, so CountWork is instead
-// the deterministic greedy list-schedule over the per-chunk work units —
-// reproducible across runs, and summing bit-identically to any static split
-// because per-transaction work does not depend on who counts it.
-func countPhase(d *db.Database, tree *hashtree.Tree, counters *hashtree.Counters, opts Options, k int, pool *sched.Pool, pt *PhaseTiming) {
+// Static modes count fixed per-processor slices as before, polling for
+// cancellation every ChunkSize transactions. Dynamic modes cut the database
+// into ChunkSize-transaction chunks claimed at runtime (atomic cursor, or
+// seeded deques with stealing), checking the context at each claim; the racy
+// runtime assignment makes the observed per-processor work non-reproducible,
+// so CountWork is instead the deterministic greedy list-schedule over the
+// per-chunk work units — reproducible across runs, and summing
+// bit-identically to any static split because per-transaction work does not
+// depend on who counts it.
+func countPhase(ctx context.Context, d *db.Database, tree *hashtree.Tree, counters *hashtree.Counters, opts Options, k int, pool *sched.Pool) (countResult, error) {
 	procs := opts.Procs
 	rec := opts.Obs
+	fi := opts.FaultInj
 	// Workers accumulate into cache-line padded sched.PerWorker records, so
 	// live increments never invalidate a neighbour's line; the bare int64
 	// timing slices (eight counters per line) are filled in only after the
@@ -458,49 +730,60 @@ func countPhase(d *db.Database, tree *hashtree.Tree, counters *hashtree.Counters
 		} else {
 			slices = d.BlockPartition(procs)
 		}
-		pool.Run(func(p int) {
+		err := pool.Run(func(p int) {
 			t0 := time.Now()
-			ctx := newCtx(p)
-			slices[p].ForEach(func(_ int64, items itemset.Itemset) {
-				ctx.CountTransaction(items)
-			})
-			ctx.Flush()
-			rec.Worker(p).AddWork(ctx.Work)
-			acc[p].Work = ctx.Work
+			fi.Fire("count", k, p, -1)
+			ctxc := newCtx(p)
+			s := slices[p]
+			for i := s.Lo; i < s.Hi; i++ {
+				// Poll for cancellation once per ChunkSize transactions —
+				// the same promptness bound the dynamic modes get per
+				// chunk claim, without a context check in the kernel loop.
+				if (i-s.Lo)%opts.ChunkSize == 0 && ctx.Err() != nil {
+					break
+				}
+				ctxc.CountTransaction(d.Items(i))
+			}
+			ctxc.Flush()
+			rec.Worker(p).AddWork(ctxc.Work)
+			acc[p].Work = ctxc.Work
 			acc[p].ElapsedNS = time.Since(t0).Nanoseconds()
 		})
-		pt.CountWork = make([]int64, procs)
-		for p := range acc {
-			pt.CountWork[p] = acc[p].Work
+		if err != nil {
+			return countResult{}, err
 		}
-		pt.CountIdle = idleOf(acc)
-		return
+		cr := countResult{Work: make([]int64, procs), Idle: idleOf(acc)}
+		for p := range acc {
+			cr.Work[p] = acc[p].Work
+		}
+		return cr, nil
 	}
 
 	n := d.Len()
 	numChunks := sched.NumChunks(n, opts.ChunkSize)
 	chunkWork := make([]int64, numChunks)
 
-	countChunk := func(ctx *hashtree.CountCtx, c int) {
+	countChunk := func(ctxc *hashtree.CountCtx, c int) {
 		lo, hi := sched.ChunkRange(n, opts.ChunkSize, c)
-		before := ctx.Work
+		before := ctxc.Work
 		for i := lo; i < hi; i++ {
-			ctx.CountTransaction(d.Items(i))
+			ctxc.CountTransaction(d.Items(i))
 		}
 		// Each chunk is claimed exactly once, so this write is private.
-		chunkWork[c] = ctx.Work - before
+		chunkWork[c] = ctxc.Work - before
 	}
 
+	var runErr error
 	switch opts.DBPart {
 	case PartitionStealing:
 		st := sched.NewStealing(procs)
 		st.SeedBlocks(numChunks)
-		pool.Run(func(p int) {
+		runErr = pool.Run(func(p int) {
 			t0 := time.Now()
-			ctx := newCtx(p)
+			ctxc := newCtx(p)
 			w := &acc[p]
 			ow := rec.Worker(p)
-			for {
+			for ctx.Err() == nil {
 				c, victim, ok := st.Next(p)
 				if !ok {
 					break
@@ -509,45 +792,57 @@ func countPhase(d *db.Database, tree *hashtree.Tree, counters *hashtree.Counters
 					w.Stolen++
 					ow.Steal(k, int(c), victim)
 				}
+				pool.NoteChunk(p, int(c))
+				fi.Fire("count", k, p, int(c))
 				ow.BeginChunk(k, int(c))
-				countChunk(ctx, int(c))
+				countChunk(ctxc, int(c))
 				ow.EndChunk(k, int(c))
 				w.Claimed++
 			}
-			ctx.Flush()
-			ow.AddWork(ctx.Work)
+			pool.NoteChunk(p, -1)
+			ctxc.Flush()
+			ow.AddWork(ctxc.Work)
 			w.ElapsedNS = time.Since(t0).Nanoseconds()
 		})
 	default: // PartitionDynamic
 		cur := sched.NewCursor(numChunks)
-		pool.Run(func(p int) {
+		runErr = pool.Run(func(p int) {
 			t0 := time.Now()
-			ctx := newCtx(p)
+			ctxc := newCtx(p)
 			w := &acc[p]
 			ow := rec.Worker(p)
-			for {
+			for ctx.Err() == nil {
 				c, ok := cur.Next()
 				if !ok {
 					break
 				}
+				pool.NoteChunk(p, c)
+				fi.Fire("count", k, p, c)
 				ow.BeginChunk(k, c)
-				countChunk(ctx, c)
+				countChunk(ctxc, c)
 				ow.EndChunk(k, c)
 				w.Claimed++
 			}
-			ctx.Flush()
-			ow.AddWork(ctx.Work)
+			pool.NoteChunk(p, -1)
+			ctxc.Flush()
+			ow.AddWork(ctxc.Work)
 			w.ElapsedNS = time.Since(t0).Nanoseconds()
 		})
 	}
-	pt.ChunksClaimed = make([]int64, procs)
-	pt.Steals = make([]int64, procs)
-	for p := range acc {
-		pt.ChunksClaimed[p] = acc[p].Claimed
-		pt.Steals[p] = acc[p].Stolen
+	if runErr != nil {
+		return countResult{}, runErr
 	}
-	pt.CountWork = sched.GreedySchedule(chunkWork, procs)
-	pt.CountIdle = idleOf(acc)
+	cr := countResult{
+		Claimed: make([]int64, procs),
+		Steals:  make([]int64, procs),
+		Work:    sched.GreedySchedule(chunkWork, procs),
+		Idle:    idleOf(acc),
+	}
+	for p := range acc {
+		cr.Claimed[p] = acc[p].Claimed
+		cr.Steals[p] = acc[p].Stolen
+	}
+	return cr, nil
 }
 
 // idleOf sums each processor's wall-clock wait for the slowest one.
@@ -564,20 +859,31 @@ func idleOf(acc []sched.PerWorker) time.Duration {
 	return time.Duration(idle)
 }
 
-// parallelFrequentOne counts 1-itemsets with per-processor count arrays.
-func parallelFrequentOne(d *db.Database, minCount int64, pool *sched.Pool) []apriori.FrequentItemset {
+// parallelFrequentOne counts 1-itemsets with per-processor count arrays,
+// polling for cancellation every stride transactions. On cancellation the
+// caller must discard the (partial) counts — it checks the context before
+// using the result.
+func parallelFrequentOne(ctx context.Context, d *db.Database, minCount int64, pool *sched.Pool, fi *faultinj.Injector, stride int) ([]apriori.FrequentItemset, error) {
 	procs := pool.Procs()
 	local := make([][]int64, procs)
 	slices := d.BlockPartition(procs)
-	pool.Run(func(p int) {
+	err := pool.Run(func(p int) {
+		fi.Fire("f1", 1, p, -1)
 		counts := make([]int64, d.NumItems())
-		slices[p].ForEach(func(_ int64, items itemset.Itemset) {
-			for _, it := range items {
+		s := slices[p]
+		for i := s.Lo; i < s.Hi; i++ {
+			if (i-s.Lo)%stride == 0 && ctx.Err() != nil {
+				break
+			}
+			for _, it := range d.Items(i) {
 				counts[it]++
 			}
-		})
+		}
 		local[p] = counts
 	})
+	if err != nil {
+		return nil, err
+	}
 	var out []apriori.FrequentItemset
 	for it := 0; it < d.NumItems(); it++ {
 		var c int64
@@ -588,15 +894,16 @@ func parallelFrequentOne(d *db.Database, minCount int64, pool *sched.Pool) []apr
 			out = append(out, apriori.FrequentItemset{Items: itemset.New(itemset.Item(it)), Count: c})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // generateParallel partitions the join units of F_{k-1}'s equivalence
 // classes across processors per the balance scheme, generates and prunes in
 // parallel, and merges the per-processor candidate lists in lexicographic
 // order. Adaptive parallelism (Section 3.1.3) falls back to the sequential
-// join when there is too little work.
-func generateParallel(prev []itemset.Itemset, opts Options, pool *sched.Pool) ([]itemset.Itemset, bool, []int64) {
+// join when there is too little work — still dispatched through the pool so
+// a panic in the join is contained like any other phase.
+func generateParallel(prev []itemset.Itemset, opts Options, pool *sched.Pool) ([]itemset.Itemset, bool, []int64, error) {
 	classes := itemset.Classes(prev)
 	sizes := make([]int, len(classes))
 	for i := range classes {
@@ -604,13 +911,26 @@ func generateParallel(prev []itemset.Itemset, opts Options, pool *sched.Pool) ([
 	}
 	costs, units := partition.MultiClassCosts(sizes)
 	k := prev[0].K() + 1
+	fi := opts.FaultInj
 	perPair := int64(hashtree.WorkJoinPair + (k-2)*hashtree.WorkPruneCheck)
 	if opts.Procs == 1 || len(units) < opts.AdaptiveMinUnits {
-		cands, joinPairs, _ := apriori.GenerateCandidates(prev, opts.NaiveJoin)
-		// Sequential generation: all work on processor 0.
+		// Sequential generation, run on worker 0 (all work attributed
+		// there; the other workers return immediately at the barrier).
+		var cands []itemset.Itemset
+		var joinPairs int64
+		err := pool.Run(func(p int) {
+			fi.Fire("gen", k, p, -1)
+			if p != 0 {
+				return
+			}
+			cands, joinPairs, _ = apriori.GenerateCandidates(prev, opts.NaiveJoin)
+		})
+		if err != nil {
+			return nil, true, nil, err
+		}
 		work := make([]int64, opts.Procs)
 		work[0] = joinPairs * perPair
-		return cands, true, work
+		return cands, true, work, nil
 	}
 
 	var assign *partition.Assignment
@@ -637,7 +957,8 @@ func generateParallel(prev []itemset.Itemset, opts Options, pool *sched.Pool) ([
 
 	locals := make([][]itemset.Itemset, opts.Procs)
 	genWork := make([]int64, opts.Procs)
-	pool.Run(func(p int) {
+	err := pool.Run(func(p int) {
+		fi.Fire("gen", k, p, -1)
 		var out []itemset.Itemset
 		// Accumulate work in a register-resident local and store once:
 		// incrementing genWork[p] per unit would bounce the slice's cache
@@ -663,7 +984,10 @@ func generateParallel(prev []itemset.Itemset, opts Options, pool *sched.Pool) ([
 		genWork[p] = work
 		locals[p] = out
 	})
-	return mergeSortedCandidates(locals), false, genWork
+	if err != nil {
+		return nil, false, nil, err
+	}
+	return mergeSortedCandidates(locals), false, genWork, nil
 }
 
 // mergeSortedCandidates k-way merges the per-processor (already

@@ -36,8 +36,11 @@ func TestGenerateParallelMatchesSequential(t *testing.T) {
 				opts := Options{Procs: procs, Balance: b, AdaptiveMinUnits: 1}
 				opts.Options = apriori.Options{}
 				pool := sched.NewPool(procs)
-				got, seq, genWork := generateParallel(prev, opts.withDefaults(), pool)
+				got, seq, genWork, err := generateParallel(prev, opts.withDefaults(), pool)
 				pool.Close()
+				if err != nil {
+					t.Fatalf("k=%d %v procs=%d: %v", k+1, b, procs, err)
+				}
 				if seq {
 					t.Fatalf("k=%d %v procs=%d: fell back to sequential with cutoff 1", k+1, b, procs)
 				}

@@ -1,6 +1,7 @@
 package ccpd
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -9,10 +10,17 @@ import (
 	"repro/internal/hashtree"
 	"repro/internal/itemset"
 	"repro/internal/obs"
+	"repro/internal/robust"
 	"repro/internal/sched"
 )
 
-// MinePCCD runs the Partitioned Candidate Common Database algorithm
+// MinePCCD runs the Partitioned Candidate Common Database algorithm. It is
+// MinePCCDCtx without cancellation.
+func MinePCCD(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
+	return MinePCCDCtx(context.Background(), d, opts)
+}
+
+// MinePCCDCtx runs the Partitioned Candidate Common Database algorithm
 // (Section 3.3): the candidate set of each iteration is split into
 // per-processor local hash trees, and every processor traverses the entire
 // database counting only its local tree. No locks or shared counters are
@@ -20,12 +28,24 @@ import (
 // this approach performs very poorly (a speed-down beyond one processor on
 // their I/O-bound system) and our harness reproduces the redundant-scan
 // cost structure.
-func MinePCCD(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
+//
+// Cancellation and panic containment follow the MineCtx contract: workers
+// poll the context every ChunkSize transactions, the interrupted call
+// returns the completed iterations with a *robust.CanceledError, and a
+// worker panic surfaces as a *robust.WorkerPanicError. PCCD is the
+// measurement foil, not the production path, so it has no checkpointing or
+// candidate batching.
+func MinePCCDCtx(ctx context.Context, d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
 	minCount := opts.MinCount(d.Len())
+	fi := opts.FaultInj
 	res := &apriori.Result{MinCount: minCount, ByK: make([][]apriori.FrequentItemset, 2)}
 	stats := &Stats{Procs: opts.Procs}
+	partial := func(err error) (*apriori.Result, *Stats, error) {
+		stats.Total = time.Since(start)
+		return res, stats, err
+	}
 
 	// The same persistent pool serves the per-iteration build, count and
 	// extract phases.
@@ -37,11 +57,21 @@ func MinePCCD(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 		defer pool.SetWrap(nil)
 	}
 
+	if err := robust.Canceled(ctx, "f1", 1); err != nil {
+		return nil, nil, err
+	}
 	t0 := time.Now()
 	rec.SetPhase(obs.PhaseF1, 1)
 	rec.BeginPhase(obs.PhaseF1, 1)
-	f1 := parallelFrequentOne(d, minCount, pool)
+	f1, err := parallelFrequentOne(ctx, d, minCount, pool, fi, opts.ChunkSize)
 	rec.EndPhase(obs.PhaseF1, 1)
+	if err != nil {
+		return nil, nil, annotate(err, "f1", 1)
+	}
+	if err := robust.Canceled(ctx, "f1", 1); err != nil {
+		// Interrupted mid-pass: the counts are partial, discard them.
+		return nil, nil, err
+	}
 	res.ByK[1] = f1
 	stats.PerIter = append(stats.PerIter, PhaseTiming{
 		K: 1, Count: time.Since(t0), Candidates: d.NumItems(), Frequent: len(f1),
@@ -58,6 +88,9 @@ func MinePCCD(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 		var pt PhaseTiming
 		pt.K = k
 
+		if err := robust.Canceled(ctx, "gen", k); err != nil {
+			return partial(err)
+		}
 		t0 = time.Now()
 		rec.BeginPhase(obs.PhaseCandGen, k)
 		cands, _, _ := apriori.GenerateCandidates(prev, opts.NaiveJoin)
@@ -87,7 +120,8 @@ func MinePCCD(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 			Hash: opts.Hash, NumItems: d.NumItems(), Labels: labels,
 		}
 		buildErrs := make([]error, opts.Procs)
-		pool.Run(func(p int) {
+		err := pool.Run(func(p int) {
+			fi.Fire("build", k, p, -1)
 			tr, err := hashtree.Build(cfg, parts[p])
 			if err != nil {
 				buildErrs[p] = err
@@ -97,6 +131,9 @@ func MinePCCD(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 			counters[p] = hashtree.NewCounters(hashtree.CounterAtomic, tr.NumCandidates(), 1)
 		})
 		rec.EndPhase(obs.PhaseTreeBuild, k)
+		if err != nil {
+			return nil, nil, annotate(err, "build", k)
+		}
 		for _, err := range buildErrs {
 			if err != nil {
 				return nil, nil, fmt.Errorf("pccd: iteration %d: %w", k, err)
@@ -105,18 +142,31 @@ func MinePCCD(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 		pt.TreeBuild = time.Since(t0)
 
 		// Counting: every processor scans the ENTIRE database.
+		if err := robust.Canceled(ctx, "count", k); err != nil {
+			return partial(err)
+		}
 		t0 = time.Now()
 		rec.SetPhase(obs.PhaseCount, k)
 		rec.BeginPhase(obs.PhaseCount, k)
-		pool.Run(func(p int) {
-			ctx := trees[p].NewCountCtx(counters[p], hashtree.CountOpts{
+		err = pool.Run(func(p int) {
+			fi.Fire("count", k, p, -1)
+			ctxc := trees[p].NewCountCtx(counters[p], hashtree.CountOpts{
 				ShortCircuit: opts.ShortCircuit,
 			})
 			for i := 0; i < d.Len(); i++ {
-				ctx.CountTransaction(d.Items(i))
+				if i%opts.ChunkSize == 0 && ctx.Err() != nil {
+					break
+				}
+				ctxc.CountTransaction(d.Items(i))
 			}
 		})
 		rec.EndPhase(obs.PhaseCount, k)
+		if err != nil {
+			return nil, nil, annotate(err, "count", k)
+		}
+		if err := robust.Canceled(ctx, "count", k); err != nil {
+			return partial(err)
+		}
 		pt.Count = time.Since(t0)
 
 		// Reduction: each processor extracts its own (sorted) frequent
@@ -126,10 +176,14 @@ func MinePCCD(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 		locals := make([][]apriori.FrequentItemset, opts.Procs)
 		rec.SetPhase(obs.PhaseReduce, k)
 		rec.BeginPhase(obs.PhaseReduce, k)
-		pool.Run(func(p int) {
+		err = pool.Run(func(p int) {
+			fi.Fire("reduce", k, p, -1)
 			locals[p] = apriori.ExtractFrequent(trees[p], counters[p], minCount)
 		})
 		rec.EndPhase(obs.PhaseReduce, k)
+		if err != nil {
+			return nil, nil, annotate(err, "reduce", k)
+		}
 		fk := apriori.MergeFrequent(locals)
 		pt.Reduce = time.Since(t0)
 		pt.Frequent = len(fk)

@@ -42,12 +42,28 @@ func FromTransactions(ts []Transaction, numItems int) *Database {
 	return d
 }
 
-// Append adds a transaction. items must be sorted (itemset invariant);
-// Append panics if not, since an unsorted transaction silently corrupts
-// subset counting.
-func (d *Database) Append(tid int64, items itemset.Itemset) {
+// maxArenaItems caps the item arena at what the int32 offset encoding can
+// address. A package variable rather than a constant so the overflow tests
+// can lower it without materializing a 2³¹-item arena.
+var maxArenaItems = int64(1<<31 - 1)
+
+// ErrArenaFull reports that appending a transaction would push the item
+// arena past the 2³¹−1 occurrences the int32 offset encoding addresses.
+// Before this guard, int32(len(d.arena)) silently wrapped negative and the
+// next Items call sliced with inverted bounds — the database corrupted
+// without any error at the Append that overflowed it.
+var ErrArenaFull = fmt.Errorf("db: item arena full (int32 offsets address at most %d item occurrences)", maxArenaItems)
+
+// TryAppend adds a transaction, returning ErrArenaFull when the arena would
+// outgrow the int32 offset encoding. items must be sorted (itemset
+// invariant); TryAppend panics if not, since an unsorted transaction
+// silently corrupts subset counting.
+func (d *Database) TryAppend(tid int64, items itemset.Itemset) error {
 	if !items.IsSorted() {
 		panic(fmt.Sprintf("db: transaction %d not sorted: %v", tid, items))
+	}
+	if int64(len(d.arena))+int64(len(items)) > maxArenaItems {
+		return ErrArenaFull
 	}
 	d.tids = append(d.tids, tid)
 	d.arena = append(d.arena, items...)
@@ -56,6 +72,17 @@ func (d *Database) Append(tid int64, items itemset.Itemset) {
 		if int(it) >= d.numItem {
 			d.numItem = int(it) + 1
 		}
+	}
+	return nil
+}
+
+// Append adds a transaction, panicking when the arena is full (TryAppend is
+// the checked variant). In-memory builders stay below the int32 limit by
+// construction; readers of external data must use TryAppend and surface
+// ErrArenaFull.
+func (d *Database) Append(tid int64, items itemset.Itemset) {
+	if err := d.TryAppend(tid, items); err != nil {
+		panic(err)
 	}
 }
 

@@ -103,7 +103,12 @@ func Read(r io.Reader) (*Database, error) {
 		if !items.IsSorted() {
 			return nil, fmt.Errorf("db: transaction %d (tid %d) not sorted", t, tid)
 		}
-		d.Append(tid, items)
+		// External files can legitimately exceed the int32-offset arena
+		// (2³¹−1 item occurrences); surface that as a read error instead of
+		// the silent offset wrap-around the unchecked append used to allow.
+		if err := d.TryAppend(tid, items); err != nil {
+			return nil, fmt.Errorf("db: transaction %d (tid %d): %w", t, tid, err)
+		}
 	}
 	return d, nil
 }

@@ -29,15 +29,15 @@ type Options struct {
 	Procs int
 }
 
+// minCount resolves the support threshold through the shared ceiling
+// computation (apriori.CeilSupport) — this used to duplicate apriori's
+// floor arithmetic, so both engines admitted itemsets below the requested
+// fractional support and the bug had to be fixed in two places.
 func (o Options) minCount(n int) int64 {
 	if o.AbsSupport > 0 {
 		return o.AbsSupport
 	}
-	c := int64(o.MinSupport * float64(n))
-	if c < 1 {
-		c = 1
-	}
-	return c
+	return apriori.CeilSupport(o.MinSupport, n)
 }
 
 // tidlist is a sorted list of transaction indices.

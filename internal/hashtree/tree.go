@@ -17,10 +17,12 @@ package hashtree
 import (
 	"fmt"
 	"math"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/itemset"
 	"repro/internal/partition"
+	"repro/internal/robust"
 )
 
 // HashKind selects the cell hash function.
@@ -349,30 +351,46 @@ func Build(cfg Config, cands []itemset.Itemset) (*Tree, error) {
 }
 
 // Runner abstracts a persistent worker pool (internal/sched.Pool satisfies
-// it): Run executes fn once per processor id in [0, Procs) and blocks until
-// every worker finishes.
+// it): Run executes fn once per processor id in [0, Procs), blocks until
+// every worker finishes, and reports a contained worker panic (typically a
+// *robust.WorkerPanicError) instead of crashing the process.
 type Runner interface {
 	Procs() int
-	Run(fn func(p int))
+	Run(fn func(p int)) error
 }
 
 // spawnRunner is the transient fallback Runner: it spawns fresh goroutines
 // per Run, preserving the historical ParallelBuild behaviour for callers
-// without a pool.
+// without a pool. Panics are contained with the same error contract as the
+// pool.
 type spawnRunner int
 
 func (r spawnRunner) Procs() int { return int(r) }
 
-func (r spawnRunner) Run(fn func(p int)) {
+func (r spawnRunner) Run(fn func(p int)) error {
 	var wg sync.WaitGroup
+	errs := make([]error, int(r))
 	for p := 0; p < int(r); p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[p] = &robust.WorkerPanicError{
+						Worker: p, Chunk: -1, Value: rec, Stack: debug.Stack(),
+					}
+				}
+			}()
 			fn(p)
 		}(p)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ParallelBuild constructs the tree with procs goroutines inserting
@@ -398,7 +416,7 @@ func ParallelBuildOn(r Runner, cfg Config, cands []itemset.Itemset) (*Tree, erro
 	}
 	t := New(cfg)
 	errs := make([]error, procs)
-	r.Run(func(p int) {
+	if err := r.Run(func(p int) {
 		lo := p * len(cands) / procs
 		hi := (p + 1) * len(cands) / procs
 		for _, s := range cands[lo:hi] {
@@ -407,7 +425,9 @@ func ParallelBuildOn(r Runner, cfg Config, cands []itemset.Itemset) (*Tree, erro
 				return
 			}
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

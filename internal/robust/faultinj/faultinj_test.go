@@ -1,0 +1,107 @@
+package faultinj
+
+import (
+	"testing"
+	"time"
+)
+
+// fires reports whether Fire at the given site panics.
+func fires(in *Injector, phase string, k, worker, chunk int) (panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	in.Fire(phase, k, worker, chunk)
+	return false
+}
+
+func TestNilInjectorIsDisabled(t *testing.T) {
+	var in *Injector
+	in.Fire("count", 2, 0, 0) // must not panic or deref
+	if got := in.Fired(); got != 0 {
+		t.Errorf("nil injector Fired() = %d, want 0", got)
+	}
+}
+
+func TestRuleMatching(t *testing.T) {
+	cases := []struct {
+		name  string
+		rule  Rule
+		phase string
+		k, w  int
+		chunk int
+		want  bool
+	}{
+		{"exact match", Rule{Phase: "count", K: 2, Worker: 1, Chunk: 3}, "count", 2, 1, 3, true},
+		{"phase mismatch", Rule{Phase: "count", K: 2, Worker: 1, Chunk: 3}, "build", 2, 1, 3, false},
+		{"k mismatch", Rule{Phase: "count", K: 2, Worker: 1, Chunk: 3}, "count", 3, 1, 3, false},
+		{"worker mismatch", Rule{Phase: "count", K: 2, Worker: 1, Chunk: 3}, "count", 2, 0, 3, false},
+		{"chunk mismatch", Rule{Phase: "count", K: 2, Worker: 1, Chunk: 3}, "count", 2, 1, 4, false},
+		{"empty phase is wildcard", Rule{K: 2, Worker: 1, Chunk: 3}, "reduce", 2, 1, 3, true},
+		{"all wildcards", Rule{Phase: "", K: Wildcard, Worker: Wildcard, Chunk: Wildcard}, "gen", 7, 3, -1, true},
+		{"zero k is not a wildcard", Rule{Phase: "count", K: 0, Worker: Wildcard, Chunk: Wildcard}, "count", 2, 0, 0, false},
+		{"zero worker is not a wildcard", Rule{Phase: "count", K: Wildcard, Worker: 0, Chunk: Wildcard}, "count", 2, 1, 0, false},
+		{"non-chunk site matches wildcard chunk", Rule{Phase: "gen", K: Wildcard, Worker: Wildcard, Chunk: Wildcard}, "gen", 2, 0, -1, true},
+	}
+	for _, c := range cases {
+		in := New(c.rule)
+		if got := fires(in, c.phase, c.k, c.w, c.chunk); got != c.want {
+			t.Errorf("%s: fired=%v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestOnceSemantics(t *testing.T) {
+	in := New(Rule{Phase: "count", K: Wildcard, Worker: Wildcard, Chunk: Wildcard, Once: true})
+	if !fires(in, "count", 2, 0, 0) {
+		t.Fatal("first match should fire")
+	}
+	if fires(in, "count", 2, 1, 1) {
+		t.Error("Once rule fired twice")
+	}
+	if got := in.Fired(); got != 1 {
+		t.Errorf("Fired() = %d, want 1", got)
+	}
+}
+
+func TestFiredCountsEveryMatch(t *testing.T) {
+	in := New(Rule{Phase: "count", K: Wildcard, Worker: Wildcard, Chunk: Wildcard, Action: Call})
+	for i := 0; i < 5; i++ {
+		in.Fire("count", 2, i, i)
+	}
+	in.Fire("build", 2, 0, -1) // no match
+	if got := in.Fired(); got != 5 {
+		t.Errorf("Fired() = %d, want 5", got)
+	}
+}
+
+func TestCallAndDelayActions(t *testing.T) {
+	called := 0
+	in := New(
+		Rule{Phase: "count", K: Wildcard, Worker: Wildcard, Chunk: Wildcard,
+			Action: Call, Do: func() { called++ }},
+		Rule{Phase: "count", K: Wildcard, Worker: Wildcard, Chunk: Wildcard,
+			Action: Delay, Delay: 10 * time.Millisecond, Once: true},
+	)
+	start := time.Now()
+	in.Fire("count", 2, 0, 0)
+	if called != 1 {
+		t.Errorf("Call rule ran %d times, want 1", called)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("Delay rule slept %v, want >= 10ms", elapsed)
+	}
+}
+
+func TestDoRunsBeforePanic(t *testing.T) {
+	ran := false
+	in := New(Rule{Phase: "count", K: Wildcard, Worker: Wildcard, Chunk: Wildcard,
+		Action: Panic, Do: func() { ran = true }})
+	if !fires(in, "count", 2, 0, 0) {
+		t.Fatal("Panic rule did not panic")
+	}
+	if !ran {
+		t.Error("Do hook did not run before the panic")
+	}
+}

@@ -1,0 +1,169 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/robust"
+)
+
+// TestRunContainsPanic pins the containment contract: a panic in a worker
+// closure comes back as a *robust.WorkerPanicError carrying the worker
+// index, the panic value and a stack — and the pool survives to run the
+// next phase.
+func TestRunContainsPanic(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+
+	err := p.Run(func(w int) {
+		if w == 2 {
+			panic("boom")
+		}
+	})
+	var wp *robust.WorkerPanicError
+	if !errors.As(err, &wp) {
+		t.Fatalf("Run returned %v, want WorkerPanicError", err)
+	}
+	if wp.Worker != 2 {
+		t.Errorf("Worker = %d, want 2", wp.Worker)
+	}
+	if wp.Value != "boom" {
+		t.Errorf("Value = %v, want boom", wp.Value)
+	}
+	if wp.Chunk != -1 {
+		t.Errorf("Chunk = %d, want -1 (no chunk announced)", wp.Chunk)
+	}
+	if !strings.Contains(string(wp.Stack), "robust_test") {
+		t.Errorf("stack does not point at the panic site:\n%s", wp.Stack)
+	}
+
+	// The pool must stay usable: all workers run the next phase.
+	ran := make([]bool, 4)
+	if err := p.Run(func(w int) { ran[w] = true }); err != nil {
+		t.Fatalf("pool unusable after contained panic: %v", err)
+	}
+	for w, ok := range ran {
+		if !ok {
+			t.Errorf("worker %d did not run after contained panic", w)
+		}
+	}
+}
+
+// TestRunPanicLowestWorkerWins pins the deterministic error choice when
+// several workers panic in the same phase.
+func TestRunPanicLowestWorkerWins(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	err := p.Run(func(w int) {
+		if w >= 1 {
+			panic(w)
+		}
+	})
+	var wp *robust.WorkerPanicError
+	if !errors.As(err, &wp) {
+		t.Fatalf("Run returned %v", err)
+	}
+	if wp.Worker != 1 {
+		t.Errorf("Worker = %d, want 1 (lowest panicking index)", wp.Worker)
+	}
+}
+
+// TestRunPanicErrorValue checks that panicking with an error value is
+// unwrappable from the containment error.
+func TestRunPanicErrorValue(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	sentinel := errors.New("sentinel")
+	err := p.Run(func(int) { panic(sentinel) })
+	if !errors.Is(err, sentinel) {
+		t.Errorf("contained panic does not unwrap to the panicked error: %v", err)
+	}
+}
+
+// TestNoteChunkAttribution: a panic after NoteChunk is attributed to that
+// chunk; the note resets between Runs.
+func TestNoteChunkAttribution(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	err := p.Run(func(w int) {
+		if w == 1 {
+			p.NoteChunk(1, 37)
+			panic("mid-chunk")
+		}
+	})
+	var wp *robust.WorkerPanicError
+	if !errors.As(err, &wp) {
+		t.Fatalf("Run returned %v", err)
+	}
+	if wp.Chunk != 37 {
+		t.Errorf("Chunk = %d, want 37", wp.Chunk)
+	}
+
+	// Next Run: the stale note must not leak into a new panic.
+	err = p.Run(func(w int) {
+		if w == 1 {
+			panic("fresh")
+		}
+	})
+	if !errors.As(err, &wp) {
+		t.Fatalf("Run returned %v", err)
+	}
+	if wp.Chunk != -1 {
+		t.Errorf("Chunk = %d, want -1 (note must reset at Run entry)", wp.Chunk)
+	}
+}
+
+// TestRunCtx: a live context dispatches normally; a canceled one skips the
+// phase and returns the context error.
+func TestRunCtx(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+
+	ran := false
+	if err := p.RunCtx(context.Background(), func(w int) {
+		if w == 0 {
+			ran = true
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("live context did not dispatch")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran = false
+	err := p.RunCtx(ctx, func(int) { ran = true })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("RunCtx on canceled ctx = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("canceled context still dispatched")
+	}
+
+	// nil context behaves like Run.
+	if err := p.RunCtx(nil, func(int) {}); err != nil {
+		t.Errorf("RunCtx(nil) = %v", err)
+	}
+}
+
+// TestSingleProcPoolContainsPanic: the inline procs==1 fast path must
+// contain panics exactly like the channel path.
+func TestSingleProcPoolContainsPanic(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	err := p.Run(func(int) { panic("inline") })
+	var wp *robust.WorkerPanicError
+	if !errors.As(err, &wp) {
+		t.Fatalf("Run returned %v", err)
+	}
+	if wp.Worker != 0 || wp.Value != "inline" {
+		t.Errorf("got worker=%d value=%v", wp.Worker, wp.Value)
+	}
+	if err := p.Run(func(int) {}); err != nil {
+		t.Errorf("single-proc pool unusable after panic: %v", err)
+	}
+}
