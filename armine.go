@@ -41,6 +41,7 @@ import (
 	"repro/internal/sampling"
 	"repro/internal/seqpat"
 	"repro/internal/taxonomy"
+	"repro/internal/vbit"
 )
 
 // Item is a single attribute (re-export of itemset.Item).
@@ -300,6 +301,54 @@ type EclatOptions = eclat.Options
 // are identical to Apriori with a different cost structure (pure
 // intersections, no hash tree, no rescans).
 func MineEclat(d *Database, opts EclatOptions) (*Result, error) { return eclat.Mine(d, opts) }
+
+// MineEclatCtx is MineEclat with cooperative cancellation, observed at
+// equivalence-class granularity; completed classes are returned as a
+// partial result together with a *CanceledError.
+func MineEclatCtx(ctx context.Context, d *Database, opts EclatOptions) (*Result, error) {
+	return eclat.MineCtx(ctx, d, opts)
+}
+
+// VBitOptions configures the word-parallel vertical bitmap engine.
+type VBitOptions = vbit.Options
+
+// VBitStats carries the vertical engine's deterministic work model and
+// wall-clock timings.
+type VBitStats = vbit.Stats
+
+// MineVBit runs the word-parallel dEclat engine: per-item TID bitmaps with
+// tidlist fallback for sparse items, popcount support kernels, diffsets
+// below the first level, and per-equivalence-class tasks on the shared
+// worker pool. Results are identical to Apriori in ordering and supports.
+func MineVBit(d *Database, opts VBitOptions) (*Result, *VBitStats, error) {
+	return vbit.Mine(d, opts)
+}
+
+// MineVBitCtx is MineVBit with cooperative cancellation (per class claim);
+// completed classes are merged into the partial result returned alongside
+// the *CanceledError.
+func MineVBitCtx(ctx context.Context, d *Database, opts VBitOptions) (*Result, *VBitStats, error) {
+	return vbit.MineCtx(ctx, d, opts)
+}
+
+// Engine identifies a counting engine for the auto-selector.
+type Engine = vbit.Engine
+
+// Engines the auto-selector chooses between.
+const (
+	EngineCCPD = vbit.EngineCCPD
+	EngineVBit = vbit.EngineVBit
+)
+
+// DBStats are the database statistics the engine selector decides on.
+type DBStats = vbit.DBStats
+
+// CharacterizeDB computes selector statistics for a database in O(1).
+func CharacterizeDB(d *Database) DBStats { return vbit.Characterize(d) }
+
+// SelectEngine picks the hash-tree (CCPD) or vertical bitmap (vbit) engine
+// from database statistics — the -algo auto policy.
+func SelectEngine(s DBStats) Engine { return vbit.AutoSelect(s) }
 
 // SamplingOptions configures a sample-vs-full mining evaluation.
 type SamplingOptions = sampling.Options

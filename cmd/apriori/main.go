@@ -1,13 +1,16 @@
 // Command apriori mines association rules from a database file (or a
-// freshly generated synthetic database) using the sequential algorithm or
-// the parallel CCPD/PCCD algorithms, with every optimization switchable
-// from the command line.
+// freshly generated synthetic database) using the sequential algorithm,
+// the parallel CCPD/PCCD algorithms, or the vertical engines (eclat,
+// vbit), with every optimization switchable from the command line.
+// -algo auto picks between the hash-tree and vertical bitmap engines from
+// the database's density statistics.
 //
 // Examples:
 //
 //	apriori -db T10.I4.D100K.ardb -support 0.005 -procs 8
 //	apriori -gen T10.I4.D10K -support 0.01 -algo pccd -rules 0.9
 //	apriori -gen T10.I4.D10K -procs 4 -dbpart stealing -trace out.json
+//	apriori -gen T20.I6.D10K -support 0.01 -algo auto -v
 package main
 
 import (
@@ -24,10 +27,12 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/ccpd"
 	"repro/internal/db"
+	"repro/internal/eclat"
 	"repro/internal/gen"
 	"repro/internal/hashtree"
 	"repro/internal/obs"
 	"repro/internal/rules"
+	"repro/internal/vbit"
 )
 
 var genRe = regexp.MustCompile(`^T(\d+)\.I(\d+)\.D(\d+)([KM]?)$`)
@@ -73,8 +78,8 @@ type cliOptions struct {
 	RuleConf   float64 // -rules
 	TopN       int     // -top
 	Verbose    bool    // -v
-	TracePath  string  // -trace: Chrome trace JSON output (ccpd/pccd only)
-	MetricsTo  string  // -metrics: Prometheus-text snapshot output (ccpd/pccd only)
+	TracePath  string  // -trace: Chrome trace JSON output (ccpd/pccd/vbit/auto)
+	MetricsTo  string  // -metrics: Prometheus-text snapshot output (ccpd/pccd/vbit/auto)
 }
 
 // usageError marks a command-line validation failure; main exits with
@@ -124,7 +129,7 @@ func main() {
 	flag.StringVar(&o.DBPath, "db", "", "database file (binary format)")
 	flag.StringVar(&o.GenSpec, "gen", "", "generate a synthetic database, e.g. T10.I4.D10K")
 	flag.Float64Var(&o.Support, "support", 0.005, "minimum support fraction")
-	flag.StringVar(&o.Algo, "algo", "ccpd", "algorithm: seq | ccpd | pccd | dhp | partition | countdist")
+	flag.StringVar(&o.Algo, "algo", "ccpd", "algorithm: seq | ccpd | pccd | dhp | partition | countdist | eclat | vbit | auto")
 	flag.IntVar(&o.Procs, "procs", 4, "processors (parallel algorithms)")
 	flag.StringVar(&o.Balance, "balance", "bitonic", "computation balancing: block | interleaved | bitonic")
 	flag.StringVar(&o.Hash, "hash", "bitonic", "hash tree balancing: interleaved | bitonic")
@@ -141,8 +146,8 @@ func main() {
 	flag.Float64Var(&o.RuleConf, "rules", 0, "generate rules at this min confidence (0 = skip)")
 	flag.IntVar(&o.TopN, "top", 10, "rules to print")
 	flag.BoolVar(&o.Verbose, "v", false, "per-iteration details")
-	flag.StringVar(&o.TracePath, "trace", "", "write a Chrome trace_event JSON timeline here (ccpd/pccd)")
-	flag.StringVar(&o.MetricsTo, "metrics", "", "write a Prometheus-text metrics snapshot here (ccpd/pccd)")
+	flag.StringVar(&o.TracePath, "trace", "", "write a Chrome trace_event JSON timeline here (ccpd/pccd/vbit/auto)")
+	flag.StringVar(&o.MetricsTo, "metrics", "", "write a Prometheus-text metrics snapshot here (ccpd/pccd/vbit/auto)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -179,9 +184,20 @@ func run(o cliOptions) error {
 		return fmt.Errorf("need -db or -gen")
 	}
 
-	parallel := o.Algo == "ccpd" || o.Algo == "pccd"
+	if o.Algo == "auto" {
+		// Density-based engine selection: pick the hash-tree or the vertical
+		// bitmap engine from O(1) database statistics, then run as if the
+		// chosen engine had been requested explicitly.
+		st := vbit.Characterize(d)
+		engine := vbit.AutoSelect(st)
+		fmt.Printf("auto-selector: density=%.5f (avg len %.1f over %d items) -> %s\n",
+			st.Density, st.AvgLen, st.NumItems, engine)
+		o.Algo = engine.String()
+	}
+
+	parallel := o.Algo == "ccpd" || o.Algo == "pccd" || o.Algo == "vbit"
 	if (o.TracePath != "" || o.MetricsTo != "") && !parallel {
-		return fmt.Errorf("-trace/-metrics require -algo ccpd or pccd (got %q)", o.Algo)
+		return fmt.Errorf("-trace/-metrics require -algo ccpd, pccd, vbit or auto (got %q)", o.Algo)
 	}
 
 	opts := apriori.Options{
@@ -194,11 +210,21 @@ func run(o cliOptions) error {
 
 	var res *apriori.Result
 	var stats *ccpd.Stats
+	var vstats *vbit.Stats
 	var rec *obs.Recorder
 	var err error
 	switch o.Algo {
 	case "seq":
 		res, err = apriori.Mine(d, opts)
+	case "eclat":
+		res, err = eclat.Mine(d, eclat.Options{MinSupport: o.Support, MaxK: o.MaxK, Procs: o.Procs})
+	case "vbit":
+		vo := vbit.Options{MinSupport: o.Support, MaxK: o.MaxK, Procs: o.Procs, ChunkStride: o.ChunkSize}
+		if o.TracePath != "" || o.MetricsTo != "" {
+			rec = obs.NewRecorder(o.Procs)
+			vo.Obs = rec
+		}
+		res, vstats, err = vbit.Mine(d, vo)
 	case "dhp":
 		var st *baseline.DHPStats
 		res, st, err = baseline.MineDHP(d, baseline.DHPOptions{Mining: opts})
@@ -273,6 +299,14 @@ func run(o cliOptions) error {
 	for k := 1; k < len(res.ByK); k++ {
 		if len(res.ByK[k]) > 0 {
 			fmt.Printf("  F%-2d %6d\n", k, len(res.ByK[k]))
+		}
+	}
+	if vstats != nil {
+		fmt.Printf("total time: %v (class DFS %v)\n", vstats.Total, vstats.Count)
+		if o.Verbose {
+			fmt.Printf("  classes=%d columns=%d bitmap/%d tidlist modeltime=%d totalwork=%d\n",
+				vstats.Classes, vstats.DenseItems, vstats.SparseItems,
+				vstats.ModelTime(), vstats.TotalWork())
 		}
 	}
 	if stats != nil {

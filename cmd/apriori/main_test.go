@@ -58,7 +58,7 @@ func TestRunEndToEnd(t *testing.T) {
 	os.Stdout = devnull
 	defer func() { os.Stdout = old; devnull.Close() }()
 
-	for _, algo := range []string{"seq", "ccpd", "pccd", "dhp", "partition", "countdist"} {
+	for _, algo := range []string{"seq", "ccpd", "pccd", "dhp", "partition", "countdist", "eclat", "vbit", "auto"} {
 		o := base()
 		o.Algo = algo
 		o.RuleConf = 0.8
@@ -268,5 +268,58 @@ func TestRunTraceAndMetrics(t *testing.T) {
 	o.TracePath = tracePath
 	if err := run(o); err == nil {
 		t.Error("-trace with -algo seq should fail")
+	}
+}
+
+// TestRunTraceVBit drives the observability surface through the vertical
+// engine: -algo vbit must produce a valid trace with events and a metrics
+// snapshot through the unchanged obs plumbing.
+func TestRunTraceVBit(t *testing.T) {
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.txt")
+	o := base()
+	o.Algo = "vbit"
+	o.GenSpec = "T5.I2.D500"
+	o.Procs = 4
+	o.TracePath = tracePath
+	o.MetricsTo = metricsPath
+	o.Verbose = true
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("-trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("-trace output has no events")
+	}
+	metrics, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metrics), "armine_frequent{k=") {
+		t.Error("-metrics output missing armine_frequent series")
+	}
+	// -algo auto resolves to a parallel engine, so tracing it is legal.
+	o = base()
+	o.Algo = "auto"
+	o.TracePath = filepath.Join(dir, "trace2.json")
+	if err := run(o); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -7,6 +7,7 @@
 //	experiments -figure 8              # one figure
 //	experiments -table 2 -scale 0.1    # bigger databases
 //	experiments -trace skew.json       # Perfetto trace of a skewed stealing run
+//	experiments -sweep density         # ccpd-vs-vbit engine crossover study
 package main
 
 import (
@@ -32,17 +33,18 @@ func main() {
 	table := flag.Int("table", 0, "regenerate one table (1, 2)")
 	all := flag.Bool("all", false, "regenerate everything")
 	sched := flag.Bool("sched", false, "run the static-vs-dynamic scheduler balance study")
+	sweep := flag.String("sweep", "", "run a parameter sweep: density (ccpd-vs-vbit engine crossover)")
 	maxTrace := flag.Int("maxtrace", 200, "transactions traced per processor in placement studies")
 	trace := flag.String("trace", "", "mine the skewed stealing workload and write a Chrome trace JSON here")
 	metrics := flag.String("metrics", "", "with -trace: also write a Prometheus-text metrics snapshot here")
 	procs := flag.Int("procs", 4, "processors for the -trace run")
 	flag.Parse()
 
-	if !*all && *figure == 0 && *table == 0 && !*sched && *trace == "" && *metrics == "" {
+	if !*all && *figure == 0 && *table == 0 && !*sched && *sweep == "" && *trace == "" && *metrics == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *scale, *figure, *table, *all, *sched, *maxTrace, *trace, *metrics, *procs); err != nil {
+	if err := run(os.Stdout, *scale, *figure, *table, *all, *sched, *maxTrace, *trace, *metrics, *procs, *sweep); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		var ue *usageError
 		if errors.As(err, &ue) {
@@ -52,7 +54,7 @@ func main() {
 	}
 }
 
-func run(w io.Writer, scale float64, figure, table int, all, sched bool, maxTrace int, trace, metrics string, procs int) error {
+func run(w io.Writer, scale float64, figure, table int, all, sched bool, maxTrace int, trace, metrics string, procs int, sweep string) error {
 	switch {
 	case scale <= 0 || scale > 1:
 		return &usageError{msg: fmt.Sprintf("-scale must be a fraction in (0, 1], got %g", scale)}
@@ -60,12 +62,17 @@ func run(w io.Writer, scale float64, figure, table int, all, sched bool, maxTrac
 		return &usageError{msg: fmt.Sprintf("-procs must be positive, got %d", procs)}
 	case maxTrace < 0:
 		return &usageError{msg: fmt.Sprintf("-maxtrace must be >= 0, got %d", maxTrace)}
+	case sweep != "" && sweep != "density":
+		return &usageError{msg: fmt.Sprintf("unknown -sweep %q (want density)", sweep)}
 	}
 	r := expt.NewRunner(scale)
 	r.MaxTraceTx = maxTrace
 
 	if trace != "" || metrics != "" {
 		return writeSkewTrace(r, trace, metrics, procs)
+	}
+	if sweep == "density" {
+		return r.DensitySweep(w)
 	}
 
 	type step struct {

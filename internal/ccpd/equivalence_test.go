@@ -8,11 +8,14 @@ import (
 	"repro/internal/eclat"
 	"repro/internal/gen"
 	"repro/internal/itemset"
+	"repro/internal/vbit"
 )
 
 // TestCrossAlgorithmEquivalence asserts that every mining engine in the repo
 // — sequential Apriori, CCPD under all four database partition modes, PCCD,
-// and Eclat — returns the same frequent sets with the same supports, over a
+// Eclat, and the vertical bitmap engine under its three layouts (mixed,
+// all-bitmap, all-tidlist) — returns the same frequent sets with the same
+// supports, over a
 // grid of seeded synthetic databases and fractional support thresholds. The
 // fractional thresholds go through the shared ceiling computation, so this
 // suite also guards against the engines' support arithmetic drifting apart
@@ -55,6 +58,21 @@ func TestCrossAlgorithmEquivalence(t *testing.T) {
 			assertSameResult(t, "eclat", eres, want)
 			if eres.MinCount != want.MinCount {
 				t.Errorf("seed %d sup %g eclat: MinCount %d != %d", seed, sup, eres.MinCount, want.MinCount)
+			}
+			// vbit under three layouts: the default mixed representation,
+			// all-bitmap (any materialized column clears a 1e-9 cutoff) and
+			// all-tidlist (no column reaches a cutoff > 1).
+			for name, cutoff := range map[string]float64{
+				"vbit": 0, "vbit-dense": 1e-9, "vbit-sparse": 1.5,
+			} {
+				vres, _, err := vbit.Mine(d, vbit.Options{MinSupport: sup, Procs: 3, DensityCutoff: cutoff})
+				if err != nil {
+					t.Fatalf("seed %d sup %g %s: %v", seed, sup, name, err)
+				}
+				assertSameResult(t, name, vres, want)
+				if vres.MinCount != want.MinCount {
+					t.Errorf("seed %d sup %g %s: MinCount %d != %d", seed, sup, name, vres.MinCount, want.MinCount)
+				}
 			}
 		}
 	}

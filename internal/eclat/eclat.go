@@ -6,15 +6,24 @@
 // tidlists within prefix equivalence classes, depth first. Results match
 // Apriori exactly; the cost structure (no hash tree, no rescans — pure
 // intersections) is the contrast the paper draws.
+//
+// The intersection itself runs on the shared vbit.IntersectInto kernel
+// through a per-class scratch buffer: a candidate extension costs zero
+// allocations unless it turns out frequent, in which case only the
+// surviving tidlist is copied out. (The engine previously allocated a
+// fresh tidlist for every probed pair, frequent or not.)
 package eclat
 
 import (
+	"context"
 	"sort"
 	"sync"
 
 	"repro/internal/apriori"
 	"repro/internal/db"
 	"repro/internal/itemset"
+	"repro/internal/robust"
+	"repro/internal/vbit"
 )
 
 // Options configures a run.
@@ -43,37 +52,23 @@ func (o Options) minCount(n int) int64 {
 // tidlist is a sorted list of transaction indices.
 type tidlist []int32
 
-// intersect returns the sorted intersection a ∩ b.
-func intersect(a, b tidlist) tidlist {
-	out := make(tidlist, 0, min(len(a), len(b)))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // Mine runs Eclat and returns the result in apriori.Result form so callers
 // (and tests) can compare directly.
 func Mine(d *db.Database, opts Options) (*apriori.Result, error) {
+	return MineCtx(context.Background(), d, opts)
+}
+
+// MineCtx runs Eclat under a context, honoring the same cancellation
+// contract as CCPD/PCCD: cancellation is observed at equivalence-class
+// granularity (each first-level class is one task), and a cancelled run
+// returns the partial result — every class completed before the
+// cancellation point — together with a *robust.CanceledError.
+func MineCtx(ctx context.Context, d *db.Database, opts Options) (*apriori.Result, error) {
 	if opts.Procs < 1 {
 		opts.Procs = 1
+	}
+	if err := robust.Canceled(ctx, "f1", 1); err != nil {
+		return nil, err
 	}
 	minCount := opts.minCount(d.Len())
 	res := &apriori.Result{MinCount: minCount, ByK: make([][]apriori.FrequentItemset, 2)}
@@ -103,21 +98,42 @@ func Mine(d *db.Database, opts Options) (*apriori.Result, error) {
 	}
 
 	// Depth-first growth within prefix classes. Each first-level class
-	// (anchored at one frequent item) is an independent task.
+	// (anchored at one frequent item) is an independent task; a class
+	// claimed after cancellation is skipped, so the partial result holds
+	// exactly the classes that completed.
 	type found struct {
 		items itemset.Itemset
 		count int64
 	}
 	results := make([][]found, len(f1))
+	done := make([]bool, len(f1))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, opts.Procs)
 	for i := range f1 {
+		if ctx.Err() != nil {
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
 			var out []found
+			// One scratch tidlist per class task: every intersection lands
+			// here first and is copied out only when frequent.
+			scratch := make(tidlist, d.Len())
+			intersect := func(a, b tidlist) tidlist {
+				n := vbit.IntersectInto(scratch, a, b)
+				if int64(n) < minCount {
+					return nil
+				}
+				out := make(tidlist, n)
+				copy(out, scratch[:n])
+				return out
+			}
 			prefix := itemset.New(f1[i].item)
 			// Sibling tails: items after i with their tidlists.
 			type node struct {
@@ -134,8 +150,7 @@ func Mine(d *db.Database, opts Options) (*apriori.Result, error) {
 					out = append(out, found{ext, int64(len(siblings[a].tids))})
 					var next []node
 					for b := a + 1; b < len(siblings); b++ {
-						x := intersect(siblings[a].tids, siblings[b].tids)
-						if int64(len(x)) >= minCount {
+						if x := intersect(siblings[a].tids, siblings[b].tids); x != nil {
 							next = append(next, node{siblings[b].item, x})
 						}
 					}
@@ -146,8 +161,7 @@ func Mine(d *db.Database, opts Options) (*apriori.Result, error) {
 			}
 			var sib []node
 			for j := i + 1; j < len(f1); j++ {
-				x := intersect(f1[i].tids, f1[j].tids)
-				if int64(len(x)) >= minCount {
+				if x := intersect(f1[i].tids, f1[j].tids); x != nil {
 					sib = append(sib, node{f1[j].item, x})
 				}
 			}
@@ -155,11 +169,15 @@ func Mine(d *db.Database, opts Options) (*apriori.Result, error) {
 				grow(prefix, sib)
 			}
 			results[i] = out
+			done[i] = true
 		}(i)
 	}
 	wg.Wait()
 
-	for _, out := range results {
+	for i, out := range results {
+		if !done[i] {
+			continue
+		}
 		for _, f := range out {
 			k := f.items.K()
 			for len(res.ByK) <= k {
@@ -171,6 +189,9 @@ func Mine(d *db.Database, opts Options) (*apriori.Result, error) {
 	for k := range res.ByK {
 		fk := res.ByK[k]
 		sort.Slice(fk, func(i, j int) bool { return fk[i].Items.Less(fk[j].Items) })
+	}
+	if err := robust.Canceled(ctx, "count", 2); err != nil {
+		return res, err
 	}
 	return res, nil
 }

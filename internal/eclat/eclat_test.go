@@ -1,12 +1,16 @@
 package eclat
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/apriori"
 	"repro/internal/db"
 	"repro/internal/gen"
 	"repro/internal/itemset"
+	"repro/internal/robust"
+	"repro/internal/vbit"
 )
 
 func flat(res *apriori.Result) map[string]int64 {
@@ -91,13 +95,64 @@ func TestEclatEmpty(t *testing.T) {
 }
 
 func TestIntersect(t *testing.T) {
+	// The package-local intersect helper is gone: eclat now runs on the
+	// shared vbit.IntersectInto kernel through a scratch buffer.
 	a := tidlist{1, 3, 5, 7}
 	b := tidlist{2, 3, 6, 7, 9}
-	got := intersect(a, b)
-	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
-		t.Errorf("intersect = %v", got)
+	scratch := make(tidlist, len(a))
+	n := vbit.IntersectInto(scratch, a, b)
+	if got := scratch[:n]; len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Errorf("IntersectInto = %v", got)
 	}
-	if got := intersect(a, nil); len(got) != 0 {
-		t.Errorf("intersect with nil = %v", got)
+	if n := vbit.IntersectInto(scratch, a, nil); n != 0 {
+		t.Errorf("IntersectInto with nil = %d entries", n)
+	}
+}
+
+func TestMineCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d, _ := gen.Generate(gen.Params{N: 40, L: 10, I: 3, T: 6, D: 300, Seed: 2})
+	res, err := MineCtx(ctx, d, Options{MinSupport: 0.02})
+	var ce *robust.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *robust.CanceledError", err)
+	}
+	if res != nil {
+		t.Error("pre-canceled run returned a result")
+	}
+}
+
+// TestMineCtxMidRun cancels concurrently with the class tasks: whatever
+// classes completed must carry supports matching the full run, and the
+// error (when the cancel lands in time) names the interrupted phase.
+func TestMineCtxMidRun(t *testing.T) {
+	d, err := gen.Generate(gen.Params{N: 60, L: 15, I: 4, T: 8, D: 600, Seed: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{MinSupport: 0.02, Procs: 2}
+	want, err := Mine(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go cancel()
+	res, err := MineCtx(ctx, d, opts)
+	if err != nil {
+		var ce *robust.CanceledError
+		if !errors.As(err, &ce) {
+			t.Fatalf("err = %v, want *robust.CanceledError", err)
+		}
+		if res == nil {
+			return // canceled before F1 finished: no partial by contract
+		}
+	}
+	for k := 2; k < len(res.ByK); k++ {
+		for _, f := range res.ByK[k] {
+			if want.SupportOf(f.Items) != f.Count {
+				t.Fatalf("partial result %v/%d disagrees with full run", f.Items, f.Count)
+			}
+		}
 	}
 }

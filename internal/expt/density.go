@@ -1,0 +1,116 @@
+// Density sweep: the engine-selection study behind the vbit auto-selector.
+// The paper's horizontal CCPD kernel and the vertical bitmap engine trade
+// places as the database gets denser; this sweep holds the transaction shape
+// fixed and shrinks the item universe so the density T/N walks across the
+// selector's crossover, recording both engines' wall clock at every point.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/apriori"
+	"repro/internal/ccpd"
+	"repro/internal/gen"
+	"repro/internal/vbit"
+)
+
+// densityUniverses are the item-universe sizes the sweep walks through: at
+// T=10 they span densities from 0.2 (every column a bitmap) down to ~0.003
+// (every column a tidlist), bracketing vbit.DefaultCrossoverDensity = 1/128.
+var densityUniverses = []int{50, 100, 200, 400, 800, 1600, 3200}
+
+// DensitySweep mines one database per universe size with both the
+// horizontal CCPD engine and the vertical bitmap engine, printing density,
+// per-engine wall clock (best of three) and the engine the auto-selector
+// would pick, then reports the measured crossover next to the configured
+// default. The two results are cross-checked for agreement at every point —
+// the sweep doubles as an equivalence probe across the density range.
+func (r *Runner) DensitySweep(w io.Writer) error {
+	base := gen.Params{T: 10, I: 4, D: 100000}
+	procs := r.Procs[len(r.Procs)-1]
+
+	tab := &Table{
+		Title: "Density sweep: ccpd vs vbit (engine auto-selector study)",
+		Header: []string{"N", "density", "F", "ccpd ms", "vbit ms",
+			"vbit/ccpd", "auto", "winner"},
+	}
+	// measuredCross is the smallest density at which vbit still won; the
+	// rows walk dense → sparse, so it tracks where the advantage runs out.
+	measuredCross := -1.0
+	for _, n := range densityUniverses {
+		p := base
+		p.N = n
+		p.L = n / 2
+		sp := Scaled(p, r.Scale)
+		sp.Seed += int64(n) // distinct universe, distinct database
+		d, err := gen.Generate(sp)
+		if err != nil {
+			return err
+		}
+		sup := absSupport(d.Len(), 0.01)
+		copts := ccpd.Options{
+			Options: apriori.Options{AbsSupport: sup, ShortCircuit: true},
+			Procs:   procs,
+		}
+		vopts := vbit.Options{AbsSupport: sup, Procs: procs}
+
+		var cres, vres *apriori.Result
+		cWall, vWall := time.Duration(0), time.Duration(0)
+		for try := 0; try < 3; try++ {
+			t0 := time.Now()
+			res, _, err := ccpd.Mine(d, copts)
+			if err != nil {
+				return fmt.Errorf("ccpd N=%d: %w", n, err)
+			}
+			if el := time.Since(t0); try == 0 || el < cWall {
+				cWall = el
+			}
+			cres = res
+
+			t0 = time.Now()
+			res, _, err = vbit.Mine(d, vopts)
+			if err != nil {
+				return fmt.Errorf("vbit N=%d: %w", n, err)
+			}
+			if el := time.Since(t0); try == 0 || el < vWall {
+				vWall = el
+			}
+			vres = res
+		}
+		if cres.NumFrequent() != vres.NumFrequent() {
+			return fmt.Errorf("N=%d: engines disagree (%d vs %d frequent)",
+				n, cres.NumFrequent(), vres.NumFrequent())
+		}
+
+		st := vbit.Characterize(d)
+		auto := vbit.AutoSelect(st)
+		winner := vbit.EngineCCPD
+		if vWall < cWall {
+			winner = vbit.EngineVBit
+			if measuredCross < 0 || st.Density < measuredCross {
+				measuredCross = st.Density
+			}
+		}
+		tab.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.4f", st.Density),
+			fmt.Sprintf("%d", cres.NumFrequent()),
+			f2s(float64(cWall.Microseconds())/1000),
+			f2s(float64(vWall.Microseconds())/1000),
+			f2s(float64(vWall)/float64(cWall)),
+			auto.String(),
+			winner.String(),
+		)
+	}
+	tab.Fprint(w)
+	fmt.Fprintf(w, "\nauto-selector default crossover: density >= %.4f (1/128) -> vbit\n",
+		vbit.DefaultCrossoverDensity)
+	if measuredCross >= 0 {
+		fmt.Fprintf(w, "measured on this host: vbit still wins down to density %.4f\n", measuredCross)
+	} else {
+		fmt.Fprintf(w, "measured on this host: vbit never won (contended or tiny-scale run)\n")
+	}
+	return nil
+}

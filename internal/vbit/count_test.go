@@ -1,0 +1,147 @@
+package vbit
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/itemset"
+)
+
+// bruteSupport counts a candidate the slow way: scan every transaction.
+func bruteSupport(d *db.Database, cand itemset.Itemset) int64 {
+	var n int64
+	for t := 0; t < d.Len(); t++ {
+		if d.Items(t).Contains(cand) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCountOneProperty asserts bitmap-vs-tidlist support agreement: the
+// same candidate counted through the all-bitmap layout, the all-tidlist
+// layout, the mixed default, and a brute-force horizontal scan must give
+// one answer — over random databases including empty transactions, a
+// singleton universe, and both density extremes.
+func TestCountOneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	shapes := []struct {
+		name    string
+		n, d    int
+		density float64
+	}{
+		{"all-dense", 10, 256, 0.6},
+		{"all-sparse", 50, 256, 0.01},
+		{"mixed", 30, 300, 0.12},
+		{"singleton-universe", 1, 64, 0.5},
+		{"empty-heavy", 20, 100, 0.03},
+	}
+	for _, sh := range shapes {
+		for trial := 0; trial < 3; trial++ {
+			d := randomDB(rng, sh.n, sh.d, sh.density)
+			layouts := map[string]*Layout{
+				"mixed":       NewLayout(d, 0),
+				"all-bitmap":  NewLayout(d, 1e-12),
+				"all-tidlist": NewLayout(d, 1.5),
+			}
+			scratches := map[string]*Scratch{}
+			for ln, l := range layouts {
+				scratches[ln] = l.NewScratch()
+			}
+			for probe := 0; probe < 40; probe++ {
+				k := 1 + rng.Intn(4)
+				if k > sh.n {
+					k = sh.n
+				}
+				seen := map[itemset.Item]bool{}
+				var raw []itemset.Item
+				for len(raw) < k {
+					it := itemset.Item(rng.Intn(sh.n))
+					if !seen[it] {
+						seen[it] = true
+						raw = append(raw, it)
+					}
+				}
+				cand := itemset.New(raw...)
+				want := bruteSupport(d, cand)
+				for ln, l := range layouts {
+					if got := l.CountOne(scratches[ln], cand); got != want {
+						t.Fatalf("%s/%s trial %d: CountOne(%v) = %d, want %d",
+							sh.name, ln, trial, cand, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLayoutClassification(t *testing.T) {
+	// 128 transactions; item 0 in every row (density 1), item 1 in exactly
+	// 2 rows (density 1/64 — exactly at the default cutoff, dense), item 2
+	// in 1 row (below it, sparse), item 3 nowhere.
+	d := db.New(4)
+	for t2 := 0; t2 < 128; t2++ {
+		items := itemset.New(0)
+		if t2 < 2 {
+			items = itemset.New(0, 1)
+		} else if t2 == 5 {
+			items = itemset.New(0, 2)
+		}
+		d.Append(int64(t2), items)
+	}
+	l := NewLayout(d, 0)
+	if l.Cutoff != DefaultDensityCutoff {
+		t.Errorf("Cutoff = %v, want default %v", l.Cutoff, DefaultDensityCutoff)
+	}
+	if l.Words != 2 {
+		t.Errorf("Words = %d, want 2", l.Words)
+	}
+	if l.ItemWords(0) == nil || l.ItemWords(1) == nil {
+		t.Errorf("items 0,1 should be bitmap columns")
+	}
+	if l.ItemList(2) == nil || l.ItemWords(2) != nil {
+		t.Errorf("item 2 should be a tidlist column")
+	}
+	if l.ItemWords(3) != nil || l.ItemList(3) != nil {
+		t.Errorf("absent item 3 should have no column")
+	}
+	if l.DenseItems() != 2 || l.SparseItems() != 1 {
+		t.Errorf("dense/sparse = %d/%d, want 2/1", l.DenseItems(), l.SparseItems())
+	}
+	for it, want := range []int64{128, 2, 1, 0} {
+		if got := l.Support(itemset.Item(it)); got != want {
+			t.Errorf("Support(%d) = %d, want %d", it, got, want)
+		}
+	}
+	if got := l.ItemList(2); len(got) != 1 || got[0] != 5 {
+		t.Errorf("ItemList(2) = %v, want [5]", got)
+	}
+}
+
+// TestCountOneAllocs gates the full candidate-support path — kernels plus
+// the representation dispatch above them — at 0 allocs/op, for both pure
+// and mixed layouts.
+func TestCountOneAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	d := randomDB(rng, 24, 512, 0.15) // default cutoff leaves a mix
+	for name, cutoff := range map[string]float64{"mixed": 0, "bitmap": 1e-12, "tidlist": 1.5} {
+		l := NewLayout(d, cutoff)
+		scr := l.NewScratch()
+		cands := []itemset.Itemset{
+			itemset.New(0, 1),
+			itemset.New(1, 2, 3),
+			itemset.New(0, 2, 4, 6),
+			itemset.New(3, 7, 11, 15, 19),
+		}
+		var sink int64
+		if allocs := testing.AllocsPerRun(100, func() {
+			for _, c := range cands {
+				sink += l.CountOne(scr, c)
+			}
+		}); allocs != 0 {
+			t.Errorf("%s: CountOne %v allocs/op, want 0", name, allocs)
+		}
+		_ = sink
+	}
+}

@@ -1,0 +1,209 @@
+// Package vbit is the word-parallel vertical mining engine (ROADMAP item
+// 2): per-item TID bitmaps packed into []uint64 words, support counting by
+// popcount (math/bits.OnesCount64, a single hardware instruction on every
+// target we care about), diffsets (dEclat) below the first level to cut
+// memory traffic, and per-equivalence-class DFS tasks scheduled on the
+// shared sched.Pool. Items too sparse to justify a bitmap fall back to the
+// sorted tidlists the eclat package has always used, so one mixed-
+// representation engine covers both ends of the density spectrum.
+//
+// This file holds the counting kernels. They are the vertical engine's
+// analogue of hashtree.CountCtx.CountTransaction: the innermost loops that
+// every candidate's support funnels through, so each is annotated
+// //armlint:noalloc (statically allocation-free — see internal/lint) and
+// writes through caller-provided destination slices with explicit indices
+// instead of append. Every kernel's cost in deterministic work units is the
+// slice lengths it touches, which is what the work model in vbit.go counts.
+package vbit
+
+import "math/bits"
+
+// Word-parallel cost model constants, on the same nominal scale as the
+// hashtree.Work* constants (1 unit ≈ one simple ALU op + dependent load):
+// one 64-bit AND+popcount over a word, or one tidlist element touch during
+// a merge. A bitmap pair-intersection over D transactions costs D/64
+// WorkWordOp against a tidlist merge's ~2·density·D WorkTidOp — the factor
+// the density-based engine selector (select.go) turns into a threshold.
+const (
+	WorkWordOp   = 1 // one 64-bit word AND/ANDNOT + popcount
+	WorkTidOp    = 1 // one tidlist element compared or copied
+	WorkItemScan = 1 // one item visited while materializing the layout
+)
+
+// AndCount returns |a ∩ b| for two equal-length bitmaps without writing the
+// intersection anywhere — the pure support probe.
+//
+//armlint:noalloc
+func AndCount(a, b []uint64) int64 {
+	var n int
+	for i := range a {
+		n += bits.OnesCount64(a[i] & b[i])
+	}
+	return int64(n)
+}
+
+// AndCount3 returns |a ∩ b ∩ c|, fusing the two ANDs with the popcount so
+// a 3-candidate support probe makes one pass with no intermediate bitmap —
+// the kernel the dense-engine benchmarks exercise.
+//
+//armlint:noalloc
+func AndCount3(a, b, c []uint64) int64 {
+	var n int
+	for i := range a {
+		n += bits.OnesCount64(a[i] & b[i] & c[i])
+	}
+	return int64(n)
+}
+
+// AndInto writes a ∩ b into dst (len(dst) ≥ len(a) == len(b)) and returns
+// the intersection's cardinality. dst may alias a or b.
+//
+//armlint:noalloc
+func AndInto(dst, a, b []uint64) int64 {
+	var n int
+	for i := range a {
+		w := a[i] & b[i]
+		dst[i] = w
+		n += bits.OnesCount64(w)
+	}
+	return int64(n)
+}
+
+// AndNotInto writes a \ b (a AND NOT b) into dst and returns its
+// cardinality — the bitmap diffset kernel. dst may alias a or b.
+//
+//armlint:noalloc
+func AndNotInto(dst, a, b []uint64) int64 {
+	var n int
+	for i := range a {
+		w := a[i] &^ b[i]
+		dst[i] = w
+		n += bits.OnesCount64(w)
+	}
+	return int64(n)
+}
+
+// PopCount returns the number of set bits in the bitmap.
+//
+//armlint:noalloc
+func PopCount(a []uint64) int64 {
+	var n int
+	for i := range a {
+		n += bits.OnesCount64(a[i])
+	}
+	return int64(n)
+}
+
+// Bit reports whether tid's bit is set.
+//
+//armlint:noalloc
+func Bit(words []uint64, tid int32) bool {
+	return words[tid>>6]&(1<<uint(tid&63)) != 0
+}
+
+// SetBit sets tid's bit.
+//
+//armlint:noalloc
+func SetBit(words []uint64, tid int32) {
+	words[tid>>6] |= 1 << uint(tid&63)
+}
+
+// ClearList clears every tid in list from words and returns how many bits
+// were actually set before clearing — the cardinality drop when a sparse
+// tidlist is subtracted from a bitmap.
+//
+//armlint:noalloc
+func ClearList(words []uint64, list []int32) int64 {
+	var cleared int64
+	for _, tid := range list {
+		w := tid >> 6
+		m := uint64(1) << uint(tid&63)
+		if words[w]&m != 0 {
+			words[w] &^= m
+			cleared++
+		}
+	}
+	return cleared
+}
+
+// ExtractInto writes the set bits of words into dst as ascending tids and
+// returns the count — the bitmap→tidlist demotion used when a diffset's
+// cardinality drops below one tid per word. dst must have room for every
+// set bit.
+//
+//armlint:noalloc
+func ExtractInto(dst []int32, words []uint64) int {
+	n := 0
+	for i, w := range words {
+		base := int32(i) << 6
+		for w != 0 {
+			dst[n] = base + int32(bits.TrailingZeros64(w))
+			n++
+			w &= w - 1
+		}
+	}
+	return n
+}
+
+// FilterInto writes into dst the entries of list whose bit in words matches
+// keep (true: members, i.e. list ∩ bitmap; false: non-members, i.e.
+// list \ bitmap) and returns the count. dst may alias list; len(dst) ≥
+// len(list).
+//
+//armlint:noalloc
+func FilterInto(dst, list []int32, words []uint64, keep bool) int {
+	n := 0
+	for _, tid := range list {
+		if (words[tid>>6]&(1<<uint(tid&63)) != 0) == keep {
+			dst[n] = tid
+			n++
+		}
+	}
+	return n
+}
+
+// IntersectInto writes a ∩ b into dst for two sorted tidlists and returns
+// the count — the shared scratch-buffer intersection the eclat engine now
+// runs on instead of allocating a fresh tidlist per call. len(dst) ≥
+// min(len(a), len(b)); dst must not alias a or b.
+//
+//armlint:noalloc
+func IntersectInto(dst, a, b []int32) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst[n] = a[i]
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// DiffInto writes a \ b into dst for two sorted tidlists and returns the
+// count — the tidlist diffset kernel. len(dst) ≥ len(a); dst may alias a.
+//
+//armlint:noalloc
+func DiffInto(dst, a, b []int32) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) {
+		for j < len(b) && b[j] < a[i] {
+			j++
+		}
+		if j < len(b) && b[j] == a[i] {
+			i++
+			j++
+			continue
+		}
+		dst[n] = a[i]
+		n++
+		i++
+	}
+	return n
+}

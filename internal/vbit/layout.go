@@ -1,0 +1,169 @@
+package vbit
+
+import (
+	"repro/internal/db"
+	"repro/internal/itemset"
+)
+
+// DefaultDensityCutoff is the item density below which the vertical layout
+// stores a sorted tidlist instead of a bitmap. At density 1/64 an item has
+// on average one set bit per 64-bit word, which is exactly where a packed
+// bitmap stops being smaller than the equivalent []int32 tidlist (D/64
+// words of 8 bytes vs D/64 tids of 4 bytes — but the tidlist's merge loops
+// touch 2 elements per output tid, so the word-parallel AND still wins down
+// to about one bit per word). One tid per word is therefore the break-even
+// of the representation itself, independent of which engine was selected.
+const DefaultDensityCutoff = 1.0 / 64
+
+// set is one vertical column: exactly one of words (dense bitmap over all
+// transactions) or list (sorted tidlist) is non-nil, except for items that
+// never reach minCount, which carry neither. card is the number of tids in
+// the stored set — for a level-1 column that is the item's support; for a
+// diffset deeper in the DFS it is the support drop.
+type set struct {
+	words []uint64
+	list  []int32
+	card  int64
+}
+
+func (s *set) dense() bool { return s.words != nil }
+
+// Layout is the vertical image of a db.Database: one column per item,
+// bitmaps for dense items and tidlists for sparse ones, all backed by two
+// arena allocations. It is materialized in one counting pass plus one fill
+// pass over the horizontal database.
+type Layout struct {
+	NumTx  int     // transactions D (bit positions 0..NumTx-1)
+	Words  int     // ⌈NumTx/64⌉ words per bitmap
+	Cutoff float64 // density threshold that classified the columns
+
+	sups []int64 // per-item support, for every item in [0, NumItems)
+	sets []set
+	// listMax is the longest stored tidlist — the scratch size tidlist
+	// kernels need on top of the Words-sized bitmap scratch.
+	listMax     int
+	denseItems  int
+	sparseItems int
+}
+
+// NewLayout materializes the vertical layout for every item that occurs at
+// least once, using the default density cutoff when cutoff <= 0.
+func NewLayout(d *db.Database, cutoff float64) *Layout {
+	return Materialize(d, cutoff, 1)
+}
+
+// Materialize counts item supports and builds the vertical layout, storing
+// columns only for items with support >= minCount (the engine never probes
+// an infrequent column, so materializing it would be wasted arena).
+func Materialize(d *db.Database, cutoff float64, minCount int64) *Layout {
+	sups := make([]int64, d.NumItems())
+	for t := 0; t < d.Len(); t++ {
+		for _, it := range d.Items(t) {
+			sups[it]++
+		}
+	}
+	return FromCounts(d, cutoff, minCount, sups)
+}
+
+// FromCounts builds the layout from precomputed per-item supports (the
+// engine's parallel F1 phase already has them; recounting would double the
+// scan). sups must have one entry per item in [0, d.NumItems()).
+func FromCounts(d *db.Database, cutoff float64, minCount int64, sups []int64) *Layout {
+	if cutoff <= 0 {
+		cutoff = DefaultDensityCutoff
+	}
+	if minCount < 1 {
+		minCount = 1
+	}
+	nTx := d.Len()
+	l := &Layout{
+		NumTx:  nTx,
+		Words:  (nTx + 63) / 64,
+		Cutoff: cutoff,
+		sups:   sups,
+		sets:   make([]set, d.NumItems()),
+	}
+	// Classify columns and size the two arenas. An item is dense when its
+	// density (support / D) reaches the cutoff.
+	denseFloor := cutoff * float64(nTx)
+	var sparseTids int64
+	for it, sup := range sups {
+		switch {
+		case sup < minCount:
+			// no column
+		case float64(sup) >= denseFloor:
+			l.sets[it].card = -1 // marks dense; words attached below
+			l.denseItems++
+		default:
+			l.sets[it].card = sup
+			sparseTids += sup
+			l.sparseItems++
+			if int(sup) > l.listMax {
+				l.listMax = int(sup)
+			}
+		}
+	}
+	wordArena := make([]uint64, l.denseItems*l.Words)
+	listArena := make([]int32, sparseTids)
+	next := make([]int32, d.NumItems()) // per-sparse-item write cursor
+	var w, off int
+	for it := range l.sets {
+		s := &l.sets[it]
+		switch {
+		case s.card == -1:
+			s.card = sups[it]
+			s.words = wordArena[w*l.Words : (w+1)*l.Words]
+			w++
+		case s.card > 0:
+			s.list = listArena[off : off+int(s.card)]
+			next[it] = int32(off)
+			off += int(s.card)
+		}
+	}
+	// Fill pass: one scan over the horizontal database. Transactions are
+	// visited in ascending order, so tidlists come out sorted for free.
+	for t := 0; t < nTx; t++ {
+		tid := int32(t)
+		for _, it := range d.Items(t) {
+			s := &l.sets[it]
+			switch {
+			case s.words != nil:
+				SetBit(s.words, tid)
+			case s.list != nil:
+				listArena[next[it]] = tid
+				next[it]++
+			}
+		}
+	}
+	return l
+}
+
+// Support returns the support of a single item (0 for items outside the
+// materialized universe).
+func (l *Layout) Support(it itemset.Item) int64 {
+	if int(it) >= len(l.sups) {
+		return 0
+	}
+	return l.sups[it]
+}
+
+// ItemWords returns item's bitmap column, nil when the item is stored as a
+// tidlist (or not stored at all).
+func (l *Layout) ItemWords(it itemset.Item) []uint64 { return l.sets[it].words }
+
+// ItemList returns item's tidlist column, nil when the item is stored as a
+// bitmap (or not stored at all).
+func (l *Layout) ItemList(it itemset.Item) []int32 { return l.sets[it].list }
+
+// DenseItems returns how many columns are bitmaps.
+func (l *Layout) DenseItems() int { return l.denseItems }
+
+// SparseItems returns how many columns are tidlists.
+func (l *Layout) SparseItems() int { return l.sparseItems }
+
+// BuildWork returns the deterministic work units of materializing the
+// layout: the counting pass plus the fill pass each touch every item
+// occurrence once.
+func (l *Layout) BuildWork(d *db.Database) int64 {
+	return 2 * d.TotalItems() * WorkItemScan
+}
