@@ -30,6 +30,7 @@ import (
 	"repro/internal/ccpd"
 	"repro/internal/core"
 	"repro/internal/db"
+	"repro/internal/db/seg"
 	"repro/internal/eclat"
 	"repro/internal/gen"
 	"repro/internal/hashtree"
@@ -349,6 +350,82 @@ func CharacterizeDB(d *Database) DBStats { return vbit.Characterize(d) }
 // SelectEngine picks the hash-tree (CCPD) or vertical bitmap (vbit) engine
 // from database statistics — the -algo auto policy.
 func SelectEngine(s DBStats) Engine { return vbit.AutoSelect(s) }
+
+// --- Out-of-core mining: segmented columnar stores larger than RAM. ---
+
+// SegReader reads a segmented on-disk store (.arseg): int64 global
+// addressing over per-segment arenas, each segment materializing as a
+// regular Database.
+type SegReader = seg.Reader
+
+// SegWriter streams transactions into a segmented store with bounded memory.
+type SegWriter = seg.Writer
+
+// SegWriterOptions sizes the segments of a store being written.
+type SegWriterOptions = seg.WriterOptions
+
+// PipelineStats is the prefetch pipeline's accounting (loads, stalls,
+// overlap) for an out-of-core run.
+type PipelineStats = seg.PipelineStats
+
+// OpenSegmented opens a segmented store with read-at segment loading.
+func OpenSegmented(path string) (*SegReader, error) { return seg.Open(path) }
+
+// OpenSegmentedMapped opens a segmented store through a memory mapping
+// (zero-copy segment materialization) where the platform supports it.
+func OpenSegmentedMapped(path string) (*SegReader, error) { return seg.OpenMapped(path) }
+
+// CreateSegmented starts writing a segmented store; Append transactions in
+// tid order and Close to publish atomically.
+func CreateSegmented(path string, opts SegWriterOptions) (*SegWriter, error) {
+	return seg.Create(path, opts)
+}
+
+// WriteSegmented writes an in-memory database into a segmented store.
+func WriteSegmented(path string, d *Database, opts SegWriterOptions) error {
+	return seg.WriteDatabase(path, d, opts)
+}
+
+// IsSegmented sniffs whether path holds a segmented store (versus the
+// whole-database .ardb format).
+func IsSegmented(path string) (bool, error) { return seg.IsSegmented(path) }
+
+// SegmentedOptions configures an out-of-core CCPD run: mining options plus
+// the resident-segment byte budget (0 = double-buffered prefetch).
+type SegmentedOptions = ccpd.SegmentedOptions
+
+// MineCCPDSegmented mines a segmented store without materializing the whole
+// database: segments stream through a double-buffered prefetch pipeline
+// while the hash-tree kernels count them. Frequent sets and the
+// deterministic work model are bit-identical to the in-RAM run.
+func MineCCPDSegmented(r *SegReader, opts SegmentedOptions) (*Result, *ParallelStats, error) {
+	return ccpd.MineSegmented(r, opts)
+}
+
+// MineCCPDSegmentedCtx is MineCCPDSegmented with cooperative cancellation.
+func MineCCPDSegmentedCtx(ctx context.Context, r *SegReader, opts SegmentedOptions) (*Result, *ParallelStats, error) {
+	return ccpd.MineSegmentedCtx(ctx, r, opts)
+}
+
+// VBitSegmentedOptions configures an out-of-core vertical run.
+type VBitSegmentedOptions = vbit.SegmentedOptions
+
+// VBitSegmentedStats summarizes an out-of-core vertical run (per-level
+// figures plus pipeline accounting).
+type VBitSegmentedStats = vbit.SegmentedStats
+
+// MineVBitSegmented mines a segmented store with the vertical engine,
+// level-wise: per level each segment materializes as a small vertical
+// layout and candidate supports accumulate across segments through the
+// word-parallel popcount kernels.
+func MineVBitSegmented(r *SegReader, opts VBitSegmentedOptions) (*Result, *VBitSegmentedStats, error) {
+	return vbit.MineSegmented(r, opts)
+}
+
+// MineVBitSegmentedCtx is MineVBitSegmented with cooperative cancellation.
+func MineVBitSegmentedCtx(ctx context.Context, r *SegReader, opts VBitSegmentedOptions) (*Result, *VBitSegmentedStats, error) {
+	return vbit.MineSegmentedCtx(ctx, r, opts)
+}
 
 // SamplingOptions configures a sample-vs-full mining evaluation.
 type SamplingOptions = sampling.Options

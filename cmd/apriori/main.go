@@ -27,6 +27,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/ccpd"
 	"repro/internal/db"
+	"repro/internal/db/seg"
 	"repro/internal/eclat"
 	"repro/internal/gen"
 	"repro/internal/hashtree"
@@ -80,6 +81,29 @@ type cliOptions struct {
 	Verbose    bool    // -v
 	TracePath  string  // -trace: Chrome trace JSON output (ccpd/pccd/vbit/auto)
 	MetricsTo  string  // -metrics: Prometheus-text snapshot output (ccpd/pccd/vbit/auto)
+	MemBudget  string  // -mem-budget: resident-segment byte cap for segmented stores (e.g. 512M)
+	MMap       bool    // -mmap: serve segmented stores from a memory mapping
+}
+
+// parseByteSize parses "512M"-style sizes (K/M/G suffixes, base 1024).
+func parseByteSize(s string) (int64, error) {
+	mult := int64(1)
+	num := s
+	if n := len(s); n > 0 {
+		switch s[n-1] {
+		case 'k', 'K':
+			mult, num = 1<<10, s[:n-1]
+		case 'm', 'M':
+			mult, num = 1<<20, s[:n-1]
+		case 'g', 'G':
+			mult, num = 1<<30, s[:n-1]
+		}
+	}
+	v, err := strconv.ParseInt(num, 10, 64)
+	if err != nil || v <= 0 {
+		return 0, usagef("bad -mem-budget %q (want e.g. 512M, 2G)", s)
+	}
+	return v * mult, nil
 }
 
 // usageError marks a command-line validation failure; main exits with
@@ -148,6 +172,8 @@ func main() {
 	flag.BoolVar(&o.Verbose, "v", false, "per-iteration details")
 	flag.StringVar(&o.TracePath, "trace", "", "write a Chrome trace_event JSON timeline here (ccpd/pccd/vbit/auto)")
 	flag.StringVar(&o.MetricsTo, "metrics", "", "write a Prometheus-text metrics snapshot here (ccpd/pccd/vbit/auto)")
+	flag.StringVar(&o.MemBudget, "mem-budget", "", "out-of-core residency budget for segmented -db stores, e.g. 512M (default: double-buffered)")
+	flag.BoolVar(&o.MMap, "mmap", false, "serve a segmented -db store from a memory mapping instead of read-at I/O")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -167,11 +193,23 @@ func run(o cliOptions) error {
 	var d *db.Database
 	switch {
 	case o.DBPath != "":
-		var err error
+		segmented, err := seg.IsSegmented(o.DBPath)
+		if err != nil {
+			return err
+		}
+		if segmented {
+			return runSegmented(o)
+		}
+		if o.MemBudget != "" || o.MMap {
+			return usagef("-mem-budget/-mmap require a segmented store (write one with questgen -seg)")
+		}
 		if d, err = db.ReadFile(o.DBPath); err != nil {
 			return err
 		}
 	case o.GenSpec != "":
+		if o.MemBudget != "" || o.MMap {
+			return usagef("-mem-budget/-mmap require a segmented -db store (write one with questgen -seg)")
+		}
 		p, err := parseGenSpec(o.GenSpec)
 		if err != nil {
 			return err
@@ -246,35 +284,10 @@ func run(o cliOptions) error {
 				st.Rounds, float64(st.BytesExchanged)/1024)
 		}
 	case "ccpd", "pccd":
-		po := ccpd.Options{Options: opts, Procs: o.Procs}
-		switch o.Balance {
-		case "interleaved":
-			po.Balance = ccpd.BalanceInterleaved
-		case "bitonic":
-			po.Balance = ccpd.BalanceBitonic
+		po, err2 := ccpdOptions(o, opts)
+		if err2 != nil {
+			return err2
 		}
-		switch o.Counter {
-		case "locked":
-			po.Counter = hashtree.CounterLocked
-		case "atomic":
-			po.Counter = hashtree.CounterAtomic
-		case "private":
-			po.Counter = hashtree.CounterPrivate
-		}
-		switch o.DBPart {
-		case "block":
-			po.DBPart = ccpd.PartitionBlock
-		case "workload":
-			po.DBPart = ccpd.PartitionWorkload
-		case "dynamic":
-			po.DBPart = ccpd.PartitionDynamic
-		case "stealing":
-			po.DBPart = ccpd.PartitionStealing
-		default:
-			return fmt.Errorf("unknown -dbpart %q", o.DBPart)
-		}
-		po.ChunkSize = o.ChunkSize
-		po.Checkpoint = o.Checkpoint
 		if o.TracePath != "" || o.MetricsTo != "" {
 			rec = obs.NewRecorder(o.Procs)
 			po.Obs = rec
@@ -338,6 +351,165 @@ func run(o cliOptions) error {
 				break
 			}
 			fmt.Printf("  %v\n", r)
+		}
+	}
+	return nil
+}
+
+// ccpdOptions maps the CLI's string knobs onto a ccpd.Options.
+func ccpdOptions(o cliOptions, opts apriori.Options) (ccpd.Options, error) {
+	po := ccpd.Options{Options: opts, Procs: o.Procs}
+	switch o.Balance {
+	case "interleaved":
+		po.Balance = ccpd.BalanceInterleaved
+	case "bitonic":
+		po.Balance = ccpd.BalanceBitonic
+	}
+	switch o.Counter {
+	case "locked":
+		po.Counter = hashtree.CounterLocked
+	case "atomic":
+		po.Counter = hashtree.CounterAtomic
+	case "private":
+		po.Counter = hashtree.CounterPrivate
+	}
+	switch o.DBPart {
+	case "block":
+		po.DBPart = ccpd.PartitionBlock
+	case "workload":
+		po.DBPart = ccpd.PartitionWorkload
+	case "dynamic":
+		po.DBPart = ccpd.PartitionDynamic
+	case "stealing":
+		po.DBPart = ccpd.PartitionStealing
+	default:
+		return po, fmt.Errorf("unknown -dbpart %q", o.DBPart)
+	}
+	po.ChunkSize = o.ChunkSize
+	po.Checkpoint = o.Checkpoint
+	return po, nil
+}
+
+// runSegmented mines a segmented (out-of-core) store: the database never
+// materializes whole; segments stream through a double-buffered pipeline
+// bounded by -mem-budget. Only the ccpd and vbit engines (and auto between
+// them) have out-of-core counting paths.
+func runSegmented(o cliOptions) error {
+	var budget int64
+	if o.MemBudget != "" {
+		var err error
+		if budget, err = parseByteSize(o.MemBudget); err != nil {
+			return err
+		}
+	}
+	var (
+		r   *seg.Reader
+		err error
+	)
+	if o.MMap {
+		r, err = seg.OpenMapped(o.DBPath)
+	} else {
+		r, err = seg.Open(o.DBPath)
+	}
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	fmt.Printf("segmented store: %d transactions, %d segments, max segment %.1f MB\n",
+		r.NumTx(), r.NumSegments(), float64(r.MaxSegmentBytes())/(1<<20))
+
+	algo := o.Algo
+	if algo == "auto" {
+		// Characterize the first segment: density statistics are per-
+		// transaction averages, so any segment is a fair sample.
+		sd, err := r.LoadSegment(0, nil)
+		if err != nil {
+			return err
+		}
+		st := vbit.Characterize(sd)
+		engine := vbit.AutoSelect(st)
+		fmt.Printf("auto-selector (segment 0): density=%.5f (avg len %.1f over %d items) -> %s\n",
+			st.Density, st.AvgLen, st.NumItems, engine)
+		algo = engine.String()
+	}
+
+	opts := apriori.Options{
+		MinSupport: o.Support, Threshold: o.Threshold, Fanout: o.Fanout, ShortCircuit: o.SC,
+		MaxK: o.MaxK, MaxCandidatesInMemory: o.MaxCands,
+	}
+	if o.Hash == "bitonic" {
+		opts.Hash = hashtree.HashBitonic
+	}
+	var rec *obs.Recorder
+	if o.TracePath != "" || o.MetricsTo != "" {
+		rec = obs.NewRecorder(o.Procs)
+	}
+
+	var res *apriori.Result
+	var pipe *seg.PipelineStats
+	switch algo {
+	case "ccpd":
+		po, err := ccpdOptions(o, opts)
+		if err != nil {
+			return err
+		}
+		po.Obs = rec
+		var stats *ccpd.Stats
+		res, stats, err = ccpd.MineSegmented(r, ccpd.SegmentedOptions{Options: po, MemBudget: budget})
+		if err != nil {
+			return err
+		}
+		pipe = stats.OutOfCore
+		fmt.Printf("total time: %v (counting %v)\n", stats.Total, stats.TotalCount())
+		if o.Verbose {
+			for _, it := range stats.PerIter {
+				fmt.Printf("  k=%-2d cands=%-7d freq=%-7d count=%v\n", it.K, it.Candidates, it.Frequent, it.Count)
+			}
+		}
+	case "vbit":
+		var stats *vbit.SegmentedStats
+		res, stats, err = vbit.MineSegmented(r, vbit.SegmentedOptions{
+			Options: vbit.Options{
+				MinSupport: o.Support, MaxK: o.MaxK, Procs: o.Procs,
+				ChunkStride: o.ChunkSize, Obs: rec,
+			},
+			MemBudget: budget,
+		})
+		if err != nil {
+			return err
+		}
+		pipe = &stats.Pipeline
+		fmt.Printf("total time: %v (%d levels)\n", stats.Total, stats.Levels)
+	default:
+		return usagef("segmented stores mine with -algo ccpd, vbit or auto (got %q)", o.Algo)
+	}
+
+	if pipe != nil {
+		mode := "sync"
+		if pipe.Overlapped {
+			mode = "double-buffered"
+		}
+		fmt.Printf("out-of-core: %d segment loads over %d passes, %d resident (%s), stall %.1f%%\n",
+			pipe.Segments, pipe.Passes, pipe.Residents, mode, 100*pipe.StallFraction())
+	}
+	fmt.Printf("min support: %d transactions (%.3f%%)\n", res.MinCount, o.Support*100)
+	fmt.Printf("frequent itemsets: %d\n", res.NumFrequent())
+	for k := 1; k < len(res.ByK); k++ {
+		if len(res.ByK[k]) > 0 {
+			fmt.Printf("  F%-2d %6d\n", k, len(res.ByK[k]))
+		}
+	}
+	if err := exportObs(rec, o.TracePath, o.MetricsTo); err != nil {
+		return err
+	}
+	if o.RuleConf > 0 {
+		rs := rules.Generate(res, rules.Options{MinConfidence: o.RuleConf, DBSize: int(r.NumTx())})
+		fmt.Printf("rules at confidence >= %.2f: %d\n", o.RuleConf, len(rs))
+		for i, rl := range rs {
+			if i >= o.TopN {
+				break
+			}
+			fmt.Printf("  %v\n", rl)
 		}
 	}
 	return nil

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/db/seg"
 	"repro/internal/gen"
 )
 
@@ -126,6 +127,97 @@ func TestRunEndToEnd(t *testing.T) {
 		o.DBPath = "/nonexistent/x.ardb"
 		if err := run(o); err == nil {
 			t.Error("missing file should fail")
+		}
+	}
+}
+
+// TestRunSegmentedStore drives the out-of-core path through the CLI surface:
+// a segmented -db routes to the streaming miners (ccpd, vbit, auto), honors
+// -mem-budget/-mmap, and rejects engines without an out-of-core path.
+func TestRunSegmentedStore(t *testing.T) {
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	d, err := gen.Generate(gen.Params{T: 5, I: 2, D: 400, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "d.arseg")
+	if err := seg.WriteDatabase(path, d, seg.WriterOptions{SegTx: 150}); err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []string{"ccpd", "vbit", "auto"} {
+		o := base()
+		o.GenSpec = ""
+		o.DBPath = path
+		o.Algo = algo
+		o.MemBudget = "64K"
+		o.RuleConf = 0.8
+		if err := run(o); err != nil {
+			t.Errorf("segmented algo %s: %v", algo, err)
+		}
+	}
+	{
+		o := base()
+		o.GenSpec = ""
+		o.DBPath = path
+		o.MMap = true
+		o.DBPart = "dynamic"
+		o.ChunkSize = 32
+		if err := run(o); err != nil {
+			// mmap may be unavailable on some platforms; only real mining
+			// failures count.
+			if !strings.Contains(err.Error(), "unsupported") {
+				t.Errorf("segmented mmap: %v", err)
+			}
+		}
+	}
+	{
+		o := base()
+		o.GenSpec = ""
+		o.DBPath = path
+		o.Algo = "seq"
+		if err := run(o); err == nil || !strings.Contains(err.Error(), "segmented") {
+			t.Errorf("segmented seq: err = %v, want engine rejection", err)
+		}
+	}
+	{
+		o := base()
+		o.GenSpec = ""
+		o.DBPath = path
+		o.MemBudget = "banana"
+		if err := run(o); err == nil || !strings.Contains(err.Error(), "mem-budget") {
+			t.Errorf("bad budget: err = %v, want usage error", err)
+		}
+	}
+	{
+		o := base() // -gen with -mem-budget: not a segmented store
+		o.MemBudget = "64K"
+		if err := run(o); err == nil {
+			t.Error("-mem-budget without a segmented -db should fail")
+		}
+	}
+}
+
+// TestParseByteSize pins the K/M/G suffix parser.
+func TestParseByteSize(t *testing.T) {
+	good := map[string]int64{
+		"512":  512,
+		"64K":  64 << 10,
+		"512m": 512 << 20,
+		"2G":   2 << 30,
+	}
+	for in, want := range good {
+		got, err := parseByteSize(in)
+		if err != nil || got != want {
+			t.Errorf("parseByteSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "K", "-5M", "0", "1.5G", "banana"} {
+		if _, err := parseByteSize(in); err == nil {
+			t.Errorf("parseByteSize(%q) should fail", in)
 		}
 	}
 }

@@ -36,10 +36,12 @@ import (
 	"runtime"
 	"sort"
 	"testing"
+	"time"
 
 	"repro/internal/apriori"
 	"repro/internal/ccpd"
 	"repro/internal/db"
+	"repro/internal/db/seg"
 	"repro/internal/gen"
 	"repro/internal/hashtree"
 	"repro/internal/itemset"
@@ -69,6 +71,39 @@ type engineVerdict struct {
 	Pass             bool    `json:"pass"`
 }
 
+// oocRow is one out-of-core pipeline measurement: the full segmented miner
+// on the same store, with a synthetic per-segment load delay, under the sync
+// (single-buffer) and the double-buffered prefetch pipeline.
+type oocRow struct {
+	Mode          string  `json:"mode"` // sync | overlapped
+	WallNs        int64   `json:"wall_ns"`
+	LoadNs        int64   `json:"load_ns"`
+	StallNs       int64   `json:"stall_ns"`
+	CountNs       int64   `json:"count_ns"`
+	StallFraction float64 `json:"stall_fraction"`
+	Segments      int     `json:"segments"`
+	Passes        int     `json:"passes"`
+}
+
+// oocVerdict gates the prefetch-overlap claim: with I/O latency comparable
+// to counting time, the double-buffered pipeline must finish faster than the
+// sync one and spend a smaller fraction of its time stalled on loads.
+type oocVerdict struct {
+	SyncWallNs       int64   `json:"sync_wall_ns"`
+	OverlapWallNs    int64   `json:"overlap_wall_ns"`
+	SyncStallFrac    float64 `json:"sync_stall_fraction"`
+	OverlapStallFrac float64 `json:"overlap_stall_fraction"`
+	Pass             bool    `json:"pass"`
+}
+
+// oocSection is the out-of-core portion of the counting report (-outofcore).
+type oocSection struct {
+	Segments    int        `json:"segments"`
+	LoadDelayNs int64      `json:"load_delay_ns"`
+	Rows        []oocRow   `json:"rows"`
+	Verdict     oocVerdict `json:"verdict"`
+}
+
 type report struct {
 	GoVersion string `json:"go_version"`
 	GOARCH    string `json:"goarch"`
@@ -80,6 +115,8 @@ type report struct {
 	// EngineVerdict is present when both engines ran the comparison rows
 	// (-engine all, the default).
 	EngineVerdict *engineVerdict `json:"engine_verdict,omitempty"`
+	// OutOfCore is present when -outofcore ran the prefetch-overlap rows.
+	OutOfCore *oocSection `json:"out_of_core,omitempty"`
 }
 
 // kCandidates mines the (k-1)-frequent sets and joins them into the
@@ -140,6 +177,7 @@ func main() {
 	dsize := flag.Int("d", 2000, "transactions in the benchmark database")
 	scaling := flag.Bool("scaling", false, "run the procs-scaling scheduler benchmark instead of the counting kernel")
 	against := flag.String("against", "", "committed kernel snapshot to gate against (>10% regression fails)")
+	outofcore := flag.Bool("outofcore", false, "also run the out-of-core prefetch-overlap rows (sync vs double-buffered segmented mining)")
 	nsTol := flag.Float64("nstol", 10, "ns/op regression tolerance percent for -against, after host-scale normalization (0 disables the timing gate; allocs are always gated at 10%)")
 	engine := flag.String("engine", "all", "counting engines to benchmark: all | hashtree | vbit (the committed snapshot holds all, so -against needs all)")
 	flag.Parse()
@@ -208,6 +246,11 @@ func main() {
 	if err := runEngineRows(&rep, *dsize, k, *engine); err != nil {
 		fatal(err)
 	}
+	if *outofcore {
+		if err := runOutOfCore(&rep, *dsize); err != nil {
+			fatal(err)
+		}
+	}
 
 	if err := writeJSON(*out, rep); err != nil {
 		fatal(err)
@@ -224,6 +267,113 @@ func main() {
 		fatal(fmt.Errorf("engine verdict failed: vbit %.0f ns/op vs hashtree %.0f ns/op on the dense dataset — the vertical engine must win there",
 			v.DenseVBitNs, v.DenseHashtreeNs))
 	}
+	if v := rep.OutOfCore; v != nil && !v.Verdict.Pass {
+		fatal(fmt.Errorf("out-of-core verdict failed: overlapped %.1fms (stall %.0f%%) vs sync %.1fms (stall %.0f%%) — double-buffering must win",
+			float64(v.Verdict.OverlapWallNs)/1e6, 100*v.Verdict.OverlapStallFrac,
+			float64(v.Verdict.SyncWallNs)/1e6, 100*v.Verdict.SyncStallFrac))
+	}
+}
+
+// runOutOfCore measures the segmented miner under the sync and the
+// double-buffered pipeline on the same store. The synthetic per-segment load
+// delay is calibrated to the measured counting time per segment visit, so
+// I/O and compute are comparable — the regime where prefetch overlap pays;
+// with free loads both modes degenerate to pure counting, and with dominant
+// loads both degenerate to pure I/O.
+func runOutOfCore(rep *report, dsize int) error {
+	dir, err := os.MkdirTemp("", "benchooc")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	// 4× the kernel-row database split into 4 segments: per-segment counting
+	// must dwarf timer/scheduler wake latency (~1ms on a loaded single-core
+	// host) or the overlap win drowns in it.
+	dooc := 4 * dsize
+	d, err := gen.Generate(gen.Params{T: 10, I: 4, D: dooc, Seed: 1})
+	if err != nil {
+		return err
+	}
+	path := dir + "/bench.arseg"
+	segTx := (dooc + 3) / 4
+	if err := seg.WriteDatabase(path, d, seg.WriterOptions{SegTx: segTx}); err != nil {
+		return err
+	}
+	r, err := seg.Open(path)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	opts := ccpd.Options{
+		Options: apriori.Options{
+			AbsSupport: 10, ShortCircuit: true, Hash: hashtree.HashBitonic,
+		},
+		Procs: 4, Counter: hashtree.CounterPrivate,
+		Balance: ccpd.BalanceBitonic, DBPart: ccpd.PartitionBlock,
+	}
+	run := func(budget int64, delay time.Duration) (int64, *seg.PipelineStats, error) {
+		var wall int64
+		var pipe *seg.PipelineStats
+		for try := 0; try < 3; try++ { // min of 3, like the kernel rows
+			t0 := time.Now()
+			_, st, err := ccpd.MineSegmented(r, ccpd.SegmentedOptions{
+				Options: opts, MemBudget: budget, LoadDelay: delay,
+			})
+			w := time.Since(t0).Nanoseconds()
+			if err != nil {
+				return 0, nil, err
+			}
+			if try == 0 || w < wall {
+				wall, pipe = w, st.OutOfCore
+			}
+		}
+		return wall, pipe, nil
+	}
+
+	// Calibrate: a delay-free sync pass measures pure counting per segment
+	// visit; that becomes the injected load latency (clamped to sane bounds).
+	_, cal, err := run(1, 0)
+	if err != nil {
+		return err
+	}
+	delay := time.Duration(cal.CountNS / int64(cal.Segments))
+	if delay < 500*time.Microsecond {
+		delay = 500 * time.Microsecond
+	}
+	if delay > 10*time.Millisecond {
+		delay = 10 * time.Millisecond
+	}
+
+	sec := &oocSection{Segments: r.NumSegments(), LoadDelayNs: delay.Nanoseconds()}
+	for _, m := range []struct {
+		mode   string
+		budget int64
+	}{{"sync", 1}, {"overlapped", 0}} {
+		wall, pipe, err := run(m.budget, delay)
+		if err != nil {
+			return err
+		}
+		sec.Rows = append(sec.Rows, oocRow{
+			Mode: m.mode, WallNs: wall,
+			LoadNs: pipe.LoadNS, StallNs: pipe.StallNS, CountNs: pipe.CountNS,
+			StallFraction: pipe.StallFraction(),
+			Segments:      pipe.Segments, Passes: pipe.Passes,
+		})
+		fmt.Printf("OutOfCore/%-12s %10.1f ms wall, stall %5.1f%% (%d segment loads, %d passes)\n",
+			m.mode, float64(wall)/1e6, 100*pipe.StallFraction(), pipe.Segments, pipe.Passes)
+	}
+	v := &sec.Verdict
+	v.SyncWallNs, v.SyncStallFrac = sec.Rows[0].WallNs, sec.Rows[0].StallFraction
+	v.OverlapWallNs, v.OverlapStallFrac = sec.Rows[1].WallNs, sec.Rows[1].StallFraction
+	v.Pass = v.OverlapWallNs < v.SyncWallNs && v.OverlapStallFrac < v.SyncStallFrac
+	rep.OutOfCore = sec
+	status := "pass"
+	if !v.Pass {
+		status = "FAIL"
+	}
+	fmt.Printf("out-of-core verdict: %s (load delay %v)\n", status, delay)
+	return nil
 }
 
 // maxEngineCands caps the candidate list the engine-comparison rows count:

@@ -34,17 +34,18 @@ func main() {
 	all := flag.Bool("all", false, "regenerate everything")
 	sched := flag.Bool("sched", false, "run the static-vs-dynamic scheduler balance study")
 	sweep := flag.String("sweep", "", "run a parameter sweep: density (ccpd-vs-vbit engine crossover)")
+	outofcore := flag.Bool("outofcore", false, "run the out-of-core segmented-mining study (in-RAM vs sync vs double-buffered)")
 	maxTrace := flag.Int("maxtrace", 200, "transactions traced per processor in placement studies")
 	trace := flag.String("trace", "", "mine the skewed stealing workload and write a Chrome trace JSON here")
 	metrics := flag.String("metrics", "", "with -trace: also write a Prometheus-text metrics snapshot here")
 	procs := flag.Int("procs", 4, "processors for the -trace run")
 	flag.Parse()
 
-	if !*all && *figure == 0 && *table == 0 && !*sched && *sweep == "" && *trace == "" && *metrics == "" {
+	if !*all && *figure == 0 && *table == 0 && !*sched && !*outofcore && *sweep == "" && *trace == "" && *metrics == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *scale, *figure, *table, *all, *sched, *maxTrace, *trace, *metrics, *procs, *sweep); err != nil {
+	if err := run(os.Stdout, *scale, *figure, *table, *all, *sched, *outofcore, *maxTrace, *trace, *metrics, *procs, *sweep); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		var ue *usageError
 		if errors.As(err, &ue) {
@@ -54,7 +55,7 @@ func main() {
 	}
 }
 
-func run(w io.Writer, scale float64, figure, table int, all, sched bool, maxTrace int, trace, metrics string, procs int, sweep string) error {
+func run(w io.Writer, scale float64, figure, table int, all, sched, outofcore bool, maxTrace int, trace, metrics string, procs int, sweep string) error {
 	switch {
 	case scale <= 0 || scale > 1:
 		return &usageError{msg: fmt.Sprintf("-scale must be a fraction in (0, 1], got %g", scale)}
@@ -92,8 +93,9 @@ func run(w io.Writer, scale float64, figure, table int, all, sched bool, maxTrac
 		"f12": {"Figure 12", r.Figure12},
 		"f13": {"Figure 13", r.Figure13},
 		"sb":  {"Scheduler balance", r.SchedBalance},
+		"ooc": {"Out-of-core mining", r.OutOfCore},
 	}
-	order := []string{"t1", "t2", "f4", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "f13", "sb"}
+	order := []string{"t1", "t2", "f4", "f6", "f7", "f8", "f9", "f10", "f11", "f12", "f13", "sb", "ooc"}
 
 	var selected []string
 	switch {
@@ -101,6 +103,8 @@ func run(w io.Writer, scale float64, figure, table int, all, sched bool, maxTrac
 		selected = order
 	case sched:
 		selected = []string{"sb"}
+	case outofcore:
+		selected = []string{"ooc"}
 	case table != 0:
 		key := fmt.Sprintf("t%d", table)
 		if _, ok := steps[key]; !ok {

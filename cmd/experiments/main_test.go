@@ -12,14 +12,14 @@ import (
 
 func TestRunSingleTableAndFigure(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 0.002, 0, 1, false, false, 20, "", "", 4, ""); err != nil {
+	if err := run(&buf, 0.002, 0, 1, false, false, false, 20, "", "", 4, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Table 1") {
 		t.Errorf("missing Table 1:\n%s", buf.String())
 	}
 	buf.Reset()
-	if err := run(&buf, 0.002, 4, 0, false, false, 20, "", "", 4, ""); err != nil {
+	if err := run(&buf, 0.002, 4, 0, false, false, false, 20, "", "", 4, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Figure 4") {
@@ -29,10 +29,10 @@ func TestRunSingleTableAndFigure(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 0.002, 99, 0, false, false, 20, "", "", 4, ""); err == nil {
+	if err := run(&buf, 0.002, 99, 0, false, false, false, 20, "", "", 4, ""); err == nil {
 		t.Error("unknown figure should fail")
 	}
-	if err := run(&buf, 0.002, 0, 9, false, false, 20, "", "", 4, ""); err == nil {
+	if err := run(&buf, 0.002, 0, 9, false, false, false, 20, "", "", 4, ""); err == nil {
 		t.Error("unknown table should fail")
 	}
 }
@@ -56,7 +56,7 @@ func TestRunValidation(t *testing.T) {
 		{"maxtrace negative", 0.002, -1, 4},
 	}
 	for _, c := range cases {
-		err := run(&buf, c.scale, 0, 1, false, false, c.maxTrace, "", "", c.procs, "")
+		err := run(&buf, c.scale, 0, 1, false, false, false, c.maxTrace, "", "", c.procs, "")
 		if err == nil {
 			t.Errorf("%s: run should fail", c.name)
 			continue
@@ -67,7 +67,7 @@ func TestRunValidation(t *testing.T) {
 		}
 	}
 	// Boundary values inside the range pass validation (table 1 is cheap).
-	if err := run(&buf, 1, 0, 1, false, false, 0, "", "", 1, ""); err != nil {
+	if err := run(&buf, 1, 0, 1, false, false, false, 0, "", "", 1, ""); err != nil {
 		t.Errorf("boundary values rejected: %v", err)
 	}
 }
@@ -76,7 +76,7 @@ func TestRunQuickFigures(t *testing.T) {
 	// Exercise a fast real figure end-to-end (7 mines all eight datasets at
 	// the tiniest scale).
 	var buf bytes.Buffer
-	if err := run(&buf, 0.002, 7, 0, false, false, 10, "", "", 4, ""); err != nil {
+	if err := run(&buf, 0.002, 7, 0, false, false, false, 10, "", "", 4, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Figure 7") {
@@ -86,7 +86,7 @@ func TestRunQuickFigures(t *testing.T) {
 
 func TestRunSchedBalance(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 0.002, 0, 0, false, true, 20, "", "", 4, ""); err != nil {
+	if err := run(&buf, 0.002, 0, 0, false, true, false, 20, "", "", 4, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -95,12 +95,28 @@ func TestRunSchedBalance(t *testing.T) {
 	}
 }
 
+// TestRunOutOfCore drives the segmented-mining study end to end at the
+// tiniest scale: the three modes must agree and the table must carry both
+// pipeline modes.
+func TestRunOutOfCore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 0.002, 0, 0, false, false, true, 20, "", "", 4, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Out-of-core mining", "ooc sync", "ooc double-buffered", "identical"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("out-of-core output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestRunDensitySweep drives the ccpd-vs-vbit crossover study end to end at
 // the tiniest scale: the table must cover both sides of the auto-selector's
 // default crossover density, and an unknown sweep name is a usage error.
 func TestRunDensitySweep(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, 0.002, 0, 0, false, false, 20, "", "", 4, "density"); err != nil {
+	if err := run(&buf, 0.002, 0, 0, false, false, false, 20, "", "", 4, "density"); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -110,7 +126,7 @@ func TestRunDensitySweep(t *testing.T) {
 		}
 	}
 
-	if err := run(&buf, 0.002, 0, 0, false, false, 20, "", "", 4, "nope"); err == nil {
+	if err := run(&buf, 0.002, 0, 0, false, false, false, 20, "", "", 4, "nope"); err == nil {
 		t.Error("unknown -sweep should fail")
 	} else {
 		var ue *usageError
@@ -125,7 +141,7 @@ func TestRunSkewTrace(t *testing.T) {
 	tracePath := filepath.Join(dir, "skew.json")
 	metricsPath := filepath.Join(dir, "skew.txt")
 	var buf bytes.Buffer
-	if err := run(&buf, 0.002, 0, 0, false, false, 20, tracePath, metricsPath, 4, ""); err != nil {
+	if err := run(&buf, 0.002, 0, 0, false, false, false, 20, tracePath, metricsPath, 4, ""); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(tracePath)

@@ -4,6 +4,11 @@
 // Usage:
 //
 //	questgen -T 10 -I 4 -D 100000 -o T10.I4.D100K.ardb
+//	questgen -T 10 -I 6 -D 3200000 -seg 262144 -o T10.I6.D3200K.arseg
+//
+// With -seg the transactions stream straight into a segmented out-of-core
+// store (one segment per that many transactions), so the database never
+// materializes in memory — D is bounded by disk, not RAM.
 package main
 
 import (
@@ -11,7 +16,9 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/db/seg"
 	"repro/internal/gen"
+	"repro/internal/itemset"
 )
 
 func main() {
@@ -22,16 +29,20 @@ func main() {
 	flag.IntVar(&p.T, "T", 10, "average transaction size")
 	flag.IntVar(&p.D, "D", 100000, "number of transactions")
 	flag.Int64Var(&p.Seed, "seed", 1, "random seed")
-	out := flag.String("o", "", "output file (default <name>.ardb)")
+	segTx := flag.Int("seg", 0, "write a segmented store with this many transactions per segment (0 = whole-database .ardb)")
+	out := flag.String("o", "", "output file (default <name>.ardb, or <name>.arseg with -seg)")
 	flag.Parse()
 
-	if err := run(p, *out); err != nil {
+	if err := run(p, *segTx, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "questgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(p gen.Params, out string) error {
+func run(p gen.Params, segTx int, out string) error {
+	if segTx > 0 {
+		return runSegmented(p, segTx, out)
+	}
 	if out == "" {
 		out = p.Name() + ".ardb"
 	}
@@ -44,5 +55,45 @@ func run(p gen.Params, out string) error {
 	}
 	fmt.Printf("%s: %d transactions, %d items, avg len %.2f, %.1f MB -> %s\n",
 		p.Name(), d.Len(), d.NumItems(), d.AvgLen(), float64(d.SizeBytes())/(1<<20), out)
+	return nil
+}
+
+// runSegmented streams GenerateTo straight into a seg.Writer: memory stays
+// bounded by one segment regardless of D. The rng draw stream is identical
+// to the in-memory generator's, so -seg produces the same transactions as a
+// whole-database run with the same seed.
+func runSegmented(p gen.Params, segTx int, out string) error {
+	if out == "" {
+		out = p.Name() + ".arseg"
+	}
+	g, err := gen.New(p)
+	if err != nil {
+		return err
+	}
+	w, err := seg.Create(out, seg.WriterOptions{NumItems: p.N, SegTx: segTx})
+	if err != nil {
+		return err
+	}
+	err = g.GenerateTo(func(tid int64, items itemset.Itemset) error {
+		return w.Append(tid, items)
+	})
+	if err != nil {
+		w.Abort()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	r, err := seg.Open(out)
+	if err != nil {
+		return fmt.Errorf("verifying written store: %w", err)
+	}
+	defer r.Close()
+	fi, err := os.Stat(out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d transactions, %d items, %d segments, %.1f MB -> %s\n",
+		p.Name(), r.NumTx(), r.NumItems(), r.NumSegments(), float64(fi.Size())/(1<<20), out)
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/db"
+	"repro/internal/db/seg"
 	"repro/internal/gen"
 )
 
@@ -18,7 +19,7 @@ func TestRunWritesDatabase(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "tiny.ardb")
 	p := gen.Params{N: 100, L: 20, T: 5, I: 2, D: 300, Seed: 4}
-	if err := run(p, out); err != nil {
+	if err := run(p, 0, out); err != nil {
 		t.Fatal(err)
 	}
 	d, err := db.ReadFile(out)
@@ -47,7 +48,7 @@ func TestRunDefaultName(t *testing.T) {
 	defer os.Chdir(cwd)
 
 	p := gen.Params{N: 50, L: 10, T: 4, I: 2, D: 250, Seed: 9}
-	if err := run(p, ""); err != nil {
+	if err := run(p, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat("T4.I2.D250.ardb"); err != nil {
@@ -56,10 +57,67 @@ func TestRunDefaultName(t *testing.T) {
 }
 
 func TestRunBadParams(t *testing.T) {
-	if err := run(gen.Params{N: 10, L: 5, T: 0, I: 2, D: 10}, "x.ardb"); err == nil {
+	if err := run(gen.Params{N: 10, L: 5, T: 0, I: 2, D: 10}, 0, "x.ardb"); err == nil {
 		t.Error("invalid params should fail")
 	}
-	if err := run(gen.Params{N: 100, L: 20, T: 5, I: 2, D: 10, Seed: 1}, "/nonexistent-dir/x.ardb"); err == nil {
+	if err := run(gen.Params{N: 100, L: 20, T: 5, I: 2, D: 10, Seed: 1}, 0, "/nonexistent-dir/x.ardb"); err == nil {
 		t.Error("unwritable path should fail")
+	}
+}
+
+// TestRunSegmentedMatchesWhole: -seg streams the same rng draw stream, so
+// the segmented store holds exactly the transactions of the whole-database
+// run with the same seed.
+func TestRunSegmentedMatchesWhole(t *testing.T) {
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	dir := t.TempDir()
+	p := gen.Params{N: 80, L: 15, T: 5, I: 2, D: 400, Seed: 11}
+	ardb := filepath.Join(dir, "w.ardb")
+	arseg := filepath.Join(dir, "w.arseg")
+	if err := run(p, 0, ardb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(p, 150, arseg); err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.ReadFile(ardb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := seg.Open(arseg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.NumTx() != int64(want.Len()) || r.NumSegments() != 3 {
+		t.Fatalf("store has %d tx in %d segments, want %d in 3", r.NumTx(), r.NumSegments(), want.Len())
+	}
+	var base int
+	for i := 0; i < r.NumSegments(); i++ {
+		sd, err := r.LoadSegment(i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < sd.Len(); j++ {
+			if sd.TID(j) != want.TID(base+j) || !sd.Items(j).Equal(want.Items(base+j)) {
+				t.Fatalf("segment %d tx %d differs from whole-database generation", i, j)
+			}
+		}
+		base += sd.Len()
+	}
+}
+
+func TestRunSegmentedAbortsCleanly(t *testing.T) {
+	old := os.Stdout
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	if err := run(gen.Params{N: 100, L: 20, T: 5, I: 2, D: 10, Seed: 1}, 4, "/nonexistent-dir/x.arseg"); err == nil {
+		t.Error("unwritable segmented path should fail")
 	}
 }

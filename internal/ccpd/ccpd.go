@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/apriori"
 	"repro/internal/db"
+	"repro/internal/db/seg"
 	"repro/internal/hashtree"
 	"repro/internal/itemset"
 	"repro/internal/obs"
@@ -278,6 +279,10 @@ type Stats struct {
 	Procs   int
 	PerIter []PhaseTiming
 	Total   time.Duration
+	// OutOfCore carries the segment pipeline's accounting (loads, stalls,
+	// prefetch overlap) when the run was mined from a segmented store via
+	// MineSegmented; nil for in-RAM runs.
+	OutOfCore *seg.PipelineStats
 }
 
 // ModelTime sums the per-iteration modelled parallel times.
@@ -320,11 +325,12 @@ func (s *Stats) TotalSteals() int64 {
 	return t
 }
 
-// miner is the per-run state shared by MineCtx and Resume: the database,
-// resolved options, persistent pool, recorder, and the result/stats being
-// accumulated.
+// miner is the per-run state shared by MineCtx, MineSegmented and Resume:
+// the data source (in-RAM database or segmented store), resolved options,
+// persistent pool, recorder, and the result/stats being accumulated.
 type miner struct {
-	d        *db.Database
+	d        *db.Database // in-RAM source; nil for out-of-core runs
+	src      *segSource   // segmented source; nil for in-RAM runs
 	opts     Options
 	pool     *sched.Pool
 	rec      *obs.Recorder
@@ -336,7 +342,15 @@ type miner struct {
 	ckpts    int // checkpoints written (exported as a gauge)
 }
 
-// newMiner builds the shared run state; the returned cleanup must run when
+// numItems returns the item universe size of whichever source backs the run.
+func (m *miner) numItems() int {
+	if m.src != nil {
+		return m.src.r.NumItems()
+	}
+	return m.d.NumItems()
+}
+
+// newMiner builds the in-RAM run state; the returned cleanup must run when
 // the mine completes (it unhooks the recorder and closes the pool).
 func newMiner(d *db.Database, opts Options) (*miner, func()) {
 	m := &miner{
@@ -344,20 +358,23 @@ func newMiner(d *db.Database, opts Options) (*miner, func()) {
 		minCount: opts.MinCount(d.Len()),
 		rec:      opts.Obs,
 	}
-	// One persistent worker pool serves every phase of every iteration —
-	// the P "processors" of the paper's model, without per-phase goroutine
-	// spawn and teardown.
-	m.pool = sched.NewPool(opts.Procs)
+	return m, m.setupPool()
+}
+
+// setupPool attaches the persistent worker pool — the P "processors" of the
+// paper's model, serving every phase of every iteration without per-phase
+// goroutine spawn and teardown — and returns its cleanup.
+func (m *miner) setupPool() func() {
+	m.pool = sched.NewPool(m.opts.Procs)
 	if m.rec.Enabled() {
 		m.pool.SetWrap(m.rec.PoolWrap)
 	}
-	cleanup := func() {
+	return func() {
 		if m.rec.Enabled() {
 			m.pool.SetWrap(nil)
 		}
 		m.pool.Close()
 	}
-	return m, cleanup
 }
 
 // annotate stamps phase/iteration context onto a contained worker panic, so
@@ -388,6 +405,13 @@ func MineCtx(ctx context.Context, d *db.Database, opts Options) (*apriori.Result
 	start := time.Now()
 	m, cleanup := newMiner(d, opts)
 	defer cleanup()
+	return m.mine(ctx, start)
+}
+
+// mine is the full run, shared by the in-RAM and out-of-core entry points:
+// iteration 1, then the k-loop until fixpoint.
+func (m *miner) mine(ctx context.Context, start time.Time) (*apriori.Result, *Stats, error) {
+	opts := m.opts
 	m.res = &apriori.Result{MinCount: m.minCount, ByK: make([][]apriori.FrequentItemset, 2)}
 	m.stats = &Stats{Procs: opts.Procs}
 
@@ -399,7 +423,7 @@ func MineCtx(ctx context.Context, d *db.Database, opts Options) (*apriori.Result
 	t0 := time.Now()
 	m.rec.SetPhase(obs.PhaseF1, 1)
 	m.rec.BeginPhase(obs.PhaseF1, 1)
-	f1, err := parallelFrequentOne(ctx, d, m.minCount, m.pool, m.fi, opts.ChunkSize)
+	f1, f1Work, err := m.frequentOne(ctx)
 	m.rec.EndPhase(obs.PhaseF1, 1)
 	if err != nil {
 		return nil, nil, annotate(err, "f1", 1)
@@ -410,14 +434,15 @@ func MineCtx(ctx context.Context, d *db.Database, opts Options) (*apriori.Result
 		return nil, nil, err
 	}
 	m.res.ByK[1] = f1
+	numItems := m.numItems()
 	it1 := PhaseTiming{
-		K: 1, Count: time.Since(t0), Candidates: d.NumItems(), Frequent: len(f1),
-		CountWork: iterOneCountWork(d, opts), Batches: 1,
+		K: 1, Count: time.Since(t0), Candidates: numItems, Frequent: len(f1),
+		CountWork: f1Work, Batches: 1,
 	}
-	it1.ReduceWork = int64(d.NumItems())
+	it1.ReduceWork = int64(numItems)
 	m.stats.PerIter = append(m.stats.PerIter, it1)
-	m.rec.IterStats(1, d.NumItems(), len(f1))
-	m.labels = apriori.LabelsFromF1(f1, d.NumItems())
+	m.rec.IterStats(1, numItems, len(f1))
+	m.labels = apriori.LabelsFromF1(f1, numItems)
 	if err := m.checkpoint(2, false); err != nil {
 		return nil, nil, err
 	}
@@ -429,7 +454,26 @@ func MineCtx(ctx context.Context, d *db.Database, opts Options) (*apriori.Result
 
 	err = m.loop(ctx, 2, prev)
 	m.stats.Total = time.Since(start)
+	if m.src != nil {
+		ps := m.src.pipe.Stats()
+		m.stats.OutOfCore = &ps
+		m.rec.SetGauge("armine_ooc_segments_streamed", float64(ps.Segments))
+		m.rec.SetGauge("armine_ooc_stall_fraction", ps.StallFraction())
+	}
 	return m.finish(err)
+}
+
+// frequentOne runs iteration 1 on whichever source backs the run, returning
+// F1 together with its modelled per-processor counting work.
+func (m *miner) frequentOne(ctx context.Context) ([]apriori.FrequentItemset, []int64, error) {
+	if m.src != nil {
+		return m.src.frequentOne(ctx, m)
+	}
+	f1, err := parallelFrequentOne(ctx, m.d, m.minCount, m.pool, m.fi, m.opts.ChunkSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f1, iterOneCountWork(m.d, m.opts), nil
 }
 
 // finish maps the loop's error to the Mine return contract: cancellation
@@ -559,7 +603,7 @@ func (m *miner) buildCountExtract(ctx context.Context, k int, cands []itemset.It
 	t0 := time.Now()
 	cfg := hashtree.Config{
 		K: k, Fanout: opts.Fanout, Threshold: opts.Threshold,
-		Hash: opts.Hash, NumItems: m.d.NumItems(), Labels: m.labels,
+		Hash: opts.Hash, NumItems: m.numItems(), Labels: m.labels,
 	}
 	m.rec.SetPhase(obs.PhaseTreeBuild, k)
 	m.rec.BeginPhase(obs.PhaseTreeBuild, k)
@@ -574,7 +618,12 @@ func (m *miner) buildCountExtract(ctx context.Context, k int, cands []itemset.It
 	counters := hashtree.NewCounters(opts.Counter, tree.NumCandidates(), opts.Procs)
 	m.rec.SetPhase(obs.PhaseCount, k)
 	m.rec.BeginPhase(obs.PhaseCount, k)
-	cr, err := countPhase(ctx, m.d, tree, counters, opts, k, m.pool)
+	var cr countResult
+	if m.src != nil {
+		cr, err = m.src.countPhase(ctx, m, tree, counters, k)
+	} else {
+		cr, err = countPhase(ctx, m.d, tree, counters, opts, k, m.pool)
+	}
 	m.rec.EndPhase(obs.PhaseCount, k)
 	if err != nil {
 		return nil, annotate(err, "count", k)
@@ -676,6 +725,28 @@ func iterOneCountWork(d *db.Database, opts Options) []int64 {
 	return work
 }
 
+// newCountCtxFn builds the per-worker CountCtx factory shared by the in-RAM
+// and out-of-core counting phases.
+func newCountCtxFn(tree *hashtree.Tree, counters *hashtree.Counters, opts Options, k int) func(p int) *hashtree.CountCtx {
+	rec := opts.Obs
+	return func(p int) *hashtree.CountCtx {
+		co := hashtree.CountOpts{
+			ShortCircuit: opts.ShortCircuit, Proc: p,
+			// Batch shared-counter updates to cut lock/atomic contention
+			// on hot candidates (no-op for private mode).
+			BatchUpdates: true,
+		}
+		// The flush hook is a bound method on the worker's padded obs
+		// record: one closure per (worker, iteration), nothing per
+		// transaction, and absent entirely when recording is off so the
+		// kernel's zero-allocation path is untouched.
+		if ow := rec.Worker(p); ow != nil {
+			co.OnFlush = func(n int) { ow.Flush(k, n) }
+		}
+		return tree.NewCountCtx(counters, co)
+	}
+}
+
 // countResult is one counting pass's deterministic accounting: per-processor
 // work, chunk claims/steals (dynamic modes) and wall-clock idle.
 type countResult struct {
@@ -706,22 +777,7 @@ func countPhase(ctx context.Context, d *db.Database, tree *hashtree.Tree, counte
 	// timing slices (eight counters per line) are filled in only after the
 	// pool barrier.
 	acc := make([]sched.PerWorker, procs)
-	newCtx := func(p int) *hashtree.CountCtx {
-		co := hashtree.CountOpts{
-			ShortCircuit: opts.ShortCircuit, Proc: p,
-			// Batch shared-counter updates to cut lock/atomic contention
-			// on hot candidates (no-op for private mode).
-			BatchUpdates: true,
-		}
-		// The flush hook is a bound method on the worker's padded obs
-		// record: one closure per (worker, iteration), nothing per
-		// transaction, and absent entirely when recording is off so the
-		// kernel's zero-allocation path is untouched.
-		if ow := rec.Worker(p); ow != nil {
-			co.OnFlush = func(n int) { ow.Flush(k, n) }
-		}
-		return tree.NewCountCtx(counters, co)
-	}
+	newCtx := newCountCtxFn(tree, counters, opts, k)
 
 	if !opts.DBPart.Dynamic() {
 		var slices []db.Slice

@@ -34,12 +34,53 @@ func New(numItems int) *Database {
 
 // FromTransactions builds a database from explicit transactions. Item
 // universe size is inferred as max item + 1 unless numItems is larger.
-func FromTransactions(ts []Transaction, numItems int) *Database {
+// Growth failures (ErrArenaFull) surface as an error naming the offending
+// transaction instead of a panic from deep inside the loop.
+func FromTransactions(ts []Transaction, numItems int) (*Database, error) {
 	d := New(numItems)
-	for _, t := range ts {
-		d.Append(t.TID, t.Items)
+	for i, t := range ts {
+		if err := d.TryAppend(t.TID, t.Items); err != nil {
+			return nil, fmt.Errorf("db: transaction %d (tid %d): %w", i, t.TID, err)
+		}
 	}
-	return d
+	return d, nil
+}
+
+// FromColumns wraps pre-built columnar storage as a Database without
+// copying: tids and arena are aliased, and offsets must be the cumulative
+// item layout (offsets[0] == 0, items of t are arena[offsets[t]:offsets[t+1]]).
+// This is the constructor the segment loaders use — a decoded (or
+// memory-mapped) segment becomes a Database in O(1), so the counting kernels
+// run on it unchanged. Only the column shape is checked here; callers
+// ingesting untrusted bytes must run Validate.
+func FromColumns(tids []int64, offsets []int32, arena []itemset.Item, numItems int) (*Database, error) {
+	if len(offsets) != len(tids)+1 {
+		return nil, fmt.Errorf("db: offsets len %d != tids len %d + 1", len(offsets), len(tids))
+	}
+	if len(offsets) > 0 && offsets[0] != 0 {
+		return nil, fmt.Errorf("db: offsets[0] = %d, want 0", offsets[0])
+	}
+	if int64(len(arena)) > maxArenaItems {
+		return nil, ErrArenaFull
+	}
+	if last := offsets[len(offsets)-1]; int(last) != len(arena) {
+		return nil, fmt.Errorf("db: final offset %d != arena len %d", last, len(arena))
+	}
+	return &Database{tids: tids, offsets: offsets, arena: arena, numItem: numItems}, nil
+}
+
+// ArenaLimit returns the current item-arena cap: the number of item
+// occurrences one database (and therefore one store segment) may hold under
+// the int32 offset encoding. Tests lower it via SetArenaLimitForTesting.
+func ArenaLimit() int64 { return maxArenaItems }
+
+// SetArenaLimitForTesting lowers the arena cap so overflow and segmentation
+// paths can be exercised without materializing a 2³¹-item arena, returning a
+// func that restores the previous cap. Tests only.
+func SetArenaLimitForTesting(limit int64) (restore func()) {
+	prev := maxArenaItems
+	maxArenaItems = limit
+	return func() { maxArenaItems = prev }
 }
 
 // maxArenaItems caps the item arena at what the int32 offset encoding can

@@ -59,9 +59,72 @@ func (d *Database) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
+// decodeWindow bounds the byte window the streaming decoder reads through:
+// items are pulled from the source in at most this many bytes at a time, so
+// decoding never holds more than one window plus one transaction in flight.
+const decodeWindow = 1 << 16
+
+// DecodeTransactions streams count records of the binary row layout
+// (tid u64, len u32, items len×u32, little endian) from r, invoking emit for
+// each after validating it (item range, sortedness). The itemset passed to
+// emit aliases a reusable internal buffer that the next record overwrites;
+// emit must copy anything it retains (Database.TryAppend copies).
+//
+// Items are decoded through a fixed decodeWindow-byte buffer in bulk rather
+// than one 4-byte ReadFull per item, so arbitrarily long inputs stream in
+// constant memory at memory-bandwidth speed. The database reader and the
+// segment-store loaders share this path.
+func DecodeTransactions(r io.Reader, count uint64, numItems int, emit func(tid int64, items itemset.Itemset) error) error {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, decodeWindow)
+	}
+	var hdr [12]byte
+	raw := make([]byte, decodeWindow)
+	items := make(itemset.Itemset, 0, 256)
+	for t := uint64(0); t < count; t++ {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return fmt.Errorf("db: transaction %d header: %w", t, err)
+		}
+		tid := int64(binary.LittleEndian.Uint64(hdr[0:]))
+		n := binary.LittleEndian.Uint32(hdr[8:])
+		if n > 1<<20 {
+			return fmt.Errorf("db: transaction %d has implausible length %d", t, n)
+		}
+		if cap(items) < int(n) {
+			items = make(itemset.Itemset, 0, n)
+		}
+		items = items[:0]
+		for rem := int(n); rem > 0; {
+			chunk := rem
+			if chunk > len(raw)/4 {
+				chunk = len(raw) / 4
+			}
+			if _, err := io.ReadFull(br, raw[:4*chunk]); err != nil {
+				return fmt.Errorf("db: transaction %d item %d: %w", t, len(items), err)
+			}
+			for i := 0; i < chunk; i++ {
+				v := binary.LittleEndian.Uint32(raw[4*i:])
+				if v >= uint32(numItems) {
+					return fmt.Errorf("db: transaction %d item %d outside universe [0,%d)", t, v, numItems)
+				}
+				items = append(items, itemset.Item(v))
+			}
+			rem -= chunk
+		}
+		if !items.IsSorted() {
+			return fmt.Errorf("db: transaction %d (tid %d) not sorted", t, tid)
+		}
+		if err := emit(tid, items); err != nil {
+			return fmt.Errorf("db: transaction %d (tid %d): %w", t, tid, err)
+		}
+	}
+	return nil
+}
+
 // Read parses a database from r.
 func Read(r io.Reader) (*Database, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+	br := bufio.NewReaderSize(r, decodeWindow)
 	var hdr [20]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("db: reading header: %w", err)
@@ -78,37 +141,11 @@ func Read(r io.Reader) (*Database, error) {
 	}
 	count := binary.LittleEndian.Uint64(hdr[12:])
 	d := New(numItem)
-	var buf [12]byte
-	for t := uint64(0); t < count; t++ {
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, fmt.Errorf("db: transaction %d header: %w", t, err)
-		}
-		tid := int64(binary.LittleEndian.Uint64(buf[0:]))
-		n := binary.LittleEndian.Uint32(buf[8:])
-		if n > 1<<20 {
-			return nil, fmt.Errorf("db: transaction %d has implausible length %d", t, n)
-		}
-		items := make(itemset.Itemset, n)
-		for i := range items {
-			var ib [4]byte
-			if _, err := io.ReadFull(br, ib[:]); err != nil {
-				return nil, fmt.Errorf("db: transaction %d item %d: %w", t, i, err)
-			}
-			v := binary.LittleEndian.Uint32(ib[:])
-			if v >= uint32(numItem) {
-				return nil, fmt.Errorf("db: transaction %d item %d outside universe [0,%d)", t, v, numItem)
-			}
-			items[i] = itemset.Item(v)
-		}
-		if !items.IsSorted() {
-			return nil, fmt.Errorf("db: transaction %d (tid %d) not sorted", t, tid)
-		}
-		// External files can legitimately exceed the int32-offset arena
-		// (2³¹−1 item occurrences); surface that as a read error instead of
-		// the silent offset wrap-around the unchecked append used to allow.
-		if err := d.TryAppend(tid, items); err != nil {
-			return nil, fmt.Errorf("db: transaction %d (tid %d): %w", t, tid, err)
-		}
+	// External files can legitimately exceed the int32-offset arena (2³¹−1
+	// item occurrences); TryAppend surfaces that as a read error instead of
+	// the silent offset wrap-around the unchecked append used to allow.
+	if err := DecodeTransactions(br, count, numItem, d.TryAppend); err != nil {
+		return nil, err
 	}
 	return d, nil
 }

@@ -1,0 +1,136 @@
+// Package seg is the out-of-core segmented columnar store: a transaction
+// database split into bounded segments, each laid out exactly like the
+// in-memory db.Database (int64 tids, int32 cumulative offsets, int32 item
+// arena), addressed globally with int64 transaction indexes. A database far
+// larger than RAM — and far larger than the 2³¹−1 item occurrences one int32
+// arena can hold — mines via streaming passes: segments load one (or a
+// budgeted few) at a time, the counting kernels run on each segment
+// unchanged, and a prefetcher goroutine double-buffers segment N+1 while the
+// pool counts segment N (Pipeline).
+//
+// On-disk layout (little endian), written atomically (temp + fsync + rename):
+//
+//	header   64 bytes (see below)
+//	payload  per segment: tids block, offsets block, arena block,
+//	         each zero-padded to an 8-byte boundary so a memory-mapped
+//	         file casts straight to the column types
+//	dir      numSegs × 48-byte extent entries
+//
+// Header:
+//
+//	magic      uint32  'ARSG'
+//	version    uint32  1
+//	numItems   uint64  item universe (items are < numItems)
+//	numTx      uint64  total transactions across all segments
+//	totalItems uint64  total item occurrences Σ|t|
+//	numSegs    uint64
+//	dirOff     uint64  file offset of the directory
+//	reserved   16 bytes (zero)
+//
+// Directory entry (one per segment, in segment order):
+//
+//	txOff    uint64  global index of the segment's first transaction
+//	numTx    uint64  transactions in the segment
+//	arenaLen uint64  item occurrences in the segment (≤ db.ArenaLimit())
+//	tidsOff  uint64  file offset of the tids block (numTx × int64)
+//	offsOff  uint64  file offset of the offsets block ((numTx+1) × int32)
+//	arenaOff uint64  file offset of the arena block (arenaLen × int32)
+package seg
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const (
+	// Magic identifies a segmented store file ("ARSG"); db.ReadFile's "ARDB"
+	// magic check rejects it, and IsSegmented sniffs it.
+	Magic   = 0x41525347
+	version = 1
+
+	headerBytes   = 64
+	dirEntryBytes = 48
+)
+
+// header is the decoded fixed-size file header.
+type header struct {
+	numItems   uint64
+	numTx      uint64
+	totalItems uint64
+	numSegs    uint64
+	dirOff     uint64
+}
+
+func (h header) encode() [headerBytes]byte {
+	var b [headerBytes]byte
+	binary.LittleEndian.PutUint32(b[0:], Magic)
+	binary.LittleEndian.PutUint32(b[4:], version)
+	binary.LittleEndian.PutUint64(b[8:], h.numItems)
+	binary.LittleEndian.PutUint64(b[16:], h.numTx)
+	binary.LittleEndian.PutUint64(b[24:], h.totalItems)
+	binary.LittleEndian.PutUint64(b[32:], h.numSegs)
+	binary.LittleEndian.PutUint64(b[40:], h.dirOff)
+	return b
+}
+
+func decodeHeader(b []byte) (header, error) {
+	if len(b) < headerBytes {
+		return header{}, fmt.Errorf("seg: header truncated at %d bytes", len(b))
+	}
+	if m := binary.LittleEndian.Uint32(b[0:]); m != Magic {
+		return header{}, fmt.Errorf("seg: bad magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(b[4:]); v != version {
+		return header{}, fmt.Errorf("seg: unsupported version %d", v)
+	}
+	return header{
+		numItems:   binary.LittleEndian.Uint64(b[8:]),
+		numTx:      binary.LittleEndian.Uint64(b[16:]),
+		totalItems: binary.LittleEndian.Uint64(b[24:]),
+		numSegs:    binary.LittleEndian.Uint64(b[32:]),
+		dirOff:     binary.LittleEndian.Uint64(b[40:]),
+	}, nil
+}
+
+// SegmentInfo is one directory entry: a segment's global extent and the file
+// offsets of its three column blocks.
+type SegmentInfo struct {
+	TxOff    int64 // global index of the first transaction
+	NumTx    int64
+	ArenaLen int64
+	TidsOff  int64
+	OffsOff  int64
+	ArenaOff int64
+}
+
+// DecodedBytes returns the segment's in-memory footprint once materialized:
+// the byte budget unit the Pipeline counts residents in.
+func (s SegmentInfo) DecodedBytes() int64 {
+	return s.NumTx*8 + (s.NumTx+1)*4 + s.ArenaLen*4
+}
+
+func (s SegmentInfo) encode() [dirEntryBytes]byte {
+	var b [dirEntryBytes]byte
+	binary.LittleEndian.PutUint64(b[0:], uint64(s.TxOff))
+	binary.LittleEndian.PutUint64(b[8:], uint64(s.NumTx))
+	binary.LittleEndian.PutUint64(b[16:], uint64(s.ArenaLen))
+	binary.LittleEndian.PutUint64(b[24:], uint64(s.TidsOff))
+	binary.LittleEndian.PutUint64(b[32:], uint64(s.OffsOff))
+	binary.LittleEndian.PutUint64(b[40:], uint64(s.ArenaOff))
+	return b
+}
+
+func decodeDirEntry(b []byte) SegmentInfo {
+	return SegmentInfo{
+		TxOff:    int64(binary.LittleEndian.Uint64(b[0:])),
+		NumTx:    int64(binary.LittleEndian.Uint64(b[8:])),
+		ArenaLen: int64(binary.LittleEndian.Uint64(b[16:])),
+		TidsOff:  int64(binary.LittleEndian.Uint64(b[24:])),
+		OffsOff:  int64(binary.LittleEndian.Uint64(b[32:])),
+		ArenaOff: int64(binary.LittleEndian.Uint64(b[40:])),
+	}
+}
+
+// pad8 returns n rounded up to the next multiple of 8 (block alignment: the
+// mmap loader casts blocks in place, so every block must start 8-aligned).
+func pad8(n int64) int64 { return (n + 7) &^ 7 }

@@ -1,0 +1,33 @@
+package seg
+
+import (
+	"unsafe"
+
+	"repro/internal/itemset"
+)
+
+// mapSegment serves segment s straight out of the file mapping: the column
+// slices alias the mapped bytes, so "loading" a segment is O(1) and the
+// kernel's page cache is the only copy. The store is little endian on disk
+// and the cast reinterprets bytes in place, so the mmap loader is only
+// offered on little-endian hosts (OpenMapped checks); block offsets are
+// 8-aligned by the writer and the mapping is page-aligned, so the casts are
+// always aligned.
+func (r *Reader) mapSegment(s SegmentInfo) ([]int64, []int32, []itemset.Item, error) {
+	var tids []int64
+	if s.NumTx > 0 {
+		tids = unsafe.Slice((*int64)(unsafe.Pointer(&r.mapped[s.TidsOff])), s.NumTx)
+	}
+	offsets := unsafe.Slice((*int32)(unsafe.Pointer(&r.mapped[s.OffsOff])), s.NumTx+1)
+	var arena []itemset.Item
+	if s.ArenaLen > 0 {
+		arena = unsafe.Slice((*itemset.Item)(unsafe.Pointer(&r.mapped[s.ArenaOff])), s.ArenaLen)
+	}
+	return tids, offsets, arena, nil
+}
+
+// littleEndianHost reports whether the host matches the on-disk byte order.
+func littleEndianHost() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}

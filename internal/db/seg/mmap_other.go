@@ -1,0 +1,13 @@
+//go:build !unix
+
+package seg
+
+import "fmt"
+
+// OpenMapped is unavailable without mmap support; Open (the read-at loader)
+// serves every platform.
+func OpenMapped(path string) (*Reader, error) {
+	return nil, fmt.Errorf("seg: mmap loader unavailable on this platform (use Open)")
+}
+
+func munmap(data []byte) error { return nil }

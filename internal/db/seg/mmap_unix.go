@@ -1,0 +1,46 @@
+//go:build unix
+
+package seg
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// OpenMapped opens a segmented store with the mmap-backed loader:
+// LoadSegment returns databases whose columns alias a shared read-only
+// mapping of the whole file, so segment "loads" cost nothing and residency
+// is managed by the kernel's page cache instead of the pipeline's buffers.
+// Requires a little-endian host (the on-disk byte order); Open is the
+// portable fallback.
+func OpenMapped(path string) (*Reader, error) {
+	if !littleEndianHost() {
+		return nil, fmt.Errorf("seg: mmap loader requires a little-endian host (use Open)")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{f: f}
+	if err := r.loadDirectory(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() > 0 {
+		data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("seg: mmap: %w", err)
+		}
+		r.mapped = data
+	}
+	return r, nil
+}
+
+func munmap(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,275 @@
+package seg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/db"
+	"repro/internal/itemset"
+)
+
+// Reader is an open segmented store. It is safe for concurrent LoadSegment
+// calls (reads go through ReadAt / the shared mapping); Close invalidates
+// every database a mapped reader handed out.
+type Reader struct {
+	f   *os.File
+	hdr header
+	dir []SegmentInfo
+
+	// mapped is the whole-file memory mapping when the reader was opened
+	// with OpenMapped; nil for the read-at loader.
+	mapped []byte
+}
+
+// IsSegmented reports whether path begins with the segmented-store magic.
+func IsSegmented(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	var b [4]byte
+	if _, err := io.ReadFull(f, b[:]); err != nil {
+		return false, nil // too short to be either format; let the real reader complain
+	}
+	return binary.LittleEndian.Uint32(b[:]) == Magic, nil
+}
+
+// Open opens a segmented store with the read-at loader: LoadSegment reads
+// and decodes each segment's blocks through a bounded buffer into reusable
+// column storage.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{f: f}
+	if err := r.loadDirectory(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// loadDirectory reads and validates the header and directory. Every extent
+// is bounds-checked against the file size here, so a truncated or corrupted
+// directory fails at Open instead of panicking mid-mine.
+func (r *Reader) loadDirectory() error {
+	st, err := r.f.Stat()
+	if err != nil {
+		return err
+	}
+	size := st.Size()
+	var hb [headerBytes]byte
+	if _, err := r.f.ReadAt(hb[:], 0); err != nil {
+		return fmt.Errorf("seg: reading header: %w", err)
+	}
+	r.hdr, err = decodeHeader(hb[:])
+	if err != nil {
+		return err
+	}
+	h := r.hdr
+	if h.numItems > 1<<31-1 {
+		return fmt.Errorf("seg: item universe %d overflows int32 items", h.numItems)
+	}
+	const maxSegs = 1 << 24 // directory sanity bound: 16M segments ≫ any real store
+	if h.numSegs > maxSegs {
+		return fmt.Errorf("seg: implausible segment count %d", h.numSegs)
+	}
+	dirBytes := int64(h.numSegs) * dirEntryBytes
+	if int64(h.dirOff) < headerBytes || int64(h.dirOff)+dirBytes > size {
+		return fmt.Errorf("seg: directory [%d,+%d) outside file of %d bytes", h.dirOff, dirBytes, size)
+	}
+	raw := make([]byte, dirBytes)
+	if _, err := r.f.ReadAt(raw, int64(h.dirOff)); err != nil {
+		return fmt.Errorf("seg: reading directory: %w", err)
+	}
+	r.dir = make([]SegmentInfo, h.numSegs)
+	var txOff, totalItems int64
+	for i := range r.dir {
+		s := decodeDirEntry(raw[i*dirEntryBytes:])
+		if s.NumTx < 0 || s.ArenaLen < 0 || s.ArenaLen > db.ArenaLimit() {
+			return fmt.Errorf("seg: segment %d extent invalid (numTx=%d arenaLen=%d)", i, s.NumTx, s.ArenaLen)
+		}
+		if s.TxOff != txOff {
+			return fmt.Errorf("seg: segment %d starts at tx %d, want %d", i, s.TxOff, txOff)
+		}
+		checkBlock := func(off, bytes int64, what string) error {
+			if off < headerBytes || off%8 != 0 || off+bytes > size {
+				return fmt.Errorf("seg: segment %d %s block [%d,+%d) invalid in file of %d bytes", i, what, off, bytes, size)
+			}
+			return nil
+		}
+		if err := checkBlock(s.TidsOff, s.NumTx*8, "tids"); err != nil {
+			return err
+		}
+		if err := checkBlock(s.OffsOff, (s.NumTx+1)*4, "offsets"); err != nil {
+			return err
+		}
+		if err := checkBlock(s.ArenaOff, s.ArenaLen*4, "arena"); err != nil {
+			return err
+		}
+		r.dir[i] = s
+		txOff += s.NumTx
+		totalItems += s.ArenaLen
+	}
+	if uint64(txOff) != h.numTx {
+		return fmt.Errorf("seg: directory covers %d transactions, header says %d", txOff, h.numTx)
+	}
+	if uint64(totalItems) != h.totalItems {
+		return fmt.Errorf("seg: directory covers %d item occurrences, header says %d", totalItems, h.totalItems)
+	}
+	return nil
+}
+
+// NumSegments returns the segment count.
+func (r *Reader) NumSegments() int { return len(r.dir) }
+
+// NumTx returns the total transaction count across all segments — the int64
+// global address space that replaces the in-RAM Len() ceiling.
+func (r *Reader) NumTx() int64 { return int64(r.hdr.numTx) }
+
+// NumItems returns the item universe size N.
+func (r *Reader) NumItems() int { return int(r.hdr.numItems) }
+
+// TotalItems returns the total item occurrences Σ|t|.
+func (r *Reader) TotalItems() int64 { return int64(r.hdr.totalItems) }
+
+// Segment returns segment i's directory entry.
+func (r *Reader) Segment(i int) SegmentInfo { return r.dir[i] }
+
+// MaxSegmentBytes returns the largest segment's decoded footprint — the unit
+// the Pipeline's byte budget divides by.
+func (r *Reader) MaxSegmentBytes() int64 {
+	var m int64
+	for _, s := range r.dir {
+		if b := s.DecodedBytes(); b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// Mapped reports whether the reader serves segments from a memory mapping.
+func (r *Reader) Mapped() bool { return r.mapped != nil }
+
+// Close releases the file and any mapping.
+func (r *Reader) Close() error {
+	var merr error
+	if r.mapped != nil {
+		merr = munmap(r.mapped)
+		r.mapped = nil
+	}
+	if err := r.f.Close(); err != nil {
+		return err
+	}
+	return merr
+}
+
+// Buffer is reusable column storage for LoadSegment: the double-buffered
+// pipeline rotates a small fixed set of them, so steady-state segment loads
+// allocate nothing.
+type Buffer struct {
+	tids    []int64
+	offsets []int32
+	arena   []itemset.Item
+	raw     []byte
+}
+
+// grow returns dst resized to n elements, reallocating only past capacity.
+func grow[T any](dst []T, n int) []T {
+	if cap(dst) < n {
+		return make([]T, n)
+	}
+	return dst[:n]
+}
+
+// LoadSegment materializes segment i as a Database whose layout is identical
+// to the in-memory store, so hashtree.CountTransaction and the vbit kernels
+// run on it unchanged. For a mapped reader the columns alias the mapping
+// (zero copy); otherwise the blocks are decoded through buf's bounded window
+// into its reusable columns (buf may be nil for one-shot loads). Every load
+// is validated like an external file read: offsets monotone and in-range,
+// transactions sorted, items inside the universe.
+func (r *Reader) LoadSegment(i int, buf *Buffer) (*db.Database, error) {
+	s := r.dir[i]
+	var (
+		tids    []int64
+		offsets []int32
+		arena   []itemset.Item
+		err     error
+	)
+	if r.mapped != nil {
+		tids, offsets, arena, err = r.mapSegment(s)
+	} else {
+		if buf == nil {
+			buf = &Buffer{}
+		}
+		tids, offsets, arena, err = r.readSegment(s, buf)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("seg: segment %d: %w", i, err)
+	}
+	d, err := db.FromColumns(tids, offsets, arena, r.NumItems())
+	if err != nil {
+		return nil, fmt.Errorf("seg: segment %d: %w", i, err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("seg: segment %d: %w", i, err)
+	}
+	return d, nil
+}
+
+// readSegment is the read-at loader: each block streams through buf.raw (a
+// bounded window, like db.DecodeTransactions) into buf's column slices.
+func (r *Reader) readSegment(s SegmentInfo, buf *Buffer) ([]int64, []int32, []itemset.Item, error) {
+	buf.tids = grow(buf.tids, int(s.NumTx))
+	buf.offsets = grow(buf.offsets, int(s.NumTx)+1)
+	buf.arena = grow(buf.arena, int(s.ArenaLen))
+	if buf.raw == nil {
+		buf.raw = make([]byte, 1<<16)
+	}
+	if err := readBlock(r.f, s.TidsOff, buf.raw, len(buf.tids), 8, func(b []byte, base int) {
+		for i := 0; i < len(b)/8; i++ {
+			buf.tids[base+i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+		}
+	}); err != nil {
+		return nil, nil, nil, fmt.Errorf("tids block: %w", err)
+	}
+	if err := readBlock(r.f, s.OffsOff, buf.raw, len(buf.offsets), 4, func(b []byte, base int) {
+		for i := 0; i < len(b)/4; i++ {
+			buf.offsets[base+i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+		}
+	}); err != nil {
+		return nil, nil, nil, fmt.Errorf("offsets block: %w", err)
+	}
+	if err := readBlock(r.f, s.ArenaOff, buf.raw, len(buf.arena), 4, func(b []byte, base int) {
+		for i := 0; i < len(b)/4; i++ {
+			buf.arena[base+i] = itemset.Item(binary.LittleEndian.Uint32(b[4*i:]))
+		}
+	}); err != nil {
+		return nil, nil, nil, fmt.Errorf("arena block: %w", err)
+	}
+	return buf.tids, buf.offsets, buf.arena, nil
+}
+
+// readBlock streams count elem-byte elements at off through the window,
+// invoking decode for each full chunk with the element index it starts at.
+func readBlock(f *os.File, off int64, window []byte, count, elem int, decode func(b []byte, base int)) error {
+	n := count * elem
+	done := 0
+	for done < n {
+		chunk := n - done
+		if chunk > len(window) {
+			chunk = len(window) / elem * elem
+		}
+		if _, err := f.ReadAt(window[:chunk], off+int64(done)); err != nil {
+			return err
+		}
+		decode(window[:chunk], done/elem)
+		done += chunk
+	}
+	return nil
+}

@@ -1,0 +1,267 @@
+package seg
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"repro/internal/db"
+	"repro/internal/itemset"
+)
+
+// WriterOptions bounds the segments a Writer cuts.
+type WriterOptions struct {
+	// NumItems is the item-universe hint; it grows automatically past any
+	// appended item, exactly like db.Database.
+	NumItems int
+	// SegTx caps transactions per segment. 0 uses 1<<18.
+	SegTx int
+	// SegItems caps item occurrences per segment. 0 uses 1<<26. The
+	// effective cap is always clamped to db.ArenaLimit(): a written segment
+	// must materialize into one int32-offset arena, whatever the caller
+	// asked for.
+	SegItems int64
+}
+
+func (o WriterOptions) withDefaults() WriterOptions {
+	if o.SegTx <= 0 {
+		o.SegTx = 1 << 18
+	}
+	if o.SegItems <= 0 {
+		o.SegItems = 1 << 26
+	}
+	if lim := db.ArenaLimit(); o.SegItems > lim {
+		o.SegItems = lim
+	}
+	return o
+}
+
+// Writer streams transactions into a segmented store file without ever
+// materializing more than one segment: internal/gen can generate databases
+// of any size through it in bounded memory. The file appears at its final
+// path only on a successful Close (temp + fsync + rename, the same atomic
+// publish discipline as the checkpoint writer); a crashed or aborted write
+// leaves at most a .tmp file behind.
+type Writer struct {
+	path string
+	tmp  string
+	f    *os.File
+	bw   *bufio.Writer
+	opts WriterOptions
+
+	off int64 // bytes written to the payload so far (file offset)
+	dir []SegmentInfo
+
+	// Current (unsealed) segment columns.
+	tids    []int64
+	offsets []int32
+	arena   []itemset.Item
+
+	txOff      int64 // global index of the current segment's first transaction
+	totalItems int64
+	numItems   int
+	err        error
+}
+
+// Create opens a streaming writer targeting path.
+func Create(path string, opts WriterOptions) (*Writer, error) {
+	opts = opts.withDefaults()
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{
+		path: path, tmp: tmp, f: f,
+		bw:       bufio.NewWriterSize(f, 1<<20),
+		opts:     opts,
+		offsets:  []int32{0},
+		numItems: opts.NumItems,
+	}
+	// Header placeholder; Close patches the real one in place before the
+	// rename publishes the file.
+	var zero [headerBytes]byte
+	if _, err := w.bw.Write(zero[:]); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	w.off = headerBytes
+	return w, nil
+}
+
+// Append adds one transaction, sealing the current segment first when the
+// transaction would push it past the SegTx or SegItems bound. items must be
+// sorted; unlike the in-memory TryAppend there is no arena-full failure
+// mode — that is the point of the store — so the only errors are I/O and a
+// single transaction too large for any segment.
+func (w *Writer) Append(tid int64, items itemset.Itemset) error {
+	if w.err != nil {
+		return w.err
+	}
+	if !items.IsSorted() {
+		return w.fail(fmt.Errorf("seg: transaction %d not sorted", tid))
+	}
+	if int64(len(items)) > w.opts.SegItems {
+		return w.fail(fmt.Errorf("seg: transaction %d has %d items, above the per-segment arena cap %d", tid, len(items), w.opts.SegItems))
+	}
+	if len(w.tids) >= w.opts.SegTx || int64(len(w.arena))+int64(len(items)) > w.opts.SegItems {
+		if err := w.seal(); err != nil {
+			return err
+		}
+	}
+	w.tids = append(w.tids, tid)
+	w.arena = append(w.arena, items...)
+	w.offsets = append(w.offsets, int32(len(w.arena)))
+	for _, it := range items {
+		if int(it) >= w.numItems {
+			w.numItems = int(it) + 1
+		}
+	}
+	w.totalItems += int64(len(items))
+	return nil
+}
+
+// seal writes the current segment's three blocks and resets the columns.
+func (w *Writer) seal() error {
+	if len(w.tids) == 0 {
+		return nil
+	}
+	info := SegmentInfo{
+		TxOff:    w.txOff,
+		NumTx:    int64(len(w.tids)),
+		ArenaLen: int64(len(w.arena)),
+	}
+	var err error
+	info.TidsOff, err = w.block(len(w.tids)*8, func(b []byte) {
+		for i, t := range w.tids {
+			binary.LittleEndian.PutUint64(b[8*i:], uint64(t))
+		}
+	})
+	if err != nil {
+		return w.fail(err)
+	}
+	info.OffsOff, err = w.block(len(w.offsets)*4, func(b []byte) {
+		for i, o := range w.offsets {
+			binary.LittleEndian.PutUint32(b[4*i:], uint32(o))
+		}
+	})
+	if err != nil {
+		return w.fail(err)
+	}
+	info.ArenaOff, err = w.block(len(w.arena)*4, func(b []byte) {
+		for i, it := range w.arena {
+			binary.LittleEndian.PutUint32(b[4*i:], uint32(it))
+		}
+	})
+	if err != nil {
+		return w.fail(err)
+	}
+	w.dir = append(w.dir, info)
+	w.txOff += int64(len(w.tids))
+	w.tids = w.tids[:0]
+	w.offsets = append(w.offsets[:0], 0)
+	w.arena = w.arena[:0]
+	return nil
+}
+
+// block writes one n-byte column block (encoded by fill into a scratch
+// buffer) zero-padded to the 8-byte alignment the mmap loader requires, and
+// returns its file offset.
+func (w *Writer) block(n int, fill func([]byte)) (int64, error) {
+	off := w.off
+	b := make([]byte, pad8(int64(n)))
+	fill(b[:n])
+	if _, err := w.bw.Write(b); err != nil {
+		return 0, err
+	}
+	w.off += int64(len(b))
+	return off, nil
+}
+
+// Close seals the final segment, writes the directory, patches the header,
+// syncs, and atomically renames the temp file into place.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.seal(); err != nil {
+		return err
+	}
+	dirOff := w.off
+	for _, s := range w.dir {
+		e := s.encode()
+		if _, err := w.bw.Write(e[:]); err != nil {
+			return w.fail(err)
+		}
+		w.off += dirEntryBytes
+	}
+	if err := w.bw.Flush(); err != nil {
+		return w.fail(err)
+	}
+	hdr := header{
+		numItems:   uint64(w.numItems),
+		numTx:      uint64(w.txOff),
+		totalItems: uint64(w.totalItems),
+		numSegs:    uint64(len(w.dir)),
+		dirOff:     uint64(dirOff),
+	}
+	hb := hdr.encode()
+	if _, err := w.f.WriteAt(hb[:], 0); err != nil {
+		return w.fail(err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return w.fail(err)
+	}
+	if err := w.f.Close(); err != nil {
+		w.err = err
+		return err
+	}
+	if err := os.Rename(w.tmp, w.path); err != nil {
+		w.err = err
+		return err
+	}
+	w.err = os.ErrClosed // further writes fail loudly
+	return nil
+}
+
+// Abort discards the temp file; safe after any error, a no-op after Close.
+func (w *Writer) Abort() {
+	if w.err == os.ErrClosed {
+		return
+	}
+	w.f.Close()
+	os.Remove(w.tmp)
+	w.err = os.ErrClosed
+}
+
+// fail latches the first error, closes and removes the temp file.
+func (w *Writer) fail(err error) error {
+	if w.err == nil {
+		w.err = err
+		w.f.Close()
+		os.Remove(w.tmp)
+	}
+	return w.err
+}
+
+// WriteDatabase splits an in-memory database into a segmented store file —
+// the conversion path tests and the CLI use to compare in-RAM and
+// out-of-core runs on identical data.
+func WriteDatabase(path string, d *db.Database, opts WriterOptions) error {
+	if opts.NumItems < d.NumItems() {
+		opts.NumItems = d.NumItems()
+	}
+	w, err := Create(path, opts)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < d.Len(); i++ {
+		if err := w.Append(d.TID(i), d.Items(i)); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	return w.Close()
+}

@@ -220,13 +220,32 @@ func (g *Generator) corrupt(pat *pattern, buf itemset.Itemset) itemset.Itemset {
 	return buf
 }
 
-// Generate emits the full database.
+// Generate emits the full database in memory.
 func (g *Generator) Generate() *db.Database {
+	d := db.New(g.p.N)
+	if err := g.GenerateTo(func(tid int64, items itemset.Itemset) error {
+		d.Append(tid, items) // panics on arena overflow, like the historical path
+		return nil
+	}); err != nil {
+		// The emit above never fails; GenerateTo itself has no other error.
+		panic(err)
+	}
+	return d
+}
+
+// GenerateTo streams the database one transaction at a time: tids are 1..D
+// in order, items sorted. The items slice is reused between calls — emit
+// must copy anything it retains (db.TryAppend and seg.Writer.Append both
+// copy). The rng draw sequence is identical to Generate's, so a seed
+// produces the same data whether materialized or streamed; internal/gen can
+// therefore fill a segmented store far larger than RAM. A returned emit
+// error aborts generation.
+func (g *Generator) GenerateTo(emit func(tid int64, items itemset.Itemset) error) error {
 	p := g.p
-	d := db.New(p.N)
 	present := make([]bool, p.N)
 	scratch := make(itemset.Itemset, 0, 64)
 	tx := make(itemset.Itemset, 0, p.T*2)
+	sorted := make(itemset.Itemset, 0, p.T*2)
 	// The heavy tail starts at heavyFrom (== D with the knob off, so no
 	// extra rng draws perturb existing seeds).
 	heavyFrom := p.D
@@ -272,15 +291,19 @@ func (g *Generator) Generate() *db.Database {
 		if len(tx) == 0 {
 			tx = append(tx, itemset.Item(g.rng.Intn(p.N)))
 		}
-		sorted := tx.Clone()
+		// Sorting a reusable buffer consumes no rng draws, so the stream stays
+		// byte-identical to the historical materializing loop.
+		sorted = append(sorted[:0], tx...)
 		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
-		d.Append(int64(t+1), sorted)
+		if err := emit(int64(t+1), sorted); err != nil {
+			return fmt.Errorf("gen: transaction %d: %w", t+1, err)
+		}
 		// Reset presence marks for the next transaction.
 		for _, it := range tx {
 			present[it] = false
 		}
 	}
-	return d
+	return nil
 }
 
 // Generate is the convenience one-shot entry point.

@@ -1,7 +1,9 @@
 package gen
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/itemset"
@@ -290,3 +292,57 @@ func TestSkewFracValidate(t *testing.T) {
 		t.Error("negative SkewFrac should fail validation")
 	}
 }
+
+func TestGenerateToMatchesGenerate(t *testing.T) {
+	p := Params{N: 60, L: 15, I: 4, T: 8, D: 500, Seed: 99}
+	g1, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g1.Generate()
+
+	g2, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var i int
+	err = g2.GenerateTo(func(tid int64, items itemset.Itemset) error {
+		if tid != d.TID(i) {
+			t.Fatalf("transaction %d: streamed tid %d, materialized %d", i, tid, d.TID(i))
+		}
+		if !items.Equal(d.Items(i)) {
+			t.Fatalf("transaction %d: streamed %v, materialized %v", i, items, d.Items(i))
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != d.Len() {
+		t.Fatalf("streamed %d transactions, materialized %d", i, d.Len())
+	}
+}
+
+func TestGenerateToEmitError(t *testing.T) {
+	g, err := New(Params{N: 30, L: 8, I: 3, T: 6, D: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	err = g.GenerateTo(func(tid int64, _ itemset.Itemset) error {
+		calls++
+		if tid == 3 {
+			return errTestStop
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "transaction 3") {
+		t.Fatalf("GenerateTo = %v, want wrapped emit error", err)
+	}
+	if calls != 3 {
+		t.Fatalf("emit called %d times, want 3 (abort on error)", calls)
+	}
+}
+
+var errTestStop = errors.New("stop")

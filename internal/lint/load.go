@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -77,7 +78,11 @@ func skipDir(name string) bool {
 		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
 }
 
-// sourceFiles lists the non-test .go files of dir in sorted order.
+// sourceFiles lists the non-test .go files of dir in sorted order. Files
+// excluded by build constraints for the host platform (//go:build tags or
+// _GOOS/_GOARCH name suffixes) are skipped, exactly as `go build` would —
+// otherwise platform-variant pairs like seg's mmap_unix.go/mmap_other.go
+// type-check together and redeclare each other's symbols.
 func sourceFiles(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -88,6 +93,9 @@ func sourceFiles(dir string) ([]string, error) {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		files = append(files, filepath.Join(dir, name))

@@ -32,12 +32,24 @@ func (r *Recorder) WriteTrace(w io.Writer) error {
 		fmt.Fprintf(bw, format, args...)
 	}
 
-	// Track metadata: stable names so Perfetto shows "proc N" lanes.
+	// Track metadata: stable names so Perfetto shows "proc N" lanes. The io
+	// track (the out-of-core prefetcher) is emitted only when it recorded
+	// anything, so in-RAM traces keep their historical track set.
 	emit(`{"name":"process_name","ph":"M","pid":1,"args":{"name":"armine"}}`)
-	for p := 0; p <= r.procs; p++ {
-		name := fmt.Sprintf("proc %d", p)
-		if p == r.procs {
+	ioTrack := r.procs + 1
+	ioUsed := len(r.workers[ioTrack].cur) > 0 || len(r.workers[ioTrack].full) > 0
+	for p := range r.workers {
+		var name string
+		switch {
+		case p < r.procs:
+			name = fmt.Sprintf("proc %d", p)
+		case p == r.procs:
 			name = "master"
+		default:
+			if !ioUsed {
+				continue
+			}
+			name = "io"
 		}
 		emit(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%q}}`, p, name)
 		emit(`{"name":"thread_sort_index","ph":"M","pid":1,"tid":%d,"args":{"sort_index":%d}}`, p, p)
@@ -71,6 +83,11 @@ func (r *Recorder) WriteTrace(w io.Writer) error {
 			case evFlush:
 				emit(`{"name":"flush","cat":"flush","ph":"i","s":"t","pid":1,"tid":%d,"ts":%.3f,"args":{"updates":%d,"k":%d}}`,
 					tid, us, ev.arg, ev.k)
+			case evBeginSeg:
+				emit(`{"name":%q,"cat":"seg","ph":"B","pid":1,"tid":%d,"ts":%.3f,"args":{"seg":%d}}`,
+					SegKind(ev.phase).String(), tid, us, ev.arg)
+			case evEndSeg:
+				emit(`{"ph":"E","pid":1,"tid":%d,"ts":%.3f}`, tid, us)
 			}
 		})
 	}

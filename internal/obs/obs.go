@@ -66,6 +66,33 @@ func (p Phase) String() string {
 	return "unknown"
 }
 
+// SegKind identifies one out-of-core segment-pipeline span: loading and
+// materializing a segment (prefetcher side), counting it (consumer side), or
+// the consumer stalling on a load that has not finished (the overlap figure
+// the prefetch benchmarks gate on).
+type SegKind uint8
+
+const (
+	// SegLoad spans a segment read + materialize on the io track.
+	SegLoad SegKind = iota
+	// SegCount spans one segment's counting pass on the master track.
+	SegCount
+	// SegStall spans the consumer's wait for the next segment.
+	SegStall
+)
+
+func (k SegKind) String() string {
+	switch k {
+	case SegLoad:
+		return "seg_load"
+	case SegCount:
+		return "seg_count"
+	case SegStall:
+		return "prefetch_stall"
+	}
+	return "seg_unknown"
+}
+
 // Event kinds. Begin/end pairs form spans; steal and flush are instants
 // (steals additionally export as flow arrows from victim to thief track).
 const (
@@ -75,6 +102,8 @@ const (
 	evEndChunk
 	evSteal
 	evFlush
+	evBeginSeg
+	evEndSeg
 )
 
 // event is one fixed-size record: 32 bytes, no pointers, so a segment is a
@@ -170,7 +199,9 @@ func NewRecorder(procs int) *Recorder {
 		procs = 1
 	}
 	r := &Recorder{epoch: time.Now(), procs: procs}
-	r.workers = make([]Worker, procs+1) // last entry is the master track
+	// procs worker tracks, then the master track, then the io track (the
+	// out-of-core prefetcher goroutine; empty unless a segment pipeline runs).
+	r.workers = make([]Worker, procs+2)
 	for i := range r.workers {
 		w := &r.workers[i]
 		w.rec = r
@@ -205,6 +236,26 @@ func (r *Recorder) Worker(p int) *Worker {
 // master returns the master track (phase spans recorded by the coordinating
 // goroutine).
 func (r *Recorder) master() *Worker { return &r.workers[r.procs] }
+
+// Master returns the master track for coordinator-side span recording (e.g.
+// the segment pipeline's seg_count/prefetch_stall spans, which nest inside
+// the live counting-phase span). Nil for a disabled recorder; only the
+// coordinating goroutine may write to it.
+func (r *Recorder) Master() *Worker {
+	if r == nil {
+		return nil
+	}
+	return r.master()
+}
+
+// / IO returns the io track: the single-writer buffer of the out-of-core
+// prefetcher goroutine (seg_load spans). Nil for a disabled recorder.
+func (r *Recorder) IO() *Worker {
+	if r == nil {
+		return nil
+	}
+	return &r.workers[r.procs+1]
+}
 
 func (r *Recorder) now() int64 { return int64(time.Since(r.epoch)) }
 
@@ -400,6 +451,23 @@ func (w *Worker) Flush(k, n int) {
 	}
 	w.flushes++
 	w.record(event{ts: w.rec.now(), arg: int64(n), k: int32(k), kind: evFlush, phase: uint8(PhaseCount)})
+}
+
+// BeginSeg opens a segment-pipeline span (seg_load / seg_count /
+// prefetch_stall) for segment seg on this track.
+func (w *Worker) BeginSeg(kind SegKind, seg int) {
+	if w == nil {
+		return
+	}
+	w.record(event{ts: w.rec.now(), arg: int64(seg), kind: evBeginSeg, phase: uint8(kind)})
+}
+
+// EndSeg closes the span opened by BeginSeg.
+func (w *Worker) EndSeg(kind SegKind, seg int) {
+	if w == nil {
+		return
+	}
+	w.record(event{ts: w.rec.now(), arg: int64(seg), kind: evEndSeg, phase: uint8(kind)})
 }
 
 // AddWork accumulates deterministic work units counted by this worker.
