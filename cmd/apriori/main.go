@@ -503,7 +503,7 @@ func runSegmented(o cliOptions) error {
 		return err
 	}
 	if o.RuleConf > 0 {
-		rs := rules.Generate(res, rules.Options{MinConfidence: o.RuleConf, DBSize: int(r.NumTx())})
+		rs := rules.Generate(res, rules.Options{MinConfidence: o.RuleConf, DBSize: int(r.NumTx())}) //armlint:narrowok int is 64-bit on every supported target, so the int64 transaction count converts losslessly
 		fmt.Printf("rules at confidence >= %.2f: %d\n", o.RuleConf, len(rs))
 		for i, rl := range rs {
 			if i >= o.TopN {

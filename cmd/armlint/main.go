@@ -1,8 +1,9 @@
 // Command armlint runs the repo's static analysis suite (internal/lint)
-// over the module: five annotation-driven analyzers enforcing the
-// concurrency, zero-allocation and determinism invariants of the parallel
-// mining kernels. Built entirely on the standard library's go/parser,
-// go/ast and go/types — no external tooling.
+// over the module: nine annotation-driven analyzers — sharing a module-wide
+// call graph — enforcing the concurrency, zero-allocation, determinism,
+// int-width, cancellation-polling and atomic-write invariants of the
+// parallel mining kernels. Built entirely on the standard library's
+// go/parser, go/ast and go/types — no external tooling.
 //
 // Usage:
 //
@@ -14,7 +15,10 @@
 // analyzed. Exit status: 0 clean, 1 findings, 2 load or usage error.
 //
 // Findings print as file:line:col: analyzer: message; -json emits the same
-// list as a machine-readable report (the CI artifact).
+// list as a machine-readable report (the CI artifact) under the stable
+// schema "armlint/v2": module, schema, per-analyzer name/findings/timing,
+// the findings, and the total count. Consumers should tolerate added
+// fields; removed or renamed fields bump the schema string.
 package main
 
 import (
@@ -74,16 +78,18 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	findings := lint.Run(mod, analyzers)
+	findings, timings := lint.RunTimed(mod, analyzers)
 	findings = filterByPatterns(findings, cwd, patterns)
 	relativize(findings, cwd)
 
 	if *jsonOut {
 		report := struct {
-			Module   string         `json:"module"`
-			Findings []lint.Finding `json:"findings"`
-			Count    int            `json:"count"`
-		}{mod.Path, findings, len(findings)}
+			Schema    string         `json:"schema"`
+			Module    string         `json:"module"`
+			Analyzers []lint.Timing  `json:"analyzers"`
+			Findings  []lint.Finding `json:"findings"`
+			Count     int            `json:"count"`
+		}{"armlint/v2", mod.Path, timings, findings, len(findings)}
 		if report.Findings == nil {
 			report.Findings = []lint.Finding{}
 		}

@@ -400,6 +400,8 @@ func Mine(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 // cancellation point — together with a *robust.CanceledError naming the
 // interrupted phase. A worker panic in any phase is contained by the pool
 // and returned as a *robust.WorkerPanicError; the process stays alive.
+//
+//armlint:cancellable
 func MineCtx(ctx context.Context, d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
@@ -705,6 +707,7 @@ func iterOneCountWork(d *db.Database, opts Options) []int64 {
 		n := d.Len()
 		numChunks := sched.NumChunks(n, opts.ChunkSize)
 		chunkWork := make([]int64, numChunks)
+		//armlint:allow ctxpoll bounded per-chunk estimation before the phase starts; cancellation is observed at the phase boundary
 		for c := range chunkWork {
 			lo, hi := sched.ChunkRange(n, opts.ChunkSize, c)
 			s := db.Slice{DB: d, Lo: lo, Hi: hi}
@@ -719,6 +722,7 @@ func iterOneCountWork(d *db.Database, opts Options) []int64 {
 	} else {
 		slices = d.BlockPartition(opts.Procs)
 	}
+	//armlint:allow ctxpoll bounded per-slice estimation before the phase starts; cancellation is observed at the phase boundary
 	for p, s := range slices {
 		work[p] = s.EstimatedWork(1) * hashtree.WorkItemScan
 	}
@@ -822,6 +826,7 @@ func countPhase(ctx context.Context, d *db.Database, tree *hashtree.Tree, counte
 	countChunk := func(ctxc *hashtree.CountCtx, c int) {
 		lo, hi := sched.ChunkRange(n, opts.ChunkSize, c)
 		before := ctxc.Work
+		//armlint:allow ctxpoll a chunk is at most ChunkSize transactions; the claim loop around it polls between chunks
 		for i := lo; i < hi; i++ {
 			ctxc.CountTransaction(d.Items(i))
 		}

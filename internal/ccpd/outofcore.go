@@ -42,6 +42,8 @@ func MineSegmented(r *seg.Reader, opts SegmentedOptions) (*apriori.Result, *Stat
 //
 // PartitionWorkload is not supported (its boundary computation needs a full
 // extra database pass before any counting), and neither is checkpointing.
+//
+//armlint:cancellable
 func MineSegmentedCtx(ctx context.Context, r *seg.Reader, opts SegmentedOptions) (*apriori.Result, *Stats, error) {
 	o := opts.Options.withDefaults()
 	if o.DBPart == PartitionWorkload {
@@ -53,7 +55,7 @@ func MineSegmentedCtx(ctx context.Context, r *seg.Reader, opts SegmentedOptions)
 	start := time.Now()
 	m := &miner{
 		opts: o, fi: o.FaultInj,
-		minCount: o.MinCount(int(r.NumTx())),
+		minCount: o.MinCount(int(r.NumTx())), //armlint:narrowok int is 64-bit on every supported target, so the int64 transaction count converts losslessly
 		rec:      o.Obs,
 	}
 	m.src = &segSource{
@@ -108,7 +110,7 @@ func (s *segSource) frequentOne(ctx context.Context, m *miner) ([]apriori.Freque
 	var chunkEst []int64
 	blockEst := make([]int64, procs)
 	if opts.DBPart.Dynamic() {
-		chunkEst = make([]int64, sched.NumChunks(int(n), opts.ChunkSize))
+		chunkEst = make([]int64, sched.NumChunks(int(n), opts.ChunkSize)) //armlint:narrowok int is 64-bit on every supported target, so the int64 transaction count converts losslessly
 	}
 
 	err := s.pipe.ForEach(ctx, func(si int, sd *db.Database) error {
@@ -119,19 +121,23 @@ func (s *segSource) frequentOne(ctx context.Context, m *miner) ([]apriori.Freque
 		// the item-scan cost, exactly as iterOneCountWork computes in RAM.
 		if chunkEst != nil {
 			cLo, cHi := chunkSpan(base, segHi, cs)
+			//armlint:allow ctxpoll per-chunk estimation over one resident segment; the enclosing segment loop polls between segments
 			for c := cLo; c < cHi; c++ {
 				lo, hi := maxI64(int64(c)*cs, base), minI64(int64(c+1)*cs, segHi)
 				var w int64
+				//armlint:allow ctxpoll chunk slice of one resident segment; the enclosing segment loop polls between segments
 				for i := lo; i < hi; i++ {
 					w += int64(sd.Items(int(i - base)).K())
 				}
 				chunkEst[c] += w * hashtree.WorkItemScan
 			}
 		} else {
+			//armlint:allow ctxpoll per-processor estimation over one resident segment; the enclosing segment loop polls between segments
 			for p := 0; p < procs; p++ {
 				lo, hi := blockRange(p, procs, n)
 				lo, hi = maxI64(lo, base), minI64(hi, segHi)
 				var w int64
+				//armlint:allow ctxpoll block slice of one resident segment; the enclosing segment loop polls between segments
 				for i := lo; i < hi; i++ {
 					w += int64(sd.Items(int(i - base)).K())
 				}
@@ -207,7 +213,7 @@ func (s *segSource) countPhase(ctx context.Context, m *miner, tree *hashtree.Tre
 
 	var chunkWork []int64
 	if opts.DBPart.Dynamic() {
-		chunkWork = make([]int64, sched.NumChunks(int(n), opts.ChunkSize))
+		chunkWork = make([]int64, sched.NumChunks(int(n), opts.ChunkSize)) //armlint:narrowok int is 64-bit on every supported target, so the int64 transaction count converts losslessly
 	}
 
 	err := s.pipe.ForEach(ctx, func(si int, sd *db.Database) error {
@@ -217,6 +223,7 @@ func (s *segSource) countPhase(ctx context.Context, m *miner, tree *hashtree.Tre
 		countChunk := func(ctxc *hashtree.CountCtx, c int) {
 			lo, hi := maxI64(int64(c)*cs, base), minI64(int64(c+1)*cs, segHi)
 			before := ctxc.Work
+			//armlint:allow ctxpoll a chunk is at most ChunkSize transactions; the claim loop around it polls between chunks
 			for i := lo; i < hi; i++ {
 				ctxc.CountTransaction(sd.Items(int(i - base)))
 			}

@@ -35,6 +35,8 @@ func MinePCCD(d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 // worker panic surfaces as a *robust.WorkerPanicError. PCCD is the
 // measurement foil, not the production path, so it has no checkpointing or
 // candidate batching.
+//
+//armlint:cancellable
 func MinePCCDCtx(ctx context.Context, d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 	opts = opts.withDefaults()
 	start := time.Now()

@@ -138,6 +138,8 @@ func (d *Database) TID(i int) int64 { return d.tids[i] }
 
 // Items returns the itemset of transaction i. The returned slice aliases
 // the database arena and must not be modified.
+//
+//armlint:itersrc
 func (d *Database) Items(i int) itemset.Itemset {
 	return itemset.Itemset(d.arena[d.offsets[i]:d.offsets[i+1]])
 }
@@ -255,6 +257,7 @@ func (d *Database) WorkloadPartition(p, maxK int) []Slice {
 // specific iteration k — useful for testing partition balance.
 func (s Slice) EstimatedWork(k int) int64 {
 	var w int64
+	//armlint:allow ctxpoll bounded partition-balance estimation pass; callers poll at phase boundaries
 	for i := s.Lo; i < s.Hi; i++ {
 		w += itemset.Binomial(s.DB.Items(i).K(), k)
 	}
@@ -267,6 +270,7 @@ func (d *Database) Validate() error {
 	if len(d.offsets) != len(d.tids)+1 {
 		return fmt.Errorf("db: offsets len %d != tids len %d + 1", len(d.offsets), len(d.tids))
 	}
+	//armlint:allow ctxpoll validation is a bounded diagnostic pass, not a mining loop
 	for i := 0; i < d.Len(); i++ {
 		if d.offsets[i] > d.offsets[i+1] {
 			return fmt.Errorf("db: offsets not monotone at %d", i)

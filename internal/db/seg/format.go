@@ -35,6 +35,13 @@
 //	tidsOff  uint64  file offset of the tids block (numTx × int64)
 //	offsOff  uint64  file offset of the offsets block ((numTx+1) × int32)
 //	arenaOff uint64  file offset of the arena block (arenaLen × int32)
+//
+// Segment contents feed the pinned work models of the engines that mine
+// them, so the package itself is pinned: segment order, offsets and arena
+// layout must be bit-deterministic (the prefetch pipeline's wall-clock
+// stall counters carry explicit determinism allows — observability only):
+//
+//armlint:pinned
 package seg
 
 import (

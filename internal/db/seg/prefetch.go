@@ -226,7 +226,7 @@ func (p *Pipeline) runOverlapped(ctx context.Context, n int, fn func(int, *db.Da
 	defer abort()
 
 	for i := 0; i < n; i++ {
-		t0 := time.Now()
+		t0 := time.Now() //armlint:allow determinism wall-clock pipeline stat feeds Stats only, never the work model
 		rec.Master().BeginSeg(obs.SegStall, i)
 		var ld loaded
 		var ok bool
@@ -240,7 +240,7 @@ func (p *Pipeline) runOverlapped(ctx context.Context, n int, fn func(int, *db.Da
 		if !ok {
 			return fmt.Errorf("seg: prefetcher exited early")
 		}
-		p.stats.StallNS += time.Since(t0).Nanoseconds()
+		p.stats.StallNS += time.Since(t0).Nanoseconds() //armlint:allow determinism wall-clock pipeline stat feeds Stats only, never the work model
 		p.stats.LoadNS += ld.loadNS
 		if ld.err != nil {
 			return ld.err
@@ -260,30 +260,32 @@ func (p *Pipeline) runOverlapped(ctx context.Context, n int, fn func(int, *db.Da
 // load materializes one segment (applying the synthetic LoadDelay) under a
 // seg_load span on the io track.
 func (p *Pipeline) load(i int, buf *Buffer, io *obs.Worker) (*db.Database, int64, error) {
-	t0 := time.Now()
+	t0 := time.Now() //armlint:allow determinism wall-clock pipeline stat feeds Stats only, never the work model
 	io.BeginSeg(obs.SegLoad, i)
 	d, err := p.r.LoadSegment(i, buf)
 	if p.opts.LoadDelay > 0 {
-		time.Sleep(p.opts.LoadDelay)
+		time.Sleep(p.opts.LoadDelay) //armlint:allow determinism synthetic I/O delay for pipeline tests; never a work-model input
 	}
 	io.EndSeg(obs.SegLoad, i)
-	return d, time.Since(t0).Nanoseconds(), err
+	return d, time.Since(t0).Nanoseconds(), err //armlint:allow determinism wall-clock pipeline stat feeds Stats only, never the work model
 }
 
 // count runs the consumer callback under a seg_count span.
 func (p *Pipeline) count(i int, d *db.Database, fn func(int, *db.Database) error) error {
 	rec := p.opts.Obs
-	t0 := time.Now()
+	t0 := time.Now() //armlint:allow determinism wall-clock pipeline stat feeds Stats only, never the work model
 	rec.Master().BeginSeg(obs.SegCount, i)
 	err := fn(i, d)
 	rec.Master().EndSeg(obs.SegCount, i)
-	p.stats.CountNS += time.Since(t0).Nanoseconds()
+	p.stats.CountNS += time.Since(t0).Nanoseconds() //armlint:allow determinism wall-clock pipeline stat feeds Stats only, never the work model
 	p.stats.Segments++
 	return err
 }
 
 // take pops a free buffer, blocking until one is returned or the pass is
 // aborted (nil).
+//
+//armlint:polls
 func (p *Pipeline) take() *Buffer {
 	p.mu.Lock()
 	defer p.mu.Unlock()

@@ -129,6 +129,8 @@ func (r *Reader) NumSegments() int { return len(r.dir) }
 
 // NumTx returns the total transaction count across all segments — the int64
 // global address space that replaces the in-RAM Len() ceiling.
+//
+//armlint:wide
 func (r *Reader) NumTx() int64 { return int64(r.hdr.numTx) }
 
 // NumItems returns the item universe size N.
@@ -193,6 +195,8 @@ func grow[T any](dst []T, n int) []T {
 // into its reusable columns (buf may be nil for one-shot loads). Every load
 // is validated like an external file read: offsets monotone and in-range,
 // transactions sorted, items inside the universe.
+//
+//armlint:itersrc
 func (r *Reader) LoadSegment(i int, buf *Buffer) (*db.Database, error) {
 	s := r.dir[i]
 	var (

@@ -63,6 +63,8 @@ func Mine(d *db.Database, opts Options) (*apriori.Result, error) {
 // granularity (each first-level class is one task), and a cancelled run
 // returns the partial result — every class completed before the
 // cancellation point — together with a *robust.CanceledError.
+//
+//armlint:cancellable
 func MineCtx(ctx context.Context, d *db.Database, opts Options) (*apriori.Result, error) {
 	if opts.Procs < 1 {
 		opts.Procs = 1
@@ -73,9 +75,16 @@ func MineCtx(ctx context.Context, d *db.Database, opts Options) (*apriori.Result
 	minCount := opts.minCount(d.Len())
 	res := &apriori.Result{MinCount: minCount, ByK: make([][]apriori.FrequentItemset, 2)}
 
-	// Vertical transformation: one tidlist per item.
+	// Vertical transformation: one tidlist per item. The pass can dominate
+	// the runtime on large sparse databases, so it polls for cancellation
+	// every 4096 transactions rather than only at the phase boundary.
 	lists := make([]tidlist, d.NumItems())
 	for t := 0; t < d.Len(); t++ {
+		if t&0xfff == 0 {
+			if err := robust.Canceled(ctx, "f1", 1); err != nil {
+				return nil, err
+			}
+		}
 		for _, it := range d.Items(t) {
 			lists[it] = append(lists[it], int32(t))
 		}

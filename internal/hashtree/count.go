@@ -78,6 +78,8 @@ func NewCounters(mode CounterMode, n, procs int) *Counters {
 }
 
 // add increments candidate id's counter on behalf of processor proc.
+//
+//armlint:noalloc
 func (c *Counters) add(id int32, proc int) {
 	switch c.Mode {
 	case CounterPrivate:
@@ -96,6 +98,8 @@ func (c *Counters) add(id int32, proc int) {
 // addN adds n to candidate id's counter — one synchronization event per call
 // regardless of n, which is what makes batched flushing cheaper than n
 // individual adds under the locked and atomic modes.
+//
+//armlint:noalloc
 func (c *Counters) addN(id int32, n int64, proc int) {
 	switch c.Mode {
 	case CounterPrivate:

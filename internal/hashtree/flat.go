@@ -52,11 +52,15 @@ func (f *Flat) NumNodes() int { return len(f.childBase) }
 func (f *Flat) NumCandidates() int { return int(f.nCand) }
 
 // candidate returns candidate id's itemset view into the flat arena.
+//
+//armlint:noalloc
 func (f *Flat) candidate(id int32) itemset.Itemset {
 	return itemset.Itemset(f.cands[int(id)*f.k : int(id)*f.k+f.k])
 }
 
 // cell hashes an item to a hash-table cell — the same rules as Tree.cell.
+//
+//armlint:noalloc
 func (f *Flat) cell(it itemset.Item) int32 {
 	if int(it) < len(f.hashVec) && it >= 0 {
 		return f.hashVec[it]

@@ -39,6 +39,8 @@ func (s *Set) Len() int { return s.n }
 
 // hashSkip is an FNV-1a style hash over the items of it, skipping position
 // skip (pass skip < 0 to hash all items).
+//
+//armlint:noalloc
 func hashSkip(it Itemset, skip int) uint32 {
 	h := uint32(2166136261)
 	for i, v := range it {

@@ -109,6 +109,8 @@ func (s Itemset) Less(t Itemset) bool { return s.Compare(t) < 0 }
 
 // Contains reports whether sub ⊆ s. Both must be sorted; the merge walk is
 // O(len(s)).
+//
+//armlint:noalloc
 func (s Itemset) Contains(sub Itemset) bool {
 	if len(sub) > len(s) {
 		return false

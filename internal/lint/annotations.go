@@ -19,6 +19,24 @@ import (
 //	//armlint:hot [group]                  — on a struct field mutated by one
 //	                                         worker (default group "worker")
 //	//armlint:pinned                       — in a package doc comment
+//	//armlint:wide                         — on a function (its result is a
+//	                                         wide int64: a global address,
+//	                                         arena offset or transaction
+//	                                         count) or on an int64 struct
+//	                                         field with the same meaning
+//	//armlint:narrowok <reason>            — on/above a narrowing conversion
+//	                                         of a wide value: the range is
+//	                                         bounded for the stated reason
+//	                                         (sugar for allow intwidth)
+//	//armlint:cancellable                  — on a ctx-taking entry point: every
+//	                                         scan loop reachable from here
+//	                                         must poll for cancellation
+//	//armlint:polls                        — on a function that observes
+//	                                         cancellation itself (blocks with
+//	                                         an abort path, or checks ctx)
+//	//armlint:itersrc                      — on a function that yields
+//	                                         per-transaction/chunk/segment
+//	                                         work; loops calling it owe a poll
 //	//armlint:allow <a>[,<a>...] <reason>  — on/above a line, suppresses the
 //	                                         named analyzers there
 //
@@ -50,19 +68,35 @@ type Annotations struct {
 	// Pinned marks packages whose work model is frozen by
 	// TestModelTimePinned (determinism-critical).
 	Pinned map[string]bool
+	// Wide marks functions returning a wide int64 (global address, arena
+	// offset, transaction count) that must not be narrowed unguarded.
+	Wide map[*types.Func]bool
+	// WideField marks int64 struct fields carrying wide values.
+	WideField map[*types.Var]bool
+	// Cancellable marks the ctx-taking mining entry points: ctxpoll roots.
+	Cancellable map[*types.Func]bool
+	// Polls marks functions that observe cancellation themselves.
+	Polls map[*types.Func]bool
+	// IterSrc marks functions yielding per-transaction/chunk/segment work.
+	IterSrc map[*types.Func]bool
 
 	allows map[string]map[int]*Allow // file → line → directive
 }
 
 func newAnnotations() *Annotations {
 	return &Annotations{
-		NoAlloc:    map[*types.Func]bool{},
-		Guarded:    map[*types.Var]*types.Var{},
-		Locked:     map[*types.Func][]string{},
-		Hot:        map[*types.Var]string{},
-		HotStructs: map[*types.Named][]*types.Var{},
-		Pinned:     map[string]bool{},
-		allows:     map[string]map[int]*Allow{},
+		NoAlloc:     map[*types.Func]bool{},
+		Guarded:     map[*types.Var]*types.Var{},
+		Locked:      map[*types.Func][]string{},
+		Hot:         map[*types.Var]string{},
+		HotStructs:  map[*types.Named][]*types.Var{},
+		Pinned:      map[string]bool{},
+		Wide:        map[*types.Func]bool{},
+		WideField:   map[*types.Var]bool{},
+		Cancellable: map[*types.Func]bool{},
+		Polls:       map[*types.Func]bool{},
+		IterSrc:     map[*types.Func]bool{},
+		allows:      map[string]map[int]*Allow{},
 	}
 }
 
@@ -91,22 +125,30 @@ func (a *Annotations) collect(fset *token.FileSet, pkg *Package) {
 				}
 			}
 		}
-		// Suppressions can appear in any comment group.
+		// Suppressions can appear in any comment group. narrowok is sugar
+		// for an intwidth-only allow: the reason documents why the wide
+		// value's range is bounded at that conversion.
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
 				verb, args, ok := directive(c)
-				if !ok || verb != "allow" {
+				if !ok {
 					continue
 				}
-				names, reason, _ := strings.Cut(args, " ")
-				al := &Allow{
-					Analyzers: map[string]bool{},
-					Reason:    strings.TrimSpace(reason),
-				}
-				for _, n := range strings.Split(names, ",") {
-					if n = strings.TrimSpace(n); n != "" {
-						al.Analyzers[n] = true
+				al := &Allow{Analyzers: map[string]bool{}}
+				switch verb {
+				case "allow":
+					names, reason, _ := strings.Cut(args, " ")
+					al.Reason = strings.TrimSpace(reason)
+					for _, n := range strings.Split(names, ",") {
+						if n = strings.TrimSpace(n); n != "" {
+							al.Analyzers[n] = true
+						}
 					}
+				case "narrowok":
+					al.Reason = args
+					al.Analyzers["intwidth"] = true
+				default:
+					continue
 				}
 				pos := fset.Position(c.Pos())
 				al.File, al.Line = pos.Filename, pos.Line
@@ -150,6 +192,14 @@ func (a *Annotations) collectFunc(info *types.Info, decl *ast.FuncDecl) {
 					a.Locked[fn] = append(a.Locked[fn], p)
 				}
 			}
+		case "wide":
+			a.Wide[fn] = true
+		case "cancellable":
+			a.Cancellable[fn] = true
+		case "polls":
+			a.Polls[fn] = true
+		case "itersrc":
+			a.IterSrc[fn] = true
 		}
 	}
 }
@@ -184,6 +234,10 @@ func (a *Annotations) collectType(info *types.Info, spec *ast.TypeSpec) {
 					if named != nil {
 						a.HotStructs[named] = append(a.HotStructs[named], v)
 					}
+				}
+			case "wide":
+				for _, v := range fieldVars(info, field) {
+					a.WideField[v] = true
 				}
 			}
 		}

@@ -19,6 +19,12 @@ import (
 // and range accesses are flagged; reading the slice header (len, append
 // targets, passing the slice) is harmless. The typed atomic.Int64 family
 // needs no checking — its API admits no plain access.
+//
+// v2 sees through one more layer: the call-graph AtomicParams summary marks
+// module functions that update a pointer parameter through sync/atomic
+// (directly or by forwarding it on), so `&x.f` handed to such a helper
+// makes x.f a target exactly as if the atomic call were inlined. Wrapping
+// the increment in func bump(c *int64) no longer hides the mix.
 var AtomicMix = &Analyzer{
 	Name: "atomic-mix",
 	Doc:  "field updated via sync/atomic must not get plain reads/writes",
@@ -35,30 +41,55 @@ func runAtomicMix(pass *Pass) {
 	targets := map[*types.Var]*atomicTarget{}
 	var atomicArgs []ast.Expr // &-argument subtrees of atomic calls (exempt)
 
-	// Pass 1: find addresses handed to sync/atomic.
+	record := func(arg ast.Expr) {
+		un, ok := arg.(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			return
+		}
+		v, elem := addressedVar(pass.Info, un.X)
+		if v == nil {
+			return
+		}
+		t := targets[v]
+		if t == nil {
+			t = &atomicTarget{}
+			targets[v] = t
+		}
+		t.direct = t.direct || !elem
+		t.elem = t.elem || elem
+		atomicArgs = append(atomicArgs, un)
+	}
+
+	// Pass 1: find addresses handed to sync/atomic — directly, or through a
+	// module helper whose AtomicParams summary says the pointee is updated
+	// atomically inside.
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
-			if !ok || !isAtomicCall(pass.Info, call) {
+			if !ok {
 				return true
 			}
-			for _, arg := range call.Args {
-				un, ok := arg.(*ast.UnaryExpr)
-				if !ok || un.Op != token.AND {
-					continue
+			if isAtomicCall(pass.Info, call) {
+				for _, arg := range call.Args {
+					record(arg)
 				}
-				v, elem := addressedVar(pass.Info, un.X)
-				if v == nil {
-					continue
+				return true
+			}
+			if pass.Graph == nil {
+				return true
+			}
+			fn := calledFunc(pass.Info, call)
+			if fn == nil {
+				return true
+			}
+			node := pass.Graph.Nodes[fn]
+			if node == nil || len(node.AtomicParams) == 0 {
+				return true
+			}
+			for i, arg := range call.Args {
+				if node.AtomicParams[i] {
+					record(arg)
 				}
-				t := targets[v]
-				if t == nil {
-					t = &atomicTarget{}
-					targets[v] = t
-				}
-				t.direct = t.direct || !elem
-				t.elem = t.elem || elem
-				atomicArgs = append(atomicArgs, un)
 			}
 			return true
 		})

@@ -1,0 +1,463 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicWrite checks the temp+fsync+rename discipline that makes checkpoint
+// and segment writes crash-atomic. The contract (ckpt.WriteFile is the
+// canonical shape):
+//
+//  1. the temp file must be fsynced before it is renamed over the target —
+//     rename-before-sync can publish a zero-length or torn file after a
+//     crash, which is precisely the corruption ckpt's CRC trailer exists to
+//     detect but should never have to;
+//  2. Close errors on the temp writer must be checked (a failed close can
+//     lose buffered writes) unless the surrounding abort path already
+//     removes the temp;
+//  3. no return path may leak the temp file: every return must have
+//     renamed it, removed it, or handed the handle off (returned it or
+//     stored it in a struct, as seg.Writer.Create does — the rename
+//     obligation then moves to wherever the handle ends up);
+//  4. a standalone os.Rename of a temp-named path (seg.Writer.Close, where
+//     the file was opened in another function) must still be preceded by a
+//     Sync call somewhere earlier in the same function.
+//
+// Tracking activates only when os.Create/os.OpenFile is called on a
+// ".tmp"-patterned path, so ordinary file I/O is never flagged. The walk is
+// linear with clone-on-branch (same machinery shape as guardedby): branch
+// bodies are analyzed against copies of the state, so an abort path that
+// removes the temp satisfies its own returns without leaking cleanup into
+// the success path.
+var AtomicWrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc:  "temp files are fsynced before rename, closes checked, no path leaks the temp",
+	Run:  runAtomicWrite,
+}
+
+func runAtomicWrite(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkAtomicWrite(pass, fd)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// awFile is the tracked state of one temp-file handle.
+type awFile struct {
+	tmp      *types.Var // variable holding the temp path, if any
+	errVar   *types.Var // error variable from the creating call
+	maybeNil bool       // inside the create-error branch: handle may be nil
+	synced   bool
+	renamed  bool
+	removed  bool
+	escaped  bool
+}
+
+// awState is one control-flow path's view of the tracked handles.
+type awState struct {
+	files map[*types.Var]*awFile
+	tmps  map[*types.Var]bool // string vars holding ".tmp"-patterned paths
+}
+
+func (st *awState) clone() *awState {
+	c := &awState{
+		files: make(map[*types.Var]*awFile, len(st.files)),
+		tmps:  make(map[*types.Var]bool, len(st.tmps)),
+	}
+	for v, f := range st.files {
+		cp := *f
+		c.files[v] = &cp
+	}
+	for v := range st.tmps {
+		c.tmps[v] = true
+	}
+	return c
+}
+
+type awChecker struct {
+	pass  *Pass
+	syncs []token.Pos // positions of every .Sync() call in the function
+}
+
+func checkAtomicWrite(pass *Pass, fd *ast.FuncDecl) {
+	c := &awChecker{pass: pass}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sync" {
+				c.syncs = append(c.syncs, call.Pos())
+			}
+		}
+		return true
+	})
+	st := &awState{files: map[*types.Var]*awFile{}, tmps: map[*types.Var]bool{}}
+	c.walk(fd.Body.List, st)
+}
+
+func (c *awChecker) walk(stmts []ast.Stmt, st *awState) {
+	for _, s := range stmts {
+		c.stmt(s, st, stmts)
+	}
+}
+
+func (c *awChecker) stmt(s ast.Stmt, st *awState, block []ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		c.assign(s, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					c.valueSpec(vs, st)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		c.callEffects(s.X, st, block, true)
+	case *ast.DeferStmt:
+		// Deferred Close/Remove count as handled; a deferred close's error
+		// is conventionally unobservable, so rule 2 does not fire here.
+		if f := c.fileFor(st, recvOf(s.Call)); f != nil && methodName(s.Call) == "Close" {
+			return
+		}
+		c.callEffects(s.Call, st, block, false)
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			ast.Inspect(res, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					c.callEffects(call, st, block, false)
+				}
+				// Returning any expression that mentions the handle —
+				// the handle itself, or a struct wrapping it — hands the
+				// rename obligation to the caller.
+				if f := c.fileFor(st, n); f != nil {
+					f.escaped = true
+				}
+				return true
+			})
+		}
+		for _, f := range st.files {
+			if !f.renamed && !f.removed && !f.escaped && !f.maybeNil {
+				c.pass.Reportf(s.Pos(), "return path leaks the temp file: rename it over the target, os.Remove it on the abort path, or return the handle")
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st, block)
+		}
+		then := st.clone()
+		// `if err != nil` on the creating call's error var: in that branch
+		// the handle was never opened, so there is nothing to leak.
+		if be, ok := s.Cond.(*ast.BinaryExpr); ok && be.Op == token.NEQ {
+			if v := usedIdentVar(c.pass.Info, be.X); v != nil {
+				for _, f := range then.files {
+					if f.errVar == v {
+						f.maybeNil = true
+					}
+				}
+			}
+		}
+		c.walk(s.Body.List, then)
+		if s.Else != nil {
+			c.stmt(s.Else, st.clone(), block)
+		}
+	case *ast.BlockStmt:
+		c.walk(s.List, st)
+	case *ast.ForStmt:
+		c.walk(s.Body.List, st.clone())
+	case *ast.RangeStmt:
+		c.walk(s.Body.List, st.clone())
+	case *ast.SwitchStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.walk(cl.Body, st.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.walk(cl.Body, st.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok {
+				c.walk(cl.Body, st.clone())
+			}
+		}
+	case *ast.GoStmt:
+		// A handle captured by a spawned goroutine is out of this
+		// function's hands; treat it like any other escape.
+		ast.Inspect(s.Call, func(n ast.Node) bool {
+			if f := c.fileFor(st, n); f != nil {
+				f.escaped = true
+			}
+			return true
+		})
+	}
+}
+
+func (c *awChecker) valueSpec(vs *ast.ValueSpec, st *awState) {
+	for i, name := range vs.Names {
+		if i >= len(vs.Values) {
+			break
+		}
+		if containsTmpLit(vs.Values[i]) && isStringVar(c.pass.Info.Defs[name]) {
+			if v, ok := c.pass.Info.Defs[name].(*types.Var); ok {
+				st.tmps[v] = true
+			}
+		}
+	}
+}
+
+func (c *awChecker) assign(s *ast.AssignStmt, st *awState) {
+	// f, err := os.Create(tmp) — activation point.
+	if len(s.Rhs) == 1 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok && c.isTmpOpen(call, st) {
+			f := &awFile{}
+			if len(call.Args) > 0 {
+				if v := usedIdentVar(c.pass.Info, call.Args[0]); v != nil {
+					f.tmp = v
+				}
+			}
+			if len(s.Lhs) >= 2 {
+				f.errVar = assignedVar(c.pass.Info, s.Lhs[1])
+			}
+			if fv := assignedVar(c.pass.Info, s.Lhs[0]); fv != nil {
+				st.files[fv] = f
+			}
+			return
+		}
+	}
+	for i, rhs := range s.Rhs {
+		// tmp := path + ".tmp" — remember the temp path variable.
+		if containsTmpLit(rhs) && i < len(s.Lhs) {
+			if v := assignedVar(c.pass.Info, s.Lhs[i]); v != nil && isStringVar(v) {
+				st.tmps[v] = true
+			}
+		}
+		// Storing the handle in a composite literal or a field hands the
+		// rename obligation to the receiving type (seg.Writer.Create).
+		ast.Inspect(rhs, func(n ast.Node) bool {
+			if cl, ok := n.(*ast.CompositeLit); ok {
+				ast.Inspect(cl, func(m ast.Node) bool {
+					if f := c.fileFor(st, m); f != nil {
+						f.escaped = true
+					}
+					return true
+				})
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				c.callEffects(call, st, nil, false)
+				return false
+			}
+			return true
+		})
+		if i < len(s.Lhs) {
+			if _, isSel := ast.Unparen(s.Lhs[i]).(*ast.SelectorExpr); isSel {
+				if f := c.fileFor(st, rhs); f != nil {
+					f.escaped = true
+				}
+			}
+		}
+	}
+}
+
+// callEffects applies the state transitions of one call expression.
+// bareStmt marks an expression-statement position, where a Close's error
+// result is discarded (rule 2).
+func (c *awChecker) callEffects(expr ast.Expr, st *awState, block []ast.Stmt, bareStmt bool) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	// Package-level os functions only: os.File methods (Sync, Close) also
+	// live in package os but are handled via the tracked receiver below.
+	if fn := calledFunc(c.pass.Info, call); fn != nil && fn.Pkg() != nil &&
+		fn.Pkg().Path() == "os" && fn.Type().(*types.Signature).Recv() == nil {
+		switch fn.Name() {
+		case "Remove":
+			if len(call.Args) == 1 {
+				if v := usedIdentVar(c.pass.Info, call.Args[0]); v != nil {
+					for _, f := range st.files {
+						if f.tmp == v {
+							f.removed = true
+						}
+					}
+				}
+			}
+		case "Rename":
+			if len(call.Args) != 2 {
+				return
+			}
+			if v := usedIdentVar(c.pass.Info, call.Args[0]); v != nil {
+				for _, f := range st.files {
+					if f.tmp != v {
+						continue
+					}
+					if !f.synced {
+						c.pass.Reportf(call.Pos(), "temp file renamed over its target before Sync; a crash can publish a torn or empty file — fsync the temp first")
+					}
+					f.renamed = true
+					return
+				}
+			}
+			// Rule 4: a rename of a temp-named path opened elsewhere still
+			// needs a Sync earlier in this function.
+			if tmpishExpr(c.pass.Info, call.Args[0], st) && !c.syncBefore(call.Pos()) {
+				c.pass.Reportf(call.Pos(), "temp file renamed over its target with no Sync call earlier in this function; fsync the writer before publishing")
+			}
+		}
+		return
+	}
+	// Method calls on a tracked handle.
+	f := c.fileFor(st, recvOf(call))
+	if f == nil {
+		return
+	}
+	switch methodName(call) {
+	case "Sync":
+		f.synced = true
+	case "Close":
+		if bareStmt && !blockRemoves(block, call.Pos()) {
+			c.pass.Reportf(call.Pos(), "error from Close of the temp-file writer is discarded; check it (a failed close can lose buffered writes) or os.Remove the temp on this path")
+		}
+	}
+}
+
+// isTmpOpen reports whether call opens a ".tmp"-patterned path —
+// os.Create/os.OpenFile whose path argument is a temp literal, a tracked
+// temp variable, or a variable whose name says tmp.
+func (c *awChecker) isTmpOpen(call *ast.CallExpr, st *awState) bool {
+	fn := calledFunc(c.pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return false
+	}
+	if fn.Name() != "Create" && fn.Name() != "OpenFile" {
+		return false
+	}
+	return len(call.Args) > 0 && tmpishExpr(c.pass.Info, call.Args[0], st)
+}
+
+func (c *awChecker) syncBefore(pos token.Pos) bool {
+	for _, p := range c.syncs {
+		if p < pos {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *awChecker) fileFor(st *awState, n ast.Node) *awFile {
+	expr, ok := n.(ast.Expr)
+	if !ok {
+		return nil
+	}
+	if v := usedIdentVar(c.pass.Info, expr); v != nil {
+		return st.files[v]
+	}
+	return nil
+}
+
+// tmpishExpr reports whether expr names a temp path: contains a ".tmp"
+// string literal, is a tracked temp variable, or is an identifier/selector
+// whose name contains "tmp".
+func tmpishExpr(info *types.Info, expr ast.Expr, st *awState) bool {
+	if containsTmpLit(expr) {
+		return true
+	}
+	if v := usedIdentVar(info, expr); v != nil {
+		if st.tmps[v] || strings.Contains(strings.ToLower(v.Name()), "tmp") {
+			return true
+		}
+	}
+	if sel, ok := ast.Unparen(expr).(*ast.SelectorExpr); ok {
+		return strings.Contains(strings.ToLower(sel.Sel.Name), "tmp")
+	}
+	return false
+}
+
+// containsTmpLit reports whether the expression tree contains a string
+// literal with a ".tmp" component.
+func containsTmpLit(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.STRING &&
+			strings.Contains(lit.Value, ".tmp") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// blockRemoves reports whether the statement list contains an os.Remove
+// call after pos — the `f.Close(); os.Remove(tmp); return err` abort-path
+// idiom that excuses an unchecked Close. Removes on earlier, unrelated
+// abort paths don't count.
+func blockRemoves(block []ast.Stmt, pos token.Pos) bool {
+	for _, s := range block {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || call.Pos() <= pos {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Remove" {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == "os" {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// recvOf returns the receiver expression of a method-shaped call, or nil.
+func recvOf(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}
+
+// methodName returns the selector name of a method-shaped call, or "".
+func methodName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// usedIdentVar resolves a plain identifier expression to the variable it
+// uses, or nil.
+func usedIdentVar(info *types.Info, expr ast.Expr) *types.Var {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+// isStringVar reports whether obj is a variable of (underlying) string type.
+func isStringVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	b, ok := v.Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,411 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// This file is the dataflow substrate the v2 analyzers share: a module-wide
+// call graph with per-function summaries, built once per LoadModule/LoadDir
+// and handed to every Pass. Two edge kinds serve two different questions:
+//
+//   - Refs: any reference to a module function from this function's body —
+//     direct calls, method values, go/defer, function values passed around.
+//     Used for conservative reachability (ctxpoll's "reachable from a
+//     cancellable root" set): a function whose value escapes may run, so it
+//     must be assumed to.
+//   - Calls: resolved direct CallExprs only. Used for the summary fixpoints
+//     (Polls, IterSrc, Clock, WideRet, AtomicParams), where the question is
+//     "does executing this call do X", which a mere reference does not.
+//
+// Function literals are merged into their enclosing declaration's node: a
+// closure dispatched by sched.Pool.Run is, for every invariant armlint
+// checks, part of the function that wrote it.
+type Graph struct {
+	// Nodes maps every module function (and method) with a body to its node.
+	Nodes map[*types.Func]*FuncNode
+	// CancellableReach marks functions reachable (over Refs edges) from an
+	// //armlint:cancellable root, roots included — the set inside which
+	// ctxpoll obligations apply.
+	CancellableReach map[*types.Func]bool
+}
+
+// FuncNode is one module function in the call graph.
+type FuncNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// RecvName is the receiver identifier ("q" in func (q *Queue) ...), ""
+	// for plain functions — the substitution key for receiver-relative lock
+	// paths.
+	RecvName string
+
+	Refs  []*FuncNode // any reference to a module function (reachability)
+	Calls []*FuncNode // resolved direct calls (summaries)
+
+	// Polls: executing this function reaches a cancellation check — a direct
+	// ctx.Err/Done/Deadline call, an //armlint:polls annotation, or a callee
+	// that Polls. A loop that calls a Polls function observes cancellation.
+	Polls bool
+	// IterSrc: this function yields per-transaction / per-chunk / per-segment
+	// work — annotated //armlint:itersrc or calling such a function. A loop
+	// that calls an IterSrc function is a scan loop and owes a poll.
+	IterSrc bool
+	// Clock: this function (transitively) reads the wall clock via the
+	// banned time functions.
+	Clock bool
+	// WideRet: this function returns a wide int64 (annotated //armlint:wide,
+	// or returning the result of a WideRet function).
+	WideRet bool
+
+	// NetAcquires / Releases summarize the lock effects of the top-level
+	// statement list: lock paths held after the call returns, and lock paths
+	// the call drops. Receiver-relative components use recvMarker.
+	NetAcquires []string
+	Releases    []string
+
+	// AtomicParams marks parameter indices whose pointee the function updates
+	// through sync/atomic (directly or by forwarding to such a function).
+	AtomicParams map[int]bool
+
+	// wideRetCalls are the module functions whose results this function
+	// returns directly — the propagation edges of the WideRet fixpoint.
+	wideRetCalls []*FuncNode
+	// atomicFwd records "this function forwards its param i as callee's
+	// param j" bindings for the AtomicParams fixpoint.
+	atomicFwd []atomicBinding
+}
+
+type atomicBinding struct {
+	callerIdx int
+	callee    *FuncNode
+	calleeIdx int
+}
+
+// recvMarker substitutes for the receiver name in receiver-relative lock
+// paths ("\x00.mu" for a method declared on receiver q with body q.mu.Lock()).
+const recvMarker = "\x00recv"
+
+// buildGraph constructs the call graph and runs the summary fixpoints. It
+// must run after annotation collection (the seeds come from Ann).
+func buildGraph(mod *Module) *Graph {
+	g := &Graph{
+		Nodes:            map[*types.Func]*FuncNode{},
+		CancellableReach: map[*types.Func]bool{},
+	}
+	// Nodes: every FuncDecl with a body.
+	for _, pkg := range mod.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn := funcObj(pkg.Info, fd)
+				if fn == nil {
+					continue
+				}
+				n := &FuncNode{Fn: fn, Decl: fd, Pkg: pkg}
+				if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+					n.RecvName = fd.Recv.List[0].Names[0].Name
+				}
+				g.Nodes[fn] = n
+			}
+		}
+	}
+	// Edges and local facts.
+	for _, n := range g.Nodes {
+		g.walkNode(mod, n)
+		n.summarizeLocks()
+	}
+	// Fixpoints.
+	g.fixpoint()
+	// Reachability from cancellable roots over Refs.
+	var frontier []*FuncNode
+	for fn, node := range g.Nodes {
+		if mod.Ann.Cancellable[fn] {
+			g.CancellableReach[fn] = true
+			frontier = append(frontier, node)
+		}
+	}
+	for len(frontier) > 0 {
+		n := frontier[0]
+		frontier = frontier[1:]
+		for _, ref := range n.Refs {
+			if !g.CancellableReach[ref.Fn] {
+				g.CancellableReach[ref.Fn] = true
+				frontier = append(frontier, ref)
+			}
+		}
+	}
+	return g
+}
+
+// walkNode records Refs/Calls edges and the node-local summary seeds.
+func (g *Graph) walkNode(mod *Module, n *FuncNode) {
+	info := n.Pkg.Info
+	refSeen := map[*FuncNode]bool{}
+	callSeen := map[*FuncNode]bool{}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch e := node.(type) {
+		case *ast.Ident:
+			if fn, ok := info.Uses[e].(*types.Func); ok {
+				if target := g.Nodes[fn]; target != nil && !refSeen[target] {
+					refSeen[target] = true
+					n.Refs = append(n.Refs, target)
+				}
+			}
+		case *ast.CallExpr:
+			if isCtxPollCall(info, e) {
+				n.Polls = true
+			}
+			fn := calledFunc(info, e)
+			if fn == nil {
+				return true
+			}
+			if fn.Pkg() != nil && fn.Pkg().Path() == "time" && bannedTimeFuncs[fn.Name()] {
+				n.Clock = true
+			}
+			target := g.Nodes[fn]
+			if target == nil {
+				return true
+			}
+			if !callSeen[target] {
+				callSeen[target] = true
+				n.Calls = append(n.Calls, target)
+			}
+			// AtomicParams seeds and forwarding edges.
+			for i, arg := range e.Args {
+				id, ok := ast.Unparen(arg).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				pv, ok := info.Uses[id].(*types.Var)
+				if !ok {
+					continue
+				}
+				if pi := paramIndex(n.Fn, pv); pi >= 0 {
+					n.atomicFwd = append(n.atomicFwd, atomicBinding{pi, target, i})
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range e.Results {
+				if call, ok := ast.Unparen(r).(*ast.CallExpr); ok {
+					if fn := calledFunc(info, call); fn != nil {
+						if target := g.Nodes[fn]; target != nil {
+							n.wideRetCalls = append(n.wideRetCalls, target)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	// Atomic-param seeds: &-free param pointers handed straight to
+	// sync/atomic (func bump(c *int64) { atomic.AddInt64(c, 1) }).
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok || !isAtomicCall(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			id, ok := ast.Unparen(arg).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			pv, ok := info.Uses[id].(*types.Var)
+			if !ok {
+				continue
+			}
+			if pi := paramIndex(n.Fn, pv); pi >= 0 {
+				if n.AtomicParams == nil {
+					n.AtomicParams = map[int]bool{}
+				}
+				n.AtomicParams[pi] = true
+			}
+		}
+		return true
+	})
+	ann := mod.Ann
+	if ann.Polls[n.Fn] {
+		n.Polls = true
+	}
+	if ann.IterSrc[n.Fn] {
+		n.IterSrc = true
+	}
+	if ann.Wide[n.Fn] {
+		n.WideRet = true
+	}
+}
+
+// summarizeLocks walks the top-level statement list recording lock effects
+// visible to a caller: paths acquired and still held at fall-through
+// (NetAcquires) and paths released anywhere (Releases). Deeper nesting is
+// deliberately ignored — a conditionally-taken lock is no summary at all.
+func (n *FuncNode) summarizeLocks() {
+	info := n.Pkg.Info
+	held := map[string]bool{}
+	var order []string
+	released := map[string]bool{}
+	record := func(call *ast.CallExpr) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return
+		}
+		path := n.relativize(simpleRender(sel.X))
+		switch fn.Name() {
+		case "Lock", "RLock":
+			if !held[path] {
+				held[path] = true
+				order = append(order, path)
+			}
+		case "Unlock", "RUnlock":
+			delete(held, path)
+			released[path] = true
+		}
+	}
+	for _, s := range n.Decl.Body.List {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				record(call)
+			}
+		case *ast.DeferStmt:
+			record(s.Call)
+		}
+	}
+	for _, p := range order {
+		if held[p] {
+			n.NetAcquires = append(n.NetAcquires, p)
+		}
+	}
+	for p := range released {
+		n.Releases = append(n.Releases, p)
+	}
+}
+
+// relativize rewrites a rendered lock path so the receiver component becomes
+// recvMarker, making the summary substitutable at any call site.
+func (n *FuncNode) relativize(path string) string {
+	if n.RecvName == "" {
+		return path
+	}
+	if path == n.RecvName {
+		return recvMarker
+	}
+	if strings.HasPrefix(path, n.RecvName+".") {
+		return recvMarker + path[len(n.RecvName):]
+	}
+	return path
+}
+
+// Substitute resolves a receiver-relative path against a call site's
+// rendered receiver ("" for plain function calls).
+func (n *FuncNode) Substitute(path, recv string) string {
+	if !strings.HasPrefix(path, recvMarker) {
+		return path
+	}
+	return recv + path[len(recvMarker):]
+}
+
+// RelativizeAnnotated converts an //armlint:locked annotation path (written
+// against the declared receiver name, e.g. "q.mu") to substitutable form.
+func (n *FuncNode) RelativizeAnnotated(path string) string {
+	return n.relativize(path)
+}
+
+// fixpoint iterates the transitive summaries to a fixed point. Every
+// property only ever flips false→true, so the iteration terminates in at
+// most |Nodes| rounds; recursion (including mutual) is handled for free.
+func (g *Graph) fixpoint() {
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			for _, c := range n.Calls {
+				if c.Polls && !n.Polls {
+					n.Polls = true
+					changed = true
+				}
+				if c.IterSrc && !n.IterSrc {
+					n.IterSrc = true
+					changed = true
+				}
+				if c.Clock && !n.Clock {
+					n.Clock = true
+					changed = true
+				}
+			}
+			for _, c := range n.wideRetCalls {
+				if c.WideRet && !n.WideRet {
+					n.WideRet = true
+					changed = true
+				}
+			}
+			for _, b := range n.atomicFwd {
+				if b.callee.AtomicParams[b.calleeIdx] && !n.AtomicParams[b.callerIdx] {
+					if n.AtomicParams == nil {
+						n.AtomicParams = map[int]bool{}
+					}
+					n.AtomicParams[b.callerIdx] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// paramIndex returns v's index among fn's parameters, or -1.
+func paramIndex(fn *types.Func, v *types.Var) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// isCtxPollCall reports whether call is a direct cancellation poll —
+// ctx.Err(), ctx.Done() or ctx.Deadline() on a context.Context.
+func isCtxPollCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return false
+	}
+	switch fn.Name() {
+	case "Err", "Done", "Deadline":
+		return true
+	}
+	return false
+}
+
+// simpleRender is the alias-free cousin of gbChecker.render, used where no
+// local alias table exists (graph summaries): identifiers by name, selectors
+// by field name, index subscripts dropped.
+func simpleRender(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return simpleRender(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return simpleRender(e.X)
+	case *ast.ParenExpr:
+		return simpleRender(e.X)
+	case *ast.StarExpr:
+		return simpleRender(e.X)
+	}
+	return "?unrenderable?"
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// loadCallgraphFixture loads testdata/src/callgraph and returns its graph.
+func loadCallgraphFixture(t *testing.T) *Graph {
+	t.Helper()
+	mod, err := LoadDir(filepath.Join("testdata", "src", "callgraph"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if mod.Graph == nil {
+		t.Fatal("LoadDir did not build a call graph")
+	}
+	return mod.Graph
+}
+
+func nodeByName(t *testing.T, g *Graph, name string) *FuncNode {
+	t.Helper()
+	var found *FuncNode
+	for fn, n := range g.Nodes {
+		if fn.Name() == name {
+			if found != nil {
+				t.Fatalf("two nodes named %q", name)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("no node named %q", name)
+	}
+	return found
+}
+
+func TestCallGraphSummaries(t *testing.T) {
+	g := loadCallgraphFixture(t)
+
+	// IterSrc propagates through two call layers.
+	for _, name := range []string{"source", "level1", "level2"} {
+		if !nodeByName(t, g, name).IterSrc {
+			t.Errorf("%s.IterSrc = false, want true", name)
+		}
+	}
+	if nodeByName(t, g, "even").IterSrc {
+		t.Error("even.IterSrc = true; recursion must not invent properties")
+	}
+
+	// Polls propagates from the annotated (and directly-polling) helper.
+	if !nodeByName(t, g, "check").Polls {
+		t.Error("check.Polls = false, want true")
+	}
+	if !nodeByName(t, g, "viaCheck").Polls {
+		t.Error("viaCheck.Polls = false, want true")
+	}
+
+	// WideRet propagates over direct result returns.
+	if !nodeByName(t, g, "wrapWide").WideRet {
+		t.Error("wrapWide.WideRet = false, want true")
+	}
+
+	// AtomicParams propagates over parameter forwarding.
+	if !nodeByName(t, g, "bump").AtomicParams[0] {
+		t.Error("bump.AtomicParams[0] = false, want true")
+	}
+	if !nodeByName(t, g, "bump2").AtomicParams[0] {
+		t.Error("bump2.AtomicParams[0] = false, want true")
+	}
+}
+
+func TestCallGraphRecursion(t *testing.T) {
+	g := loadCallgraphFixture(t)
+	// Mutual recursion: both edges present, fixpoint terminated (we got
+	// here), no property invented.
+	even, odd := nodeByName(t, g, "even"), nodeByName(t, g, "odd")
+	hasCall := func(n *FuncNode, target *FuncNode) bool {
+		for _, c := range n.Calls {
+			if c == target {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasCall(even, odd) || !hasCall(odd, even) {
+		t.Error("mutual recursion edges missing from Calls")
+	}
+	if even.Polls || even.IterSrc || even.Clock || even.WideRet {
+		t.Errorf("recursive even acquired spurious summaries: %+v", even)
+	}
+}
+
+func TestCallGraphEdgeKinds(t *testing.T) {
+	g := loadCallgraphFixture(t)
+
+	// A method value is a Refs edge but not a Calls edge.
+	root, m := nodeByName(t, g, "Root"), nodeByName(t, g, "M")
+	hasRef := false
+	for _, r := range root.Refs {
+		if r == m {
+			hasRef = true
+		}
+	}
+	if !hasRef {
+		t.Error("Root does not Ref the method value M")
+	}
+	for _, c := range root.Calls {
+		if c == m {
+			t.Error("method value M must not be a Calls edge")
+		}
+	}
+
+	// A deferred call is both a Refs and a Calls edge.
+	def, helper := nodeByName(t, g, "deferred"), nodeByName(t, g, "helperD")
+	hasRef, hasCall := false, false
+	for _, r := range def.Refs {
+		if r == helper {
+			hasRef = true
+		}
+	}
+	for _, c := range def.Calls {
+		if c == helper {
+			hasCall = true
+		}
+	}
+	if !hasRef || !hasCall {
+		t.Errorf("deferred call edges: ref=%v call=%v, want both", hasRef, hasCall)
+	}
+}
+
+func TestCancellableReach(t *testing.T) {
+	g := loadCallgraphFixture(t)
+	m := nodeByName(t, g, "M")
+	root := nodeByName(t, g, "Root")
+	if !g.CancellableReach[root.Fn] {
+		t.Error("root itself not in CancellableReach")
+	}
+	if !g.CancellableReach[m.Fn] {
+		t.Error("method value target M not reachable from the cancellable root")
+	}
+	for _, name := range []string{"deferred", "level2", "even"} {
+		if g.CancellableReach[nodeByName(t, g, name).Fn] {
+			t.Errorf("%s is not referenced from any cancellable root but is in CancellableReach", name)
+		}
+	}
+}

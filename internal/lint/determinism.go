@@ -20,6 +20,12 @@ import (
 //     produces a permutation that varies run to run. Iterate sorted keys
 //     instead, or — if the accumulation is provably order-insensitive —
 //     annotate //armlint:allow determinism <reason>.
+//   - (v2, via the call graph) using the *result* of an unpinned module
+//     function that transitively reads the wall clock: the clock value
+//     would flow into pinned state. Statement-position calls — fire-and-
+//     forget observability spans whose timing never feeds back — are
+//     exempt, as are callees in pinned packages (any clock read there is
+//     already flagged at its source).
 //
 // Unpinned packages (generators, the experiment harness, examples) are
 // exempt: their job is wall time and randomness.
@@ -48,12 +54,39 @@ func runDeterminism(pass *Pass) {
 				pass.Reportf(imp.Pos(), "pinned-model package imports %s: randomness would unpin the deterministic work model", path)
 			}
 		}
+		// Statement-position calls: results discarded, so a transitive clock
+		// read in the callee cannot flow into pinned state.
+		bareCalls := map[*ast.CallExpr]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+					bareCalls[call] = true
+				}
+			case *ast.GoStmt:
+				bareCalls[s.Call] = true
+			case *ast.DeferStmt:
+				bareCalls[s.Call] = true
+			}
+			return true
+		})
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
-				if fn := calledFunc(pass.Info, n); fn != nil && fn.Pkg() != nil &&
-					fn.Pkg().Path() == "time" && bannedTimeFuncs[fn.Name()] {
+				fn := calledFunc(pass.Info, n)
+				if fn == nil {
+					return true
+				}
+				if fn.Pkg() != nil && fn.Pkg().Path() == "time" && bannedTimeFuncs[fn.Name()] {
 					pass.Reportf(n.Pos(), "pinned-model package calls time.%s: wall-clock reads are nondeterministic (move timing to the caller)", fn.Name())
+					return true
+				}
+				if pass.Graph == nil || bareCalls[n] || fn.Pkg() == pass.Pkg {
+					return true
+				}
+				node := pass.Graph.Nodes[fn]
+				if node != nil && node.Clock && !pass.Ann.Pinned[node.Pkg.Path] {
+					pass.Reportf(n.Pos(), "pinned-model package uses the result of %s, which transitively reads the wall clock; compute the value deterministically or move the call to statement position", fn.Name())
 				}
 			case *ast.RangeStmt:
 				checkMapRange(pass, n)

@@ -24,6 +24,10 @@ import (
 //
 // The fix is padding (the paper's approach) or sharding; the analyzer
 // reports the offending sizeof/offsets so the pad is easy to compute.
+//
+// Layout is a whole-program property already — the annotation table is
+// module-wide and types.Sizes sees through package boundaries — so this is
+// the one v1 analyzer the v2 call-graph substrate adds nothing to.
 var FalseShare = &Analyzer{
 	Name: "falseshare",
 	Doc:  "hot per-worker fields must not share a 64-byte cache line across owners",

@@ -9,18 +9,25 @@ import (
 // GuardedBy enforces //armlint:guardedby mu field annotations: every access
 // to the annotated field must happen while the named sibling lock is held.
 //
-// The check is deliberately conservative and intraprocedural, in the spirit
-// of Java's @GuardedBy: it walks each function body in statement order
-// tracking which lock paths are held. mu.Lock() (and RLock) acquires,
-// mu.Unlock() releases, defer mu.Unlock() holds to function end, and lock
-// state acquired inside a nested branch/loop does not leak out of it. Lock
-// paths are compared textually on the receiver chain with index
-// subscripts dropped, so striped locks work: both `c.locks[i].Lock()` and
-// the alias form `l := &c.locks[i]; l.Lock()` hold the path "c.locks", and
-// any access to a field guarded by `locks` under the same receiver is then
-// legal. Helpers that run with the lock already held by their caller (the
-// hash tree's split-under-lock pattern) declare it with
-// //armlint:locked <path>, which seeds the held set on entry.
+// The check is deliberately conservative, in the spirit of Java's
+// @GuardedBy: it walks each function body in statement order tracking which
+// lock paths are held. mu.Lock() (and RLock) acquires, mu.Unlock() releases,
+// defer mu.Unlock() holds to function end, and lock state acquired inside a
+// nested branch/loop does not leak out of it. Lock paths are compared
+// textually on the receiver chain with index subscripts dropped, so striped
+// locks work: both `c.locks[i].Lock()` and the alias form
+// `l := &c.locks[i]; l.Lock()` hold the path "c.locks", and any access to a
+// field guarded by `locks` under the same receiver is then legal. Helpers
+// that run with the lock already held by their caller (the hash tree's
+// split-under-lock pattern) declare it with //armlint:locked <path>, which
+// seeds the held set on entry.
+//
+// v2 makes the walk interprocedural through the call-graph lock summaries:
+// a statement-position call to a module function whose top-level statements
+// net-acquire or release locks (a lock()/unlock() helper pair) applies
+// those effects to the caller's state, with the callee's receiver-relative
+// paths substituted against the call-site receiver. `c.lock(); c.data = x;
+// c.unlock()` therefore verifies without any annotation on the access.
 //
 // When the lock field is a stripe array ([]sync.Mutex), only *element*
 // accesses of the guarded slice are checked: stripes partition the element
@@ -36,17 +43,42 @@ import (
 var GuardedBy = &Analyzer{
 	Name: "guardedby",
 	Doc:  "annotated fields only accessed with their lock held",
-	Run:  runGuardedBy,
+	Run:  func(pass *Pass) { runLockWalk(pass, gbFields) },
 }
 
-func runGuardedBy(pass *Pass) {
-	if len(pass.Ann.Guarded) == 0 {
+// Locked is the call-site dual of the //armlint:locked annotation. guardedby
+// *trusts* the annotation (it seeds the callee's held set); locked *verifies*
+// it: every call to an annotated helper must happen at a point where the
+// walker can prove the declared lock paths are held, with the helper's
+// receiver-relative paths ("q.mu" on a method of q) substituted against the
+// call-site receiver. Together the pair closes the contract from both sides —
+// the helper may rely on the lock, and no caller can forget it.
+var Locked = &Analyzer{
+	Name: "locked",
+	Doc:  "//armlint:locked helpers are only called with their locks held",
+	Run:  func(pass *Pass) { runLockWalk(pass, gbLocked) },
+}
+
+// gbMode selects which obligations a lock walk checks: guarded field
+// accesses, or //armlint:locked call-site contracts.
+type gbMode int
+
+const (
+	gbFields gbMode = iota
+	gbLocked
+)
+
+func runLockWalk(pass *Pass, mode gbMode) {
+	if mode == gbFields && len(pass.Ann.Guarded) == 0 {
+		return
+	}
+	if mode == gbLocked && len(pass.Ann.Locked) == 0 {
 		return
 	}
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
-				c := &gbChecker{pass: pass, aliases: map[*types.Var]string{}}
+				c := &gbChecker{pass: pass, mode: mode, aliases: map[*types.Var]string{}}
 				st := lockSet{}
 				if fn := funcObj(pass.Info, fd); fn != nil {
 					for _, path := range pass.Ann.Locked[fn] {
@@ -74,6 +106,7 @@ func (s lockSet) clone() lockSet {
 
 type gbChecker struct {
 	pass *Pass
+	mode gbMode
 	// aliases maps a local variable bound to &lockExpr (or &structExpr)
 	// onto the rendered path of what it aliases.
 	aliases map[*types.Var]string
@@ -102,9 +135,12 @@ func (c *gbChecker) stmt(s ast.Stmt, st lockSet) {
 			return
 		}
 		c.scan(s.X, st)
+		c.applyCallEffects(s.X, st)
 	case *ast.DeferStmt:
 		// defer mu.Unlock() keeps the lock held for the rest of the
-		// function; any other deferred call is scanned normally.
+		// function; a deferred unlock() helper is the same contract (its
+		// releases fire at function end, so no effect is applied here). Any
+		// other deferred call is scanned normally.
 		if _, op := c.lockOp(s.Call); op != lockNone {
 			return
 		}
@@ -112,6 +148,7 @@ func (c *gbChecker) stmt(s ast.Stmt, st lockSet) {
 	case *ast.AssignStmt:
 		for _, rhs := range s.Rhs {
 			c.scan(rhs, st)
+			c.applyCallEffects(rhs, st)
 		}
 		for _, lhs := range s.Lhs {
 			c.scan(lhs, st)
@@ -217,13 +254,16 @@ func (c *gbChecker) scan(expr ast.Expr, st lockSet) {
 	ast.Inspect(expr, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			inner := &gbChecker{pass: c.pass, aliases: map[*types.Var]string{}}
+			inner := &gbChecker{pass: c.pass, mode: c.mode, aliases: map[*types.Var]string{}}
 			inner.stmts(n.Body.List, lockSet{})
 			return false
 		case *ast.CallExpr:
 			if isAtomicCall(c.pass.Info, n) {
 				// Atomic access to a guarded field is atomic-mix territory.
 				return false
+			}
+			if c.mode == gbLocked {
+				c.checkLockedCall(n, st)
 			}
 		case *ast.IndexExpr:
 			c.checkStripedElem(n.X, st)
@@ -238,6 +278,74 @@ func (c *gbChecker) scan(expr ast.Expr, st lockSet) {
 		}
 		return true
 	})
+}
+
+// calleeSummary resolves a statement-position call expression to its module
+// call-graph node and the rendered call-site receiver ("" for plain
+// function calls). Returns nil when the call is not a direct module call.
+func (c *gbChecker) calleeSummary(expr ast.Expr) (*FuncNode, string) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || c.pass.Graph == nil {
+		return nil, ""
+	}
+	fn := calledFunc(c.pass.Info, call)
+	if fn == nil {
+		return nil, ""
+	}
+	node := c.pass.Graph.Nodes[fn]
+	if node == nil {
+		return nil, ""
+	}
+	recv := ""
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		recv = c.render(sel.X)
+	}
+	return node, recv
+}
+
+// applyCallEffects transfers a callee's lock summary into the caller's
+// state: paths the callee releases are dropped, paths it net-acquires are
+// added, each substituted against the call-site receiver. This is what lets
+// lock()/unlock() helper pairs participate in the guarded-field proof.
+func (c *gbChecker) applyCallEffects(expr ast.Expr, st lockSet) {
+	node, recv := c.calleeSummary(expr)
+	if node == nil {
+		return
+	}
+	for _, p := range node.Releases {
+		delete(st, node.Substitute(p, recv))
+	}
+	for _, p := range node.NetAcquires {
+		st[node.Substitute(p, recv)] = true
+	}
+}
+
+// checkLockedCall verifies one call against the callee's //armlint:locked
+// contract: every declared path, relativized to the callee's receiver and
+// substituted with the call-site receiver, must be held here.
+func (c *gbChecker) checkLockedCall(call *ast.CallExpr, st lockSet) {
+	fn := calledFunc(c.pass.Info, call)
+	if fn == nil {
+		return
+	}
+	paths := c.pass.Ann.Locked[fn]
+	if len(paths) == 0 || c.pass.Graph == nil {
+		return
+	}
+	node := c.pass.Graph.Nodes[fn]
+	if node == nil {
+		return
+	}
+	recv := ""
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		recv = c.render(sel.X)
+	}
+	for _, p := range paths {
+		need := node.Substitute(node.RelativizeAnnotated(p), recv)
+		if !st[need] {
+			c.pass.Reportf(call.Pos(), "call to %s requires holding %q on entry (declared //armlint:locked %s; if safe, assert with //armlint:allow locked <reason>)", fn.Name(), need, p)
+		}
+	}
 }
 
 // check verifies one access to guarded field v through selector sel.

@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// IntWidth tracks "wide" int64 values — segmented-store global addresses,
+// arena offsets, transaction counts: anything returned by a function
+// annotated //armlint:wide (or transitively returning such a result), or
+// read from a struct field annotated the same way — and flags explicit
+// narrowing conversions of them into int32/int contexts.
+//
+// Go has no implicit numeric conversions, so every narrowing is an explicit
+// T(x): flagging tainted conversion operands is complete, not just
+// heuristic. A conversion is narrowing when the destination is an integer
+// type smaller than 8 bytes, or a platform-sized int/uint/uintptr (whose
+// width the code must not rely on — the historical bugs were exactly int
+// arithmetic that silently narrowed on a 32-bit build model).
+//
+// Taint is per-function and flow-insensitive: locals assigned from a wide
+// source (directly or through arithmetic on tainted values) are tainted;
+// conversions to 8-byte integer types pass taint through, conversions to
+// anything narrower launder it (and are themselves the checked sites).
+//
+// Two escapes exist, both explicit:
+//
+//   - a bounds guard: an earlier relational comparison (<, <=, >, >=)
+//     naming the same plain variable that is being converted — the shape of
+//     `if n > math.MaxInt32 { ... }; m := int32(n)`.
+//   - //armlint:narrowok <reason> on or above the conversion, documenting
+//     why the range is bounded (segment-local offsets bounded by SegItems,
+//     for example). Compound operands (arithmetic expressions) always need
+//     narrowok — a guard on one operand proves nothing about the product,
+//     which is precisely how the PR 4 splitRange overflow slipped through.
+//
+// The PR 4 reduce fan-out truncation (int(p*n/procs) at MaxInt32) and the
+// PR 5 arena-offset overflow (int32(len(arena)) unguarded) are the golden
+// bad fixtures; both shapes are rejected.
+var IntWidth = &Analyzer{
+	Name: "intwidth",
+	Doc:  "wide int64 values are not narrowed without a guard or narrowok",
+	Run:  runIntWidth,
+}
+
+func runIntWidth(pass *Pass) {
+	if pass.Graph == nil {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkIntWidth(pass, fd)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// iwChecker carries one function's taint state.
+type iwChecker struct {
+	pass    *Pass
+	tainted map[*types.Var]bool
+}
+
+func checkIntWidth(pass *Pass, fd *ast.FuncDecl) {
+	c := &iwChecker{pass: pass, tainted: map[*types.Var]bool{}}
+
+	// Flow-insensitive taint fixpoint over assignments: a var assigned from
+	// a wide expression anywhere in the body is wide everywhere. Monotone,
+	// so iteration terminates.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) != len(s.Rhs) {
+					return true
+				}
+				for i, rhs := range s.Rhs {
+					if !c.wide(rhs) {
+						continue
+					}
+					if v := assignedVar(pass.Info, s.Lhs[i]); v != nil && !c.tainted[v] {
+						c.tainted[v] = true
+						changed = true
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range s.Names {
+					if i >= len(s.Values) || !c.wide(s.Values[i]) {
+						continue
+					}
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok && !c.tainted[v] {
+						c.tainted[v] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Guard positions: relational comparisons naming a tainted plain var.
+	guards := map[*types.Var][]token.Pos{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+		default:
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			if id, ok := ast.Unparen(side).(*ast.Ident); ok {
+				if v, ok := pass.Info.Uses[id].(*types.Var); ok && c.tainted[v] {
+					guards[v] = append(guards[v], be.Pos())
+				}
+			}
+		}
+		return true
+	})
+
+	// Sites: explicit conversions of wide operands to narrow integer types.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		tv, ok := pass.Info.Types[call.Fun]
+		if !ok || !tv.IsType() || !narrowIntType(tv.Type) {
+			return true
+		}
+		arg := call.Args[0]
+		if !c.wide(arg) {
+			return true
+		}
+		// Guarded plain variable: an earlier relational comparison on the
+		// same var counts as the bounds check.
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+			if v, ok := pass.Info.Uses[id].(*types.Var); ok {
+				for _, gp := range guards[v] {
+					if gp < call.Pos() {
+						return true
+					}
+				}
+			}
+		}
+		pass.Reportf(call.Pos(), "wide int64 value narrowed to %s without a bounds guard (compare the value against the target range first, or annotate //armlint:narrowok <reason>)", types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+		return true
+	})
+}
+
+// wide reports whether expr carries a wide value: a call to a WideRet
+// function, a read of a wide field, a tainted variable, or arithmetic over
+// any of those. Conversions to sub-8-byte integers launder the taint (the
+// conversion itself is the checked site); conversions to 8-byte integers
+// pass it through.
+func (c *iwChecker) wide(expr ast.Expr) bool {
+	found := false
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		if found || e == nil {
+			return
+		}
+		switch e := e.(type) {
+		case *ast.ParenExpr:
+			walk(e.X)
+		case *ast.UnaryExpr:
+			walk(e.X)
+		case *ast.BinaryExpr:
+			walk(e.X)
+			walk(e.Y)
+		case *ast.CallExpr:
+			if tv, ok := c.pass.Info.Types[e.Fun]; ok && tv.IsType() {
+				// A conversion: taint survives only a full-width integer.
+				if len(e.Args) == 1 && is8ByteInt(tv.Type) {
+					walk(e.Args[0])
+				}
+				return
+			}
+			if fn := calledFunc(c.pass.Info, e); fn != nil {
+				if node := c.pass.Graph.Nodes[fn]; node != nil && node.WideRet {
+					found = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if v, ok := c.pass.Info.Uses[e.Sel].(*types.Var); ok {
+				if c.pass.Ann.WideField[v] || c.tainted[v] {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if v, ok := c.pass.Info.Uses[e].(*types.Var); ok && c.tainted[v] {
+				found = true
+			}
+		}
+	}
+	walk(expr)
+	return found
+}
+
+// assignedVar resolves an assignment LHS to the variable it binds.
+func assignedVar(info *types.Info, lhs ast.Expr) *types.Var {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+// narrowIntType reports whether t is an integer type a wide int64 must not
+// be converted to unguarded: any integer under 8 bytes, plus the
+// platform-sized kinds whose width is a build property, not a promise.
+func narrowIntType(t types.Type) bool {
+	b, ok := deref(t).Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int, types.Uint, types.Uintptr,
+		types.Int8, types.Int16, types.Int32,
+		types.Uint8, types.Uint16, types.Uint32:
+		return true
+	}
+	return false
+}
+
+// is8ByteInt reports whether t is a fixed 8-byte integer type.
+func is8ByteInt(t types.Type) bool {
+	b, ok := deref(t).Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int64, types.Uint64:
+		return true
+	}
+	return false
+}

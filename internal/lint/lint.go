@@ -20,8 +20,28 @@
 //     line — the static twin of the cachesim MESI false-sharing classifier.
 //   - determinism: packages annotated //armlint:pinned (the ones whose work
 //     model TestModelTimePinned freezes) must not call time.Now/Since/Sleep,
-//     must not import math/rand, and must not feed map-iteration order into
-//     an ordered accumulation (append inside a map range).
+//     must not import math/rand, must not feed map-iteration order into
+//     an ordered accumulation (append inside a map range), and must not use
+//     the result of an unpinned module function that transitively reads the
+//     clock (statement-position observability calls are exempt).
+//   - locked: //armlint:locked contracts are verified at every call site
+//     instead of trusted — the caller must provably hold the declared locks.
+//   - intwidth: values returned by //armlint:wide functions (or read from
+//     wide fields) — seg global addresses, arena offsets, transaction
+//     counts — must not be narrowed to int32/int contexts without a bounds
+//     guard or an //armlint:narrowok justification. The PR 4 splitRange and
+//     PR 5 arena-overflow bugs were exactly this shape.
+//   - ctxpoll: in functions reachable from //armlint:cancellable roots,
+//     every loop that claims chunks, walks segments or scans transactions
+//     (calls an //armlint:itersrc function) must reach a cancellation check
+//     in its body or through an //armlint:polls callee.
+//   - atomicwrite: the temp+fsync+rename discipline of ckpt and seg.Writer —
+//     a temp-pattern file must be fsynced before rename, writer Close errors
+//     must be checked, and no return path may leak the temp file.
+//
+// The v2 analyzers (and the upgraded guardedby/noalloc/determinism/
+// atomic-mix) share a module-wide call graph + summary substrate
+// (callgraph.go) computed once per load.
 //
 // Everything is built on go/parser, go/ast and go/types with the source
 // importer — no golang.org/x/tools dependency, matching the repo's
@@ -36,6 +56,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // lineBytes is the coherence-line granularity the falseshare analyzer
@@ -66,7 +87,10 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{AtomicMix, GuardedBy, NoAlloc, FalseShare, Determinism}
+	return []*Analyzer{
+		AtomicMix, GuardedBy, Locked, NoAlloc, FalseShare, Determinism,
+		IntWidth, CtxPoll, AtomicWrite,
+	}
 }
 
 // ByName resolves an analyzer by its Name, or nil.
@@ -89,6 +113,9 @@ type Pass struct {
 	Info     *types.Info
 	Sizes    types.Sizes
 	Ann      *Annotations
+	// Graph is the shared module call graph + summaries (never nil for
+	// modules loaded through LoadModule/LoadDir).
+	Graph *Graph
 
 	findings *[]Finding
 }
@@ -109,9 +136,29 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Run executes the analyzers over every loaded package and returns the
 // findings that survive //armlint:allow suppression, sorted by position.
 func Run(mod *Module, analyzers []*Analyzer) []Finding {
+	findings, _ := RunTimed(mod, analyzers)
+	return findings
+}
+
+// Timing is one analyzer's aggregate over the whole module: how many
+// findings survived suppression and how long the pass took. It feeds the
+// armlint/v2 JSON report.
+type Timing struct {
+	Name      string  `json:"name"`
+	Findings  int     `json:"findings"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// RunTimed is Run plus per-analyzer timing, analyzer-major so each timing
+// covers one analyzer's full module sweep. Finding order is identical to
+// Run's (position-sorted at the end).
+func RunTimed(mod *Module, analyzers []*Analyzer) ([]Finding, []Timing) {
 	var findings []Finding
-	for _, pkg := range mod.Packages {
-		for _, a := range analyzers {
+	timings := make([]Timing, 0, len(analyzers))
+	for _, a := range analyzers {
+		start := time.Now()
+		var fs []Finding
+		for _, pkg := range mod.Packages {
 			a.Run(&Pass{
 				Analyzer: a,
 				Fset:     mod.Fset,
@@ -120,11 +167,18 @@ func Run(mod *Module, analyzers []*Analyzer) []Finding {
 				Info:     pkg.Info,
 				Sizes:    mod.Sizes,
 				Ann:      mod.Ann,
-				findings: &findings,
+				Graph:    mod.Graph,
+				findings: &fs,
 			})
 		}
+		fs = mod.Ann.filterAllowed(fs)
+		timings = append(timings, Timing{
+			Name:      a.Name,
+			Findings:  len(fs),
+			ElapsedMS: float64(time.Since(start).Nanoseconds()) / 1e6,
+		})
+		findings = append(findings, fs...)
 	}
-	findings = mod.Ann.filterAllowed(findings)
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.File != b.File {
@@ -138,7 +192,7 @@ func Run(mod *Module, analyzers []*Analyzer) []Finding {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings
+	return findings, timings
 }
 
 // funcObj resolves a FuncDecl to its *types.Func.

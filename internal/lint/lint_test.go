@@ -27,6 +27,16 @@ var goldenCases = []struct {
 	{"falseshare_ok", "falseshare"},
 	{"determinism_bad", "determinism"},
 	{"determinism_ok", "determinism"},
+	{"intwidth_bad", "intwidth"},
+	{"intwidth_ok", "intwidth"},
+	{"ctxpoll_bad", "ctxpoll"},
+	{"ctxpoll_ok", "ctxpoll"},
+	{"atomicwrite_bad", "atomicwrite"},
+	{"atomicwrite_ok", "atomicwrite"},
+	{"locked_bad", "locked"},
+	{"locked_ok", "locked"},
+	{"gbinterproc_bad", "guardedby"},
+	{"gbinterproc_ok", "guardedby"},
 }
 
 // renderFindings formats findings with file basenames so the golden files

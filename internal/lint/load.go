@@ -34,6 +34,9 @@ type Module struct {
 	Packages []*Package // dependency order (imports before importers)
 	Sizes    types.Sizes
 	Ann      *Annotations
+	// Graph is the module-wide call graph + summary substrate, built once
+	// after annotation collection and shared by every analyzer pass.
+	Graph *Graph
 }
 
 // FindModuleRoot walks up from dir to the nearest directory containing
@@ -276,6 +279,7 @@ func LoadModule(root string) (*Module, error) {
 		mod.Packages = append(mod.Packages, pkg)
 		mod.Ann.collect(fset, pkg)
 	}
+	mod.Graph = buildGraph(mod)
 	return mod, nil
 }
 
@@ -322,6 +326,7 @@ func LoadDir(dir string) (*Module, error) {
 	pkg.Dir = dir
 	mod.Packages = []*Package{pkg}
 	mod.Ann.collect(fset, pkg)
+	mod.Graph = buildGraph(mod)
 	return mod, nil
 }
 

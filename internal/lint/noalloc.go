@@ -23,10 +23,14 @@ import (
 //     which escape analysis may not prove)
 //   - go and defer statements
 //
-// The check is intraprocedural: callees are not followed, so a noalloc
-// function's helpers must themselves be annotated (the kernel's
-// scanLeaf/bump/flushBatch chain is). False positives — a construct the
-// compiler provably keeps on the stack — carry //armlint:allow noalloc.
+// Callee bodies are not re-analyzed, but the call graph closes the
+// contract: a noalloc function may only call module functions that are
+// themselves annotated noalloc (the kernel's scanLeaf/bump/flushBatch chain
+// is), so an allocation can't hide one frame down. Standard-library calls
+// are trusted case by case — the kernel's stdlib surface is popcount
+// intrinsics and slice indexing, which don't allocate. False positives — a
+// construct the compiler provably keeps on the stack — carry
+// //armlint:allow noalloc.
 var NoAlloc = &Analyzer{
 	Name: "noalloc",
 	Doc:  "annotated functions contain no allocating constructs",
@@ -135,6 +139,15 @@ func checkNoAllocCall(pass *Pass, fn *types.Func, call *ast.CallExpr) {
 			}
 		}
 		return
+	}
+	// Module callees must carry the annotation themselves — otherwise the
+	// static proof has a hole one frame down.
+	if pass.Graph != nil {
+		if callee := calledFunc(info, call); callee != nil {
+			if pass.Graph.Nodes[callee] != nil && !pass.Ann.NoAlloc[callee] {
+				pass.Reportf(call.Pos(), "noalloc %s: calls module function %s which is not annotated //armlint:noalloc", fn.Name(), callee.Name())
+			}
+		}
 	}
 	// Ordinary calls: interface boxing of arguments.
 	sig, ok := deref(info.TypeOf(call.Fun)).Underlying().(*types.Signature)

@@ -1,0 +1,72 @@
+// Package atomicwrite_bad violates the temp+fsync+rename discipline in
+// each of the four checked ways.
+package atomicwrite_bad
+
+import "os"
+
+// renameBeforeSync publishes the temp without ever fsyncing it.
+func renameBeforeSync(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// uncheckedClose discards the Close error on the success path, so a failed
+// flush publishes a truncated file.
+func uncheckedClose(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	f.Close()
+	return os.Rename(tmp, path)
+}
+
+// leakyAbort returns on the write error without removing the temp file.
+func leakyAbort(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+type writer struct{ tmp, path string }
+
+// publishNoSync renames a temp-named path opened elsewhere with no Sync
+// anywhere in the function (rule 4).
+func publishNoSync(w *writer) error {
+	return os.Rename(w.tmp, w.path)
+}

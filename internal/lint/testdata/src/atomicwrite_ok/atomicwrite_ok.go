@@ -1,0 +1,63 @@
+// Package atomicwrite_ok follows the temp+fsync+rename discipline: the
+// ckpt.WriteFile single-function shape, and the seg.Writer split shape
+// where the handle escapes into a struct and another method publishes.
+package atomicwrite_ok
+
+import "os"
+
+// writeFile is the canonical checkpoint shape: create temp, write, sync,
+// checked close, rename; every abort path removes the temp.
+func writeFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+type writer struct {
+	f    *os.File
+	tmp  string
+	path string
+}
+
+// create opens the temp and hands the rename obligation to the returned
+// writer — the seg.Writer.Create shape.
+func create(path string) (*writer, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	return &writer{f: f, tmp: tmp, path: path}, nil
+}
+
+// close publishes: sync, checked close, then rename (rule 4 satisfied by
+// the earlier Sync).
+func (w *writer) close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		os.Remove(w.tmp)
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.tmp)
+		return err
+	}
+	return os.Rename(w.tmp, w.path)
+}

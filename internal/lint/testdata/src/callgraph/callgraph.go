@@ -1,0 +1,73 @@
+// Package callgraph exercises graph construction: recursion, method
+// values, deferred calls, and every summary fixpoint.
+package callgraph
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// source yields work items.
+//
+//armlint:itersrc
+func source() int { return 1 }
+
+// level1/level2 propagate IterSrc transitively.
+func level1() int { return source() }
+func level2() int { return level1() }
+
+// even/odd are mutually recursive; the fixpoint must terminate.
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+// check observes cancellation.
+//
+//armlint:polls
+func check(ctx context.Context) bool { return ctx.Err() != nil }
+
+// viaCheck polls transitively.
+func viaCheck(ctx context.Context) bool { return check(ctx) }
+
+type t struct{}
+
+// M is only ever referenced as a method value, never called.
+func (t) M() {}
+
+// Root is a cancellable entry that takes a method value — a Refs edge
+// without a Calls edge, and reachability must follow it.
+//
+//armlint:cancellable
+func Root(ctx context.Context) func() {
+	var x t
+	return x.M
+}
+
+// deferred reaches helperD only through a defer.
+func deferred() {
+	defer helperD()
+}
+
+func helperD() {}
+
+// base is a wide source; wrapWide returns its result directly.
+//
+//armlint:wide
+func base() int64 { return 1 }
+
+func wrapWide() int64 { return base() }
+
+// bump updates its pointee atomically; bump2 forwards its parameter.
+func bump(c *int64) { atomic.AddInt64(c, 1) }
+
+func bump2(c *int64) { bump(c) }

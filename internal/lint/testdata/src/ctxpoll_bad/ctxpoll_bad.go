@@ -1,0 +1,55 @@
+// Package ctxpoll_bad scans an iteration source from cancellable entry
+// points without ever polling for cancellation — the shape that silently
+// loses RunCtx parity.
+package ctxpoll_bad
+
+import "context"
+
+type cursor struct{ next, hi int }
+
+// Next claims the next chunk.
+//
+//armlint:itersrc
+func (c *cursor) Next() (int, bool) {
+	if c.next >= c.hi {
+		return 0, false
+	}
+	n := c.next
+	c.next++
+	return n, true
+}
+
+// Mine is a cancellable root whose claim loop never looks at ctx.
+//
+//armlint:cancellable
+func Mine(ctx context.Context, c *cursor) int {
+	total := 0
+	for {
+		n, ok := c.Next()
+		if !ok {
+			break
+		}
+		total += n
+	}
+	return total
+}
+
+// helper is reachable from MineIndirect, so its scan loop owes a poll too.
+func helper(c *cursor) int {
+	s := 0
+	for {
+		n, ok := c.Next()
+		if !ok {
+			break
+		}
+		s += n
+	}
+	return s
+}
+
+// MineIndirect loses cancellation one call down.
+//
+//armlint:cancellable
+func MineIndirect(ctx context.Context, c *cursor) int {
+	return helper(c)
+}

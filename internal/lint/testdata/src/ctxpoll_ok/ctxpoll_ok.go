@@ -1,0 +1,91 @@
+// Package ctxpoll_ok satisfies scan-loop poll obligations every accepted
+// way: a direct ctx.Err() in the body, a poll in the loop condition, an
+// //armlint:polls helper — and shows that unreachable code owes nothing.
+package ctxpoll_ok
+
+import "context"
+
+type cursor struct{ next, hi int }
+
+// Next claims the next chunk.
+//
+//armlint:itersrc
+func (c *cursor) Next() (int, bool) {
+	if c.next >= c.hi {
+		return 0, false
+	}
+	n := c.next
+	c.next++
+	return n, true
+}
+
+// canceled observes cancellation for its callers (the robust.Canceled
+// shape).
+//
+//armlint:polls
+func canceled(ctx context.Context) bool { return ctx.Err() != nil }
+
+// MineDirect polls in the loop body.
+//
+//armlint:cancellable
+func MineDirect(ctx context.Context, c *cursor) int {
+	total := 0
+	for {
+		if ctx.Err() != nil {
+			return total
+		}
+		n, ok := c.Next()
+		if !ok {
+			break
+		}
+		total += n
+	}
+	return total
+}
+
+// MineHelper polls through the annotated helper.
+//
+//armlint:cancellable
+func MineHelper(ctx context.Context, c *cursor) int {
+	total := 0
+	for {
+		if canceled(ctx) {
+			return total
+		}
+		n, ok := c.Next()
+		if !ok {
+			break
+		}
+		total += n
+	}
+	return total
+}
+
+// MineCond polls in the loop condition.
+//
+//armlint:cancellable
+func MineCond(ctx context.Context, c *cursor) int {
+	total := 0
+	for ctx.Err() == nil {
+		n, ok := c.Next()
+		if !ok {
+			break
+		}
+		total += n
+	}
+	return total
+}
+
+// Unreachable has the unpolled shape but no cancellable root reaches it,
+// so it carries no obligation.
+func Unreachable(c *cursor) int {
+	s := 0
+	for {
+		n, ok := c.Next()
+		if !ok {
+			break
+		}
+		s += n
+	}
+	return s
+}

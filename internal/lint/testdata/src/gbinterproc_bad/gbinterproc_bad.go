@@ -1,0 +1,31 @@
+// Package gbinterproc_bad accesses a guarded field where the lock-helper
+// summaries prove the lock is not held.
+package gbinterproc_bad
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// n is the shared count.
+	//
+	//armlint:guardedby mu
+	n int
+}
+
+// lock acquires c.mu on the caller's behalf.
+func (c *counter) lock() { c.mu.Lock() }
+
+// unlock releases it.
+func (c *counter) unlock() { c.mu.Unlock() }
+
+// AddRacy never takes the lock.
+func (c *counter) AddRacy(v int) {
+	c.n += v
+}
+
+// AddDropped accesses after the helper already released.
+func (c *counter) AddDropped(v int) {
+	c.lock()
+	c.unlock()
+	c.n += v
+}

@@ -1,0 +1,34 @@
+// Package gbinterproc_ok protects its guarded field entirely through
+// lock()/unlock() helpers: the call-graph lock summaries carry the held
+// state across the call boundary, so no access needs an annotation.
+package gbinterproc_ok
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// n is the shared count.
+	//
+	//armlint:guardedby mu
+	n int
+}
+
+// lock acquires c.mu on the caller's behalf (net-acquire summary).
+func (c *counter) lock() { c.mu.Lock() }
+
+// unlock releases it (release summary).
+func (c *counter) unlock() { c.mu.Unlock() }
+
+// Add brackets the access with the helpers.
+func (c *counter) Add(v int) {
+	c.lock()
+	c.n += v
+	c.unlock()
+}
+
+// Get holds to function end via a deferred helper unlock.
+func (c *counter) Get() int {
+	c.lock()
+	defer c.unlock()
+	return c.n
+}

@@ -1,0 +1,47 @@
+// Package intwidth_bad narrows wide int64 values without bounds guards —
+// including the two historical bug shapes: the PR 4 splitRange fan-out
+// truncation and the PR 5 arena-offset overflow.
+package intwidth_bad
+
+// NumTx returns the store's transaction count, which exceeds 32 bits on
+// large segmented databases.
+//
+//armlint:wide
+func NumTx() int64 { return 1 << 40 }
+
+type arena struct {
+	// used is the running arena offset.
+	//
+	//armlint:wide
+	used int64
+}
+
+// splitRangeShape is the PR 4 reduce fan-out truncation: the product
+// p*n overflows long before the guard-free int() conversion runs.
+func splitRangeShape(p, procs int) int {
+	n := NumTx()
+	return int(int64(p) * n / int64(procs))
+}
+
+// arenaShape is the PR 5 arena-offset overflow: int32 wraps once the arena
+// passes 2 GiB.
+func arenaShape(a *arena) int32 {
+	return int32(a.used)
+}
+
+// taintChain launders through arithmetic and full-width conversions; the
+// value is still wide when it finally narrows.
+func taintChain() int {
+	n := NumTx()
+	m := n * 2
+	k := int64(m + 1)
+	return int(k)
+}
+
+// wrap propagates wideness without an annotation of its own.
+func wrap() int64 { return NumTx() }
+
+// viaWrapper narrows the transitively-wide result.
+func viaWrapper() uint32 {
+	return uint32(wrap())
+}

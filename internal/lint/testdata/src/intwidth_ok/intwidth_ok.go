@@ -1,0 +1,45 @@
+// Package intwidth_ok handles wide int64 values correctly: guarded
+// narrowing, documented narrowok conversions, or staying in 64 bits.
+package intwidth_ok
+
+import "math"
+
+// NumTx returns the store's transaction count.
+//
+//armlint:wide
+func NumTx() int64 { return 1 << 40 }
+
+type arena struct {
+	// used is the running arena offset.
+	//
+	//armlint:wide
+	used int64
+}
+
+// guarded bounds-checks the wide value before narrowing it.
+func guarded() (int32, bool) {
+	n := NumTx()
+	if n > math.MaxInt32 {
+		return 0, false
+	}
+	return int32(n), true
+}
+
+// asserted documents the range bound instead of re-checking it.
+func asserted(a *arena) int32 {
+	//armlint:narrowok the arena is capped at SegBytes (64 MiB) by Append
+	return int32(a.used)
+}
+
+// stayWide never narrows — arithmetic in 64 bits is always fine.
+func stayWide() int64 {
+	return NumTx() * 2
+}
+
+// narrowUnrelated converts a value that never touched a wide source.
+func narrowUnrelated(x int64) int32 {
+	if x > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int32(x)
+}

@@ -1,0 +1,27 @@
+// Package locked_bad calls //armlint:locked helpers without provably
+// holding the declared lock.
+package locked_bad
+
+import "sync"
+
+type queue struct {
+	mu    sync.Mutex
+	items []int
+}
+
+// lenLocked runs with q.mu held by the caller.
+//
+//armlint:locked q.mu
+func (q *queue) lenLocked() int { return len(q.items) }
+
+// LenRacy forgets the lock entirely.
+func (q *queue) LenRacy() int {
+	return q.lenLocked()
+}
+
+// LenDropped releases before the call.
+func (q *queue) LenDropped() int {
+	q.mu.Lock()
+	q.mu.Unlock()
+	return q.lenLocked()
+}

@@ -1,0 +1,38 @@
+// Package locked_ok calls //armlint:locked helpers correctly: under a
+// plain Lock, under a deferred Unlock, from another locked helper (the
+// contract seeds the held set), and through a differently-named receiver
+// (the path substitutes).
+package locked_ok
+
+import "sync"
+
+type queue struct {
+	mu    sync.Mutex
+	items []int
+}
+
+// lenLocked runs with q.mu held by the caller.
+//
+//armlint:locked q.mu
+func (q *queue) lenLocked() int { return len(q.items) }
+
+// emptyLocked inherits the contract, so calling lenLocked is proven.
+//
+//armlint:locked q.mu
+func (q *queue) emptyLocked() bool { return q.lenLocked() == 0 }
+
+// Len holds via defer.
+func (q *queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.lenLocked()
+}
+
+// Push holds via a plain Lock/Unlock pair, under a renamed receiver.
+func (self *queue) Push(v int) {
+	self.mu.Lock()
+	self.items = append(self.items, v)
+	n := self.lenLocked()
+	_ = n
+	self.mu.Unlock()
+}

@@ -123,6 +123,8 @@ func Bitonic(n, p int) *Assignment {
 
 // BitonicHash is the bitonic hash function of Theorem 1:
 // h(i) = i mod H when 0 ≤ (i mod 2H) < H, and 2H-1-(i mod 2H) otherwise.
+//
+//armlint:noalloc
 func BitonicHash(i, h int) int {
 	m := i % (2 * h)
 	if m < h {

@@ -37,6 +37,8 @@ func NewCursor(n int) *Cursor {
 }
 
 // Next claims the next chunk; ok is false once all chunks are taken.
+//
+//armlint:itersrc
 func (c *Cursor) Next() (chunk int, ok bool) {
 	v := c.next.Add(1) - 1
 	if v >= c.n {
@@ -167,6 +169,8 @@ func (s *Stealing) SeedBlocks(n int) {
 // to p for a self-pop, another worker for a steal (the trace export draws
 // the victim→thief flow arrow from it); ok is false when no work remains
 // anywhere.
+//
+//armlint:itersrc
 func (s *Stealing) Next(p int) (chunk int32, victim int, ok bool) {
 	if v, ok := s.deques[p].PopTail(); ok {
 		return v, p, true

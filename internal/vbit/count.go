@@ -6,8 +6,8 @@ import "repro/internal/itemset"
 // one bitmap of Layout.Words words and two tidlist buffers big enough for
 // any stored column. One Scratch per worker; kernels never allocate.
 type Scratch struct {
-	Words []uint64
-	A, B  []int32
+	Words []uint64 //armlint:hot
+	A, B  []int32  //armlint:hot
 }
 
 // NewScratch sizes a scratch set for this layout. The tidlist buffers are

@@ -14,6 +14,12 @@
 // writes through caller-provided destination slices with explicit indices
 // instead of append. Every kernel's cost in deterministic work units is the
 // slice lengths it touches, which is what the work model in vbit.go counts.
+//
+// That work model is frozen by TestModelTimePinned, so the package is
+// pinned: no clocks, no randomness, no map-order leaks (wall-clock stats
+// sites carry explicit determinism allows — they feed observability only):
+//
+//armlint:pinned
 package vbit
 
 import "math/bits"

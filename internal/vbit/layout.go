@@ -57,6 +57,7 @@ func NewLayout(d *db.Database, cutoff float64) *Layout {
 // an infrequent column, so materializing it would be wasted arena).
 func Materialize(d *db.Database, cutoff float64, minCount int64) *Layout {
 	sups := make([]int64, d.NumItems())
+	//armlint:allow ctxpoll single bounded support-count pass over the database; cancellation is observed at the next phase boundary
 	for t := 0; t < d.Len(); t++ {
 		for _, it := range d.Items(t) {
 			sups[it]++
@@ -122,6 +123,7 @@ func FromCounts(d *db.Database, cutoff float64, minCount int64, sups []int64) *L
 	}
 	// Fill pass: one scan over the horizontal database. Transactions are
 	// visited in ascending order, so tidlists come out sorted for free.
+	//armlint:allow ctxpoll single bounded fill pass over the database; cancellation is observed at the next phase boundary
 	for t := 0; t < nTx; t++ {
 		tid := int32(t)
 		for _, it := range d.Items(t) {

@@ -54,11 +54,13 @@ func MineSegmented(r *seg.Reader, opts SegmentedOptions) (*apriori.Result, *Segm
 
 // MineSegmentedCtx is MineSegmented under a context; cancellation returns
 // the partial result (completed levels) with a *robust.CanceledError.
+//
+//armlint:cancellable
 func MineSegmentedCtx(ctx context.Context, r *seg.Reader, opts SegmentedOptions) (*apriori.Result, *SegmentedStats, error) {
 	o := opts.Options.withDefaults()
-	start := time.Now()
+	start := time.Now() //armlint:allow determinism wall-clock phase total feeds SegmentedStats only, never the work model
 	n := r.NumTx()
-	minCount := apriori.Options{MinSupport: o.MinSupport, AbsSupport: o.AbsSupport}.MinCount(int(n))
+	minCount := apriori.Options{MinSupport: o.MinSupport, AbsSupport: o.AbsSupport}.MinCount(int(n)) //armlint:narrowok int is 64-bit on every supported target, so the int64 transaction count converts losslessly
 	rec := o.Obs
 	res := &apriori.Result{MinCount: minCount, ByK: make([][]apriori.FrequentItemset, 2)}
 	stats := &SegmentedStats{Procs: o.Procs, Candidates: []int{0, r.NumItems()}, Frequent: []int{0, 0}}
@@ -79,7 +81,7 @@ func MineSegmentedCtx(ctx context.Context, r *seg.Reader, opts SegmentedOptions)
 	pipe := r.NewPipeline(seg.PipelineOptions{Budget: opts.MemBudget, LoadDelay: opts.LoadDelay, Obs: rec})
 	finish := func(err error) (*apriori.Result, *SegmentedStats, error) {
 		stats.Pipeline = pipe.Stats()
-		stats.Total = time.Since(start)
+		stats.Total = time.Since(start) //armlint:allow determinism wall-clock phase total feeds SegmentedStats only, never the work model
 		return res, stats, err
 	}
 

@@ -130,9 +130,11 @@ func annotate(err error, phase string, k int) error {
 // every class claim, and a cancelled run returns the partial result (every
 // class completed before the cancellation point, merged in class order)
 // together with a *robust.CanceledError naming the interrupted phase.
+//
+//armlint:cancellable
 func MineCtx(ctx context.Context, d *db.Database, opts Options) (*apriori.Result, *Stats, error) {
 	opts = opts.withDefaults()
-	start := time.Now()
+	start := time.Now() //armlint:allow determinism wall-clock phase total feeds Stats only, never the work model
 	minCount := apriori.Options{MinSupport: opts.MinSupport, AbsSupport: opts.AbsSupport}.MinCount(d.Len())
 	rec := opts.Obs
 	res := &apriori.Result{MinCount: minCount, ByK: make([][]apriori.FrequentItemset, 2)}
@@ -172,7 +174,7 @@ func MineCtx(ctx context.Context, d *db.Database, opts Options) (*apriori.Result
 	}
 	rec.IterStats(1, d.NumItems(), len(res.ByK[1]))
 	if opts.MaxK == 1 || len(res.ByK[1]) < 2 {
-		stats.Total = time.Since(start)
+		stats.Total = time.Since(start) //armlint:allow determinism wall-clock phase total feeds Stats only, never the work model
 		return res, stats, nil
 	}
 
@@ -200,7 +202,7 @@ func MineCtx(ctx context.Context, d *db.Database, opts Options) (*apriori.Result
 	// lists and work total are written once by its claimant.
 	rec.SetPhase(obs.PhaseCount, 2)
 	rec.BeginPhase(obs.PhaseCount, 2)
-	tCount := time.Now()
+	tCount := time.Now() //armlint:allow determinism wall-clock phase total feeds Stats only, never the work model
 	classWork := make([]int64, len(heads))
 	classDone := make([]bool, len(heads))
 	classOut := make([][][]apriori.FrequentItemset, len(heads))
@@ -227,7 +229,7 @@ func MineCtx(ctx context.Context, d *db.Database, opts Options) (*apriori.Result
 		}
 	})
 	rec.EndPhase(obs.PhaseCount, 2)
-	stats.Count = time.Since(tCount)
+	stats.Count = time.Since(tCount) //armlint:allow determinism wall-clock phase total feeds Stats only, never the work model
 	if err != nil {
 		return nil, nil, annotate(err, "count", 2)
 	}
@@ -256,7 +258,7 @@ func MineCtx(ctx context.Context, d *db.Database, opts Options) (*apriori.Result
 		rec.IterStats(k, len(fk), len(fk))
 	}
 	rec.EndPhase(obs.PhaseReduce, 2)
-	stats.Total = time.Since(start)
+	stats.Total = time.Since(start) //armlint:allow determinism wall-clock phase total feeds Stats only, never the work model
 
 	if err := robust.Canceled(ctx, "count", 2); err != nil {
 		return res, stats, err
