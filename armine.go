@@ -32,6 +32,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/db/seg"
 	"repro/internal/eclat"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/hashtree"
 	"repro/internal/itemset"
@@ -350,6 +351,67 @@ func CharacterizeDB(d *Database) DBStats { return vbit.Characterize(d) }
 // SelectEngine picks the hash-tree (CCPD) or vertical bitmap (vbit) engine
 // from database statistics — the -algo auto policy.
 func SelectEngine(s DBStats) Engine { return vbit.AutoSelect(s) }
+
+// --- Unified engine interface and the cost-based planner. ---
+
+// Miner is the unified engine interface: every mining engine — sequential
+// Apriori, CCPD, PCCD, eclat, the vertical bitmap engine and the sampling
+// evaluation — dispatches through it with one engine-independent Spec.
+type Miner = engine.Miner
+
+// SegmentedMiner is a Miner with an out-of-core path over segmented stores.
+type SegmentedMiner = engine.SegmentedMiner
+
+// Resumer is a Miner that can continue a checkpointed run.
+type Resumer = engine.Resumer
+
+// EngineCaps are a Miner's capability flags (parallel, cancellation,
+// checkpoint/resume, segmented, exact).
+type EngineCaps = engine.Caps
+
+// EngineSpec is the engine-independent mining request a Miner lowers onto
+// its own options.
+type EngineSpec = engine.Spec
+
+// EngineStats are the normalized statistics every Miner returns, with the
+// raw per-engine detail attached.
+type EngineStats = engine.Stats
+
+// LookupEngine returns the registered Miner with the given name.
+func LookupEngine(name string) (Miner, bool) { return engine.Lookup(name) }
+
+// EngineNames lists the registered engines in sorted order.
+func EngineNames() []string { return engine.Names() }
+
+// DispatchEngine routes one mining request to a registered engine by name,
+// choosing the in-RAM or the segmented path from the data source.
+func DispatchEngine(ctx context.Context, name string, d *Database, r *SegReader, s EngineSpec) (*Result, *EngineStats, error) {
+	return engine.Dispatch(ctx, name, d, r, s)
+}
+
+// Planner is the cost-based planner behind -algo auto: it picks engine,
+// counting partition and chunk size from database statistics and the memory
+// budget, recording every estimate it decided on.
+type Planner = engine.Planner
+
+// PlannerPlan is a planner decision with its recorded estimates.
+type PlannerPlan = engine.Plan
+
+// PlannerEstimate is one engine's modelled cost within a plan.
+type PlannerEstimate = engine.Estimate
+
+// PlannerDBInfo are the database statistics the planner decides on.
+type PlannerDBInfo = engine.DBInfo
+
+// CharacterizePlanner computes planner statistics for an in-memory database.
+func CharacterizePlanner(d *Database) PlannerDBInfo { return engine.Characterize(d) }
+
+// CharacterizePlannerReader computes planner statistics for a segmented
+// store from its header aggregates (exact) and first/last-segment samples
+// (skew).
+func CharacterizePlannerReader(r *SegReader) (PlannerDBInfo, error) {
+	return engine.CharacterizeReader(r)
+}
 
 // --- Out-of-core mining: segmented columnar stores larger than RAM. ---
 

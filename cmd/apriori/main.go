@@ -1,9 +1,11 @@
 // Command apriori mines association rules from a database file (or a
-// freshly generated synthetic database) using the sequential algorithm,
-// the parallel CCPD/PCCD algorithms, or the vertical engines (eclat,
-// vbit), with every optimization switchable from the command line.
-// -algo auto picks between the hash-tree and vertical bitmap engines from
-// the database's density statistics.
+// freshly generated synthetic database) through the unified engine registry:
+// the sequential algorithm, the parallel CCPD/PCCD algorithms, the vertical
+// engines (eclat, vbit) and the sampling evaluation all dispatch through
+// engine.Miner, with every optimization switchable from the command line.
+// -algo auto hands the choice to the cost-based planner, which picks engine,
+// counting partition and chunk size from the database's statistics (density,
+// skew, size) and the -mem-budget.
 //
 // Examples:
 //
@@ -28,12 +30,11 @@ import (
 	"repro/internal/ccpd"
 	"repro/internal/db"
 	"repro/internal/db/seg"
-	"repro/internal/eclat"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/hashtree"
 	"repro/internal/obs"
 	"repro/internal/rules"
-	"repro/internal/vbit"
 )
 
 var genRe = regexp.MustCompile(`^T(\d+)\.I(\d+)\.D(\d+)([KM]?)$`)
@@ -79,8 +80,8 @@ type cliOptions struct {
 	RuleConf   float64 // -rules
 	TopN       int     // -top
 	Verbose    bool    // -v
-	TracePath  string  // -trace: Chrome trace JSON output (ccpd/pccd/vbit/auto)
-	MetricsTo  string  // -metrics: Prometheus-text snapshot output (ccpd/pccd/vbit/auto)
+	TracePath  string  // -trace: Chrome trace JSON output (parallel engines)
+	MetricsTo  string  // -metrics: Prometheus-text snapshot output (parallel engines)
 	MemBudget  string  // -mem-budget: resident-segment byte cap for segmented stores (e.g. 512M)
 	MMap       bool    // -mmap: serve segmented stores from a memory mapping
 }
@@ -153,7 +154,7 @@ func main() {
 	flag.StringVar(&o.DBPath, "db", "", "database file (binary format)")
 	flag.StringVar(&o.GenSpec, "gen", "", "generate a synthetic database, e.g. T10.I4.D10K")
 	flag.Float64Var(&o.Support, "support", 0.005, "minimum support fraction")
-	flag.StringVar(&o.Algo, "algo", "ccpd", "algorithm: seq | ccpd | pccd | dhp | partition | countdist | eclat | vbit | auto")
+	flag.StringVar(&o.Algo, "algo", "ccpd", "algorithm: seq | ccpd | pccd | eclat | vbit | sampling | dhp | partition | countdist | auto (planner)")
 	flag.IntVar(&o.Procs, "procs", 4, "processors (parallel algorithms)")
 	flag.StringVar(&o.Balance, "balance", "bitonic", "computation balancing: block | interleaved | bitonic")
 	flag.StringVar(&o.Hash, "hash", "bitonic", "hash tree balancing: interleaved | bitonic")
@@ -170,8 +171,8 @@ func main() {
 	flag.Float64Var(&o.RuleConf, "rules", 0, "generate rules at this min confidence (0 = skip)")
 	flag.IntVar(&o.TopN, "top", 10, "rules to print")
 	flag.BoolVar(&o.Verbose, "v", false, "per-iteration details")
-	flag.StringVar(&o.TracePath, "trace", "", "write a Chrome trace_event JSON timeline here (ccpd/pccd/vbit/auto)")
-	flag.StringVar(&o.MetricsTo, "metrics", "", "write a Prometheus-text metrics snapshot here (ccpd/pccd/vbit/auto)")
+	flag.StringVar(&o.TracePath, "trace", "", "write a Chrome trace_event JSON timeline here (parallel engines)")
+	flag.StringVar(&o.MetricsTo, "metrics", "", "write a Prometheus-text metrics snapshot here (parallel engines)")
 	flag.StringVar(&o.MemBudget, "mem-budget", "", "out-of-core residency budget for segmented -db stores, e.g. 512M (default: double-buffered)")
 	flag.BoolVar(&o.MMap, "mmap", false, "serve a segmented -db store from a memory mapping instead of read-at I/O")
 	flag.Parse()
@@ -186,11 +187,22 @@ func main() {
 	}
 }
 
+// baselineAlgos are the Section 7 comparison algorithms (DHP, Partition,
+// Count Distribution): reference implementations with their own stats, not
+// engines — they stay outside the registry and have no out-of-core path.
+var baselineAlgos = map[string]bool{"dhp": true, "partition": true, "countdist": true}
+
 func run(o cliOptions) error {
 	if err := validate(o); err != nil {
 		return err
 	}
-	var d *db.Database
+
+	// Open the data source: an in-memory database, or a segmented reader
+	// for out-of-core stores.
+	var (
+		d *db.Database
+		r *seg.Reader
+	)
 	switch {
 	case o.DBPath != "":
 		segmented, err := seg.IsSegmented(o.DBPath)
@@ -198,7 +210,18 @@ func run(o cliOptions) error {
 			return err
 		}
 		if segmented {
-			return runSegmented(o)
+			if o.MMap {
+				r, err = seg.OpenMapped(o.DBPath)
+			} else {
+				r, err = seg.Open(o.DBPath)
+			}
+			if err != nil {
+				return err
+			}
+			defer r.Close()
+			fmt.Printf("segmented store: %d transactions, %d segments, max segment %.1f MB\n",
+				r.NumTx(), r.NumSegments(), float64(r.MaxSegmentBytes())/(1<<20))
+			break
 		}
 		if o.MemBudget != "" || o.MMap {
 			return usagef("-mem-budget/-mmap require a segmented store (write one with questgen -seg)")
@@ -222,89 +245,183 @@ func run(o cliOptions) error {
 		return fmt.Errorf("need -db or -gen")
 	}
 
-	if o.Algo == "auto" {
-		// Density-based engine selection: pick the hash-tree or the vertical
-		// bitmap engine from O(1) database statistics, then run as if the
-		// chosen engine had been requested explicitly.
-		st := vbit.Characterize(d)
-		engine := vbit.AutoSelect(st)
-		fmt.Printf("auto-selector: density=%.5f (avg len %.1f over %d items) -> %s\n",
-			st.Density, st.AvgLen, st.NumItems, engine)
-		o.Algo = engine.String()
+	var budget int64
+	if o.MemBudget != "" {
+		var err error
+		if budget, err = parseByteSize(o.MemBudget); err != nil {
+			return err
+		}
 	}
 
-	parallel := o.Algo == "ccpd" || o.Algo == "pccd" || o.Algo == "vbit"
-	if (o.TracePath != "" || o.MetricsTo != "") && !parallel {
-		return fmt.Errorf("-trace/-metrics require -algo ccpd, pccd, vbit or auto (got %q)", o.Algo)
+	spec, err := buildSpec(o)
+	if err != nil {
+		return err
+	}
+	spec.MemBudget = budget
+
+	// -algo auto: one planner call covers both the in-RAM and the segmented
+	// path (this used to be two hand-rolled selection sites, one of which
+	// sampled only segment 0 and ignored the budget).
+	algo := o.Algo
+	if algo == "auto" {
+		var info engine.DBInfo
+		if r != nil {
+			if info, err = engine.CharacterizeReader(r); err != nil {
+				return err
+			}
+		} else {
+			info = engine.Characterize(d)
+		}
+		plan := engine.Planner{Procs: o.Procs, MemBudget: budget}.Plan(info)
+		fmt.Printf("planner: density=%.5f (avg len %.1f over %d items, tail mass %.2f) -> %s\n",
+			info.Density, info.AvgLen, info.NumItems, info.TailMass, plan)
+		if o.Verbose {
+			for _, e := range plan.Estimates {
+				feas := "feasible"
+				if !e.Feasible {
+					feas = "infeasible"
+				}
+				fmt.Printf("  estimate %-5s cost=%-12d arena=%-12d %s: %s\n",
+					e.Engine, e.Cost, e.ArenaBytes, feas, e.Note)
+			}
+		}
+		algo = plan.Engine
+		// The planner's partition and chunk choices apply unless the user
+		// overrode the defaults explicitly.
+		if o.DBPart == "block" {
+			spec.DBPart = plan.DBPart
+		}
+		if o.ChunkSize == 256 {
+			spec.ChunkSize = plan.ChunkSize
+		}
 	}
 
-	opts := apriori.Options{
-		MinSupport: o.Support, Threshold: o.Threshold, Fanout: o.Fanout, ShortCircuit: o.SC,
-		MaxK: o.MaxK, MaxCandidatesInMemory: o.MaxCands,
+	if baselineAlgos[algo] {
+		if r != nil {
+			return usagef("%s is a baseline without an out-of-core path; segmented stores mine with %v", algo, engine.SegmentedNames())
+		}
+		if o.TracePath != "" || o.MetricsTo != "" {
+			return fmt.Errorf("-trace/-metrics require a parallel engine (got %q)", algo)
+		}
+		res, err := runBaseline(algo, d, spec.Mining, o)
+		if err != nil {
+			return err
+		}
+		return report(res, nil, o, d, r)
 	}
-	if o.Hash == "bitonic" {
-		opts.Hash = hashtree.HashBitonic
+
+	m, ok := engine.Lookup(algo)
+	if !ok {
+		return fmt.Errorf("unknown -algo %q", o.Algo)
+	}
+	caps := m.Caps()
+	var rec *obs.Recorder
+	if o.TracePath != "" || o.MetricsTo != "" {
+		if !caps.Parallel {
+			return fmt.Errorf("-trace/-metrics require a parallel engine: one of ccpd, pccd, vbit or auto (got %q)", algo)
+		}
+		rec = obs.NewRecorder(o.Procs)
+		spec.Obs = rec
 	}
 
 	var res *apriori.Result
-	var stats *ccpd.Stats
-	var vstats *vbit.Stats
-	var rec *obs.Recorder
-	var err error
-	switch o.Algo {
-	case "seq":
-		res, err = apriori.Mine(d, opts)
-	case "eclat":
-		res, err = eclat.Mine(d, eclat.Options{MinSupport: o.Support, MaxK: o.MaxK, Procs: o.Procs})
-	case "vbit":
-		vo := vbit.Options{MinSupport: o.Support, MaxK: o.MaxK, Procs: o.Procs, ChunkStride: o.ChunkSize}
-		if o.TracePath != "" || o.MetricsTo != "" {
-			rec = obs.NewRecorder(o.Procs)
-			vo.Obs = rec
+	var stats *engine.Stats
+	switch {
+	case o.Resume:
+		rm, ok := engine.AsResumer(m)
+		if !ok {
+			return usagef("-resume requires an engine with checkpoint support (got %q)", algo)
 		}
-		res, vstats, err = vbit.Mine(d, vo)
+		res, stats, err = rm.Resume(context.Background(), o.Checkpoint, d, spec)
+	default:
+		res, stats, err = engine.Dispatch(context.Background(), algo, d, r, spec)
+	}
+	if err != nil {
+		return err
+	}
+	if err := report(res, stats, o, d, r); err != nil {
+		return err
+	}
+	return exportObs(rec, o.TracePath, o.MetricsTo)
+}
+
+// buildSpec maps the CLI's string knobs onto the engine-independent Spec.
+func buildSpec(o cliOptions) (engine.Spec, error) {
+	s := engine.Spec{
+		Mining: apriori.Options{
+			MinSupport: o.Support, Threshold: o.Threshold, Fanout: o.Fanout,
+			ShortCircuit: o.SC, MaxK: o.MaxK, MaxCandidatesInMemory: o.MaxCands,
+		},
+		Procs: o.Procs, ChunkSize: o.ChunkSize, Checkpoint: o.Checkpoint,
+	}
+	if o.Hash == "bitonic" {
+		s.Mining.Hash = hashtree.HashBitonic
+	}
+	switch o.Balance {
+	case "interleaved":
+		s.Balance = ccpd.BalanceInterleaved
+	case "bitonic":
+		s.Balance = ccpd.BalanceBitonic
+	}
+	switch o.Counter {
+	case "locked":
+		s.Counter = hashtree.CounterLocked
+	case "atomic":
+		s.Counter = hashtree.CounterAtomic
+	case "private":
+		s.Counter = hashtree.CounterPrivate
+	}
+	switch o.DBPart {
+	case "block":
+		s.DBPart = ccpd.PartitionBlock
+	case "workload":
+		s.DBPart = ccpd.PartitionWorkload
+	case "dynamic":
+		s.DBPart = ccpd.PartitionDynamic
+	case "stealing":
+		s.DBPart = ccpd.PartitionStealing
+	default:
+		return s, fmt.Errorf("unknown -dbpart %q", o.DBPart)
+	}
+	return s, nil
+}
+
+// runBaseline runs one of the Section 7 baseline algorithms, printing its
+// algorithm-specific statistics.
+func runBaseline(algo string, d *db.Database, opts apriori.Options, o cliOptions) (*apriori.Result, error) {
+	switch algo {
 	case "dhp":
-		var st *baseline.DHPStats
-		res, st, err = baseline.MineDHP(d, baseline.DHPOptions{Mining: opts})
+		res, st, err := baseline.MineDHP(d, baseline.DHPOptions{Mining: opts})
 		if err == nil {
 			fmt.Printf("dhp filter: %d -> %d candidates\n", st.CandidatesBefore, st.CandidatesAfter)
 		}
+		return res, err
 	case "partition":
-		var st *baseline.PartitionStats
-		res, st, err = baseline.MinePartition(d, baseline.PartitionOptions{Mining: opts, Chunks: o.Procs})
+		res, st, err := baseline.MinePartition(d, baseline.PartitionOptions{Mining: opts, Chunks: o.Procs})
 		if err == nil {
 			fmt.Printf("partition: %d chunks, %d local candidates, %d scans\n",
 				st.Chunks, st.LocalCandidates, st.Scans)
 		}
-	case "countdist":
-		var st *baseline.CDStats
-		res, st, err = baseline.MineCD(d, baseline.CDOptions{Mining: opts, Procs: o.Procs})
+		return res, err
+	default: // countdist; baselineAlgos gates the key set
+		res, st, err := baseline.MineCD(d, baseline.CDOptions{Mining: opts, Procs: o.Procs})
 		if err == nil {
 			fmt.Printf("count distribution: %d all-reduce rounds, %.1f KB exchanged\n",
 				st.Rounds, float64(st.BytesExchanged)/1024)
 		}
-	case "ccpd", "pccd":
-		po, err2 := ccpdOptions(o, opts)
-		if err2 != nil {
-			return err2
-		}
-		if o.TracePath != "" || o.MetricsTo != "" {
-			rec = obs.NewRecorder(o.Procs)
-			po.Obs = rec
-		}
-		switch {
-		case o.Resume:
-			res, stats, err = ccpd.Resume(context.Background(), o.Checkpoint, d, po)
-		case o.Algo == "ccpd":
-			res, stats, err = ccpd.Mine(d, po)
-		default:
-			res, stats, err = ccpd.MinePCCD(d, po)
-		}
-	default:
-		return fmt.Errorf("unknown -algo %q", o.Algo)
+		return res, err
 	}
-	if err != nil {
-		return err
+}
+
+// report prints the frequent sets, the engine's normalized (and, with -v,
+// detailed) statistics, and the generated rules — one print path for every
+// engine and both data sources.
+func report(res *apriori.Result, stats *engine.Stats, o cliOptions, d *db.Database, r *seg.Reader) error {
+	dbSize := 0
+	if d != nil {
+		dbSize = d.Len()
+	} else if r != nil {
+		dbSize = int(r.NumTx()) //armlint:narrowok int is 64-bit on every supported target, so the int64 transaction count converts losslessly
 	}
 
 	fmt.Printf("min support: %d transactions (%.3f%%)\n", res.MinCount, o.Support*100)
@@ -314,18 +431,40 @@ func run(o cliOptions) error {
 			fmt.Printf("  F%-2d %6d\n", k, len(res.ByK[k]))
 		}
 	}
-	if vstats != nil {
-		fmt.Printf("total time: %v (class DFS %v)\n", vstats.Total, vstats.Count)
-		if o.Verbose {
-			fmt.Printf("  classes=%d columns=%d bitmap/%d tidlist modeltime=%d totalwork=%d\n",
-				vstats.Classes, vstats.DenseItems, vstats.SparseItems,
-				vstats.ModelTime(), vstats.TotalWork())
+	if stats != nil {
+		printStats(stats, o.Verbose)
+	}
+
+	if o.RuleConf > 0 {
+		rs := rules.Generate(res, rules.Options{MinConfidence: o.RuleConf, DBSize: dbSize})
+		fmt.Printf("rules at confidence >= %.2f: %d\n", o.RuleConf, len(rs))
+		for i, rl := range rs {
+			if i >= o.TopN {
+				break
+			}
+			fmt.Printf("  %v\n", rl)
 		}
 	}
-	if stats != nil {
-		fmt.Printf("total time: %v (counting %v)\n", stats.Total, stats.TotalCount())
-		if o.Verbose {
-			for _, it := range stats.PerIter {
+	return nil
+}
+
+// printStats renders the normalized engine statistics, with the raw
+// per-engine detail behind -v.
+func printStats(st *engine.Stats, verbose bool) {
+	switch {
+	case st.VBit != nil:
+		fmt.Printf("total time: %v (class DFS %v)\n", st.Total, st.Count)
+		if verbose {
+			v := st.VBit
+			fmt.Printf("  classes=%d columns=%d bitmap/%d tidlist modeltime=%d totalwork=%d\n",
+				v.Classes, v.DenseItems, v.SparseItems, v.ModelTime(), v.TotalWork())
+		}
+	case st.VBitSegmented != nil:
+		fmt.Printf("total time: %v (%d levels)\n", st.Total, st.VBitSegmented.Levels)
+	case st.CCPD != nil:
+		fmt.Printf("total time: %v (counting %v)\n", st.Total, st.Count)
+		if verbose {
+			for _, it := range st.CCPD.PerIter {
 				fmt.Printf("  k=%-2d cands=%-7d freq=%-7d gen=%v build=%v count=%v reduce=%v\n",
 					it.K, it.Candidates, it.Frequent, it.CandGen, it.TreeBuild, it.Count, it.Reduce)
 				if it.ChunksClaimed != nil {
@@ -338,181 +477,23 @@ func run(o cliOptions) error {
 				}
 			}
 		}
+	case st.Sampling != nil:
+		acc := st.Sampling
+		fmt.Printf("total time: %v\n", st.Total)
+		fmt.Printf("sampling: %d rows sampled, precision %.3f recall %.3f (TP %d FP %d FN %d)\n",
+			acc.SampleSize, acc.Precision(), acc.Recall(),
+			acc.TruePositives, acc.FalsePositives, acc.FalseNegatives)
+	case st.Total > 0:
+		fmt.Printf("total time: %v\n", st.Total)
 	}
-	if err := exportObs(rec, o.TracePath, o.MetricsTo); err != nil {
-		return err
-	}
-
-	if o.RuleConf > 0 {
-		rs := rules.Generate(res, rules.Options{MinConfidence: o.RuleConf, DBSize: d.Len()})
-		fmt.Printf("rules at confidence >= %.2f: %d\n", o.RuleConf, len(rs))
-		for i, r := range rs {
-			if i >= o.TopN {
-				break
-			}
-			fmt.Printf("  %v\n", r)
-		}
-	}
-	return nil
-}
-
-// ccpdOptions maps the CLI's string knobs onto a ccpd.Options.
-func ccpdOptions(o cliOptions, opts apriori.Options) (ccpd.Options, error) {
-	po := ccpd.Options{Options: opts, Procs: o.Procs}
-	switch o.Balance {
-	case "interleaved":
-		po.Balance = ccpd.BalanceInterleaved
-	case "bitonic":
-		po.Balance = ccpd.BalanceBitonic
-	}
-	switch o.Counter {
-	case "locked":
-		po.Counter = hashtree.CounterLocked
-	case "atomic":
-		po.Counter = hashtree.CounterAtomic
-	case "private":
-		po.Counter = hashtree.CounterPrivate
-	}
-	switch o.DBPart {
-	case "block":
-		po.DBPart = ccpd.PartitionBlock
-	case "workload":
-		po.DBPart = ccpd.PartitionWorkload
-	case "dynamic":
-		po.DBPart = ccpd.PartitionDynamic
-	case "stealing":
-		po.DBPart = ccpd.PartitionStealing
-	default:
-		return po, fmt.Errorf("unknown -dbpart %q", o.DBPart)
-	}
-	po.ChunkSize = o.ChunkSize
-	po.Checkpoint = o.Checkpoint
-	return po, nil
-}
-
-// runSegmented mines a segmented (out-of-core) store: the database never
-// materializes whole; segments stream through a double-buffered pipeline
-// bounded by -mem-budget. Only the ccpd and vbit engines (and auto between
-// them) have out-of-core counting paths.
-func runSegmented(o cliOptions) error {
-	var budget int64
-	if o.MemBudget != "" {
-		var err error
-		if budget, err = parseByteSize(o.MemBudget); err != nil {
-			return err
-		}
-	}
-	var (
-		r   *seg.Reader
-		err error
-	)
-	if o.MMap {
-		r, err = seg.OpenMapped(o.DBPath)
-	} else {
-		r, err = seg.Open(o.DBPath)
-	}
-	if err != nil {
-		return err
-	}
-	defer r.Close()
-	fmt.Printf("segmented store: %d transactions, %d segments, max segment %.1f MB\n",
-		r.NumTx(), r.NumSegments(), float64(r.MaxSegmentBytes())/(1<<20))
-
-	algo := o.Algo
-	if algo == "auto" {
-		// Characterize the first segment: density statistics are per-
-		// transaction averages, so any segment is a fair sample.
-		sd, err := r.LoadSegment(0, nil)
-		if err != nil {
-			return err
-		}
-		st := vbit.Characterize(sd)
-		engine := vbit.AutoSelect(st)
-		fmt.Printf("auto-selector (segment 0): density=%.5f (avg len %.1f over %d items) -> %s\n",
-			st.Density, st.AvgLen, st.NumItems, engine)
-		algo = engine.String()
-	}
-
-	opts := apriori.Options{
-		MinSupport: o.Support, Threshold: o.Threshold, Fanout: o.Fanout, ShortCircuit: o.SC,
-		MaxK: o.MaxK, MaxCandidatesInMemory: o.MaxCands,
-	}
-	if o.Hash == "bitonic" {
-		opts.Hash = hashtree.HashBitonic
-	}
-	var rec *obs.Recorder
-	if o.TracePath != "" || o.MetricsTo != "" {
-		rec = obs.NewRecorder(o.Procs)
-	}
-
-	var res *apriori.Result
-	var pipe *seg.PipelineStats
-	switch algo {
-	case "ccpd":
-		po, err := ccpdOptions(o, opts)
-		if err != nil {
-			return err
-		}
-		po.Obs = rec
-		var stats *ccpd.Stats
-		res, stats, err = ccpd.MineSegmented(r, ccpd.SegmentedOptions{Options: po, MemBudget: budget})
-		if err != nil {
-			return err
-		}
-		pipe = stats.OutOfCore
-		fmt.Printf("total time: %v (counting %v)\n", stats.Total, stats.TotalCount())
-		if o.Verbose {
-			for _, it := range stats.PerIter {
-				fmt.Printf("  k=%-2d cands=%-7d freq=%-7d count=%v\n", it.K, it.Candidates, it.Frequent, it.Count)
-			}
-		}
-	case "vbit":
-		var stats *vbit.SegmentedStats
-		res, stats, err = vbit.MineSegmented(r, vbit.SegmentedOptions{
-			Options: vbit.Options{
-				MinSupport: o.Support, MaxK: o.MaxK, Procs: o.Procs,
-				ChunkStride: o.ChunkSize, Obs: rec,
-			},
-			MemBudget: budget,
-		})
-		if err != nil {
-			return err
-		}
-		pipe = &stats.Pipeline
-		fmt.Printf("total time: %v (%d levels)\n", stats.Total, stats.Levels)
-	default:
-		return usagef("segmented stores mine with -algo ccpd, vbit or auto (got %q)", o.Algo)
-	}
-
-	if pipe != nil {
+	if p := st.Pipeline; p != nil {
 		mode := "sync"
-		if pipe.Overlapped {
+		if p.Overlapped {
 			mode = "double-buffered"
 		}
 		fmt.Printf("out-of-core: %d segment loads over %d passes, %d resident (%s), stall %.1f%%\n",
-			pipe.Segments, pipe.Passes, pipe.Residents, mode, 100*pipe.StallFraction())
+			p.Segments, p.Passes, p.Residents, mode, 100*p.StallFraction())
 	}
-	fmt.Printf("min support: %d transactions (%.3f%%)\n", res.MinCount, o.Support*100)
-	fmt.Printf("frequent itemsets: %d\n", res.NumFrequent())
-	for k := 1; k < len(res.ByK); k++ {
-		if len(res.ByK[k]) > 0 {
-			fmt.Printf("  F%-2d %6d\n", k, len(res.ByK[k]))
-		}
-	}
-	if err := exportObs(rec, o.TracePath, o.MetricsTo); err != nil {
-		return err
-	}
-	if o.RuleConf > 0 {
-		rs := rules.Generate(res, rules.Options{MinConfidence: o.RuleConf, DBSize: int(r.NumTx())}) //armlint:narrowok int is 64-bit on every supported target, so the int64 transaction count converts losslessly
-		fmt.Printf("rules at confidence >= %.2f: %d\n", o.RuleConf, len(rs))
-		for i, rl := range rs {
-			if i >= o.TopN {
-				break
-			}
-			fmt.Printf("  %v\n", rl)
-		}
-	}
-	return nil
 }
 
 // exportObs writes the recorded trace and/or metrics snapshot to the

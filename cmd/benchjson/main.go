@@ -17,13 +17,19 @@
 // verdict (nonzero exit on failure) requires vbit to beat the hash tree on
 // the dense one. -engine restricts which engines run.
 //
+// With -planner it additionally records planner-decision rows: the
+// cost-based engine.Planner's choice (with its full cost estimates) on the
+// dense and sparse reference workloads next to both engines' measured
+// full-run walls, and a verdict (nonzero exit on failure) that the planner
+// picked the measured-faster engine on each.
+//
 // With -against FILE the fresh kernel measurements are compared to a
 // committed snapshot and the process exits nonzero on a >10% ns/op or
 // allocs/op regression.
 //
 // Usage:
 //
-//	benchjson [-o BENCH_counting.json] [-d 2000] [-engine all|hashtree|vbit]
+//	benchjson [-o BENCH_counting.json] [-d 2000] [-engine all|hashtree|vbit] [-planner]
 //	benchjson -against BENCH_counting.json
 //	benchjson -scaling [-o BENCH_scaling.json]
 package main
@@ -42,6 +48,7 @@ import (
 	"repro/internal/ccpd"
 	"repro/internal/db"
 	"repro/internal/db/seg"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/hashtree"
 	"repro/internal/itemset"
@@ -104,6 +111,50 @@ type oocSection struct {
 	Verdict     oocVerdict `json:"verdict"`
 }
 
+// plannerEstimate mirrors one engine.Estimate: the planner's modelled cost
+// for one engine on one workload, recorded so a decision row is auditable.
+type plannerEstimate struct {
+	Engine     string `json:"engine"`
+	Cost       int64  `json:"cost"`
+	ArenaBytes int64  `json:"arena_bytes"`
+	Feasible   bool   `json:"feasible"`
+	Note       string `json:"note"`
+}
+
+// plannerRow is one planner-decision measurement: the cost-based plan for a
+// reference workload next to the measured full-run wall (best of three,
+// through the Miner interface) of both candidate engines.
+type plannerRow struct {
+	Workload       string            `json:"workload"`
+	Density        float64           `json:"density"`
+	TailMass       float64           `json:"tail_mass"`
+	PlannedEngine  string            `json:"planned_engine"`
+	PlannedDBPart  string            `json:"planned_dbpart"`
+	Reason         string            `json:"reason"`
+	Estimates      []plannerEstimate `json:"estimates"`
+	CcpdWallNs     int64             `json:"ccpd_wall_ns"`
+	VbitWallNs     int64             `json:"vbit_wall_ns"`
+	MeasuredWinner string            `json:"measured_winner"`
+	Agree          bool              `json:"agree"`
+}
+
+// plannerVerdict gates the planner against reality: on the dense and the
+// sparse reference workload the engine the planner chose must be the engine
+// that actually measured faster end to end.
+type plannerVerdict struct {
+	DensePlanned   string `json:"dense_planned"`
+	DenseMeasured  string `json:"dense_measured"`
+	SparsePlanned  string `json:"sparse_planned"`
+	SparseMeasured string `json:"sparse_measured"`
+	Pass           bool   `json:"pass"`
+}
+
+// plannerSection is the planner portion of the counting report (-planner).
+type plannerSection struct {
+	Rows    []plannerRow   `json:"rows"`
+	Verdict plannerVerdict `json:"verdict"`
+}
+
 type report struct {
 	GoVersion string `json:"go_version"`
 	GOARCH    string `json:"goarch"`
@@ -117,6 +168,8 @@ type report struct {
 	EngineVerdict *engineVerdict `json:"engine_verdict,omitempty"`
 	// OutOfCore is present when -outofcore ran the prefetch-overlap rows.
 	OutOfCore *oocSection `json:"out_of_core,omitempty"`
+	// Planner is present when -planner ran the decision rows.
+	Planner *plannerSection `json:"planner,omitempty"`
 }
 
 // kCandidates mines the (k-1)-frequent sets and joins them into the
@@ -179,10 +232,11 @@ func main() {
 	against := flag.String("against", "", "committed kernel snapshot to gate against (>10% regression fails)")
 	outofcore := flag.Bool("outofcore", false, "also run the out-of-core prefetch-overlap rows (sync vs double-buffered segmented mining)")
 	nsTol := flag.Float64("nstol", 10, "ns/op regression tolerance percent for -against, after host-scale normalization (0 disables the timing gate; allocs are always gated at 10%)")
-	engine := flag.String("engine", "all", "counting engines to benchmark: all | hashtree | vbit (the committed snapshot holds all, so -against needs all)")
+	engineSel := flag.String("engine", "all", "counting engines to benchmark: all | hashtree | vbit (the committed snapshot holds all, so -against needs all)")
+	planner := flag.Bool("planner", false, "also run the planner-decision rows (cost-based plan vs measured full-run walls on the reference workloads)")
 	flag.Parse()
-	if *engine != "all" && *engine != "hashtree" && *engine != "vbit" {
-		fatal(fmt.Errorf("unknown -engine %q (want all, hashtree or vbit)", *engine))
+	if *engineSel != "all" && *engineSel != "hashtree" && *engineSel != "vbit" {
+		fatal(fmt.Errorf("unknown -engine %q (want all, hashtree or vbit)", *engineSel))
 	}
 
 	if *scaling {
@@ -207,7 +261,7 @@ func main() {
 		TxPerOp:   d.Len(),
 		K:         k,
 	}
-	if *engine != "vbit" {
+	if *engineSel != "vbit" {
 		cands, err := kCandidates(d, k)
 		if err != nil {
 			fatal(err)
@@ -243,11 +297,16 @@ func main() {
 		}
 	}
 
-	if err := runEngineRows(&rep, *dsize, k, *engine); err != nil {
+	if err := runEngineRows(&rep, *dsize, k, *engineSel); err != nil {
 		fatal(err)
 	}
 	if *outofcore {
 		if err := runOutOfCore(&rep, *dsize); err != nil {
+			fatal(err)
+		}
+	}
+	if *planner {
+		if err := runPlannerRows(&rep, *dsize); err != nil {
 			fatal(err)
 		}
 	}
@@ -272,6 +331,94 @@ func main() {
 			float64(v.Verdict.OverlapWallNs)/1e6, 100*v.Verdict.OverlapStallFrac,
 			float64(v.Verdict.SyncWallNs)/1e6, 100*v.Verdict.SyncStallFrac))
 	}
+	if p := rep.Planner; p != nil && !p.Verdict.Pass {
+		fatal(fmt.Errorf("planner verdict failed: dense planned %s/measured %s, sparse planned %s/measured %s — the planner must pick the measured-faster engine",
+			p.Verdict.DensePlanned, p.Verdict.DenseMeasured,
+			p.Verdict.SparsePlanned, p.Verdict.SparseMeasured))
+	}
+}
+
+// runPlannerRows runs the cost-based planner on the same dense and sparse
+// reference workloads the engine-kernel rows use, then measures both
+// candidate engines end to end (full mining run, best of three, dispatched
+// through the unified Miner interface) and records whether the planner's
+// choice was the measured-faster engine. Both reference densities sit on the
+// vbit side of the crossover, so a planner that drifts into picking the
+// horizontal engine there — a mis-tuned crossover, a broken feasibility
+// check — fails the verdict.
+func runPlannerRows(rep *report, dsize int) error {
+	workloads := []struct {
+		label string
+		p     gen.Params
+	}{
+		// Same shapes as runEngineRows: density 0.2 and 0.01.
+		{"dense", gen.Params{N: 60, L: 30, T: 12, I: 4, D: dsize, Seed: 1}},
+		{"sparse", gen.Params{T: 10, I: 4, D: dsize, Seed: 1}},
+	}
+	sec := &plannerSection{}
+	for _, wl := range workloads {
+		d, err := gen.Generate(wl.p)
+		if err != nil {
+			return err
+		}
+		info := engine.Characterize(d)
+		plan := engine.Planner{Procs: 4}.Plan(info)
+		row := plannerRow{
+			Workload: wl.label, Density: info.Density, TailMass: info.TailMass,
+			PlannedEngine: plan.Engine, PlannedDBPart: plan.DBPart.String(),
+			Reason: plan.Reason,
+		}
+		for _, e := range plan.Estimates {
+			row.Estimates = append(row.Estimates, plannerEstimate{
+				Engine: e.Engine, Cost: e.Cost, ArenaBytes: e.ArenaBytes,
+				Feasible: e.Feasible, Note: e.Note,
+			})
+		}
+
+		// MaxK bounds the dense run: the comparison needs both engines on
+		// identical work, not an exhaustive lattice walk.
+		spec := engine.Spec{
+			Mining: apriori.Options{AbsSupport: 10, ShortCircuit: true, MaxK: 3},
+			Procs:  4,
+		}
+		walls := map[string]int64{}
+		for try := 0; try < 3; try++ {
+			for _, name := range []string{"ccpd", "vbit"} {
+				m, ok := engine.Lookup(name)
+				if !ok {
+					return fmt.Errorf("engine %q not registered", name)
+				}
+				t0 := time.Now()
+				if _, _, err := m.Mine(d, spec); err != nil {
+					return fmt.Errorf("%s on %s: %w", name, wl.label, err)
+				}
+				if w := time.Since(t0).Nanoseconds(); try == 0 || w < walls[name] {
+					walls[name] = w
+				}
+			}
+		}
+		row.CcpdWallNs, row.VbitWallNs = walls["ccpd"], walls["vbit"]
+		row.MeasuredWinner = "ccpd"
+		if row.VbitWallNs < row.CcpdWallNs {
+			row.MeasuredWinner = "vbit"
+		}
+		row.Agree = row.PlannedEngine == row.MeasuredWinner
+		sec.Rows = append(sec.Rows, row)
+		fmt.Printf("Planner/%-8s density %.4f planned %-5s measured %-5s (ccpd %.1fms, vbit %.1fms)\n",
+			wl.label, row.Density, row.PlannedEngine, row.MeasuredWinner,
+			float64(row.CcpdWallNs)/1e6, float64(row.VbitWallNs)/1e6)
+	}
+	v := &sec.Verdict
+	v.DensePlanned, v.DenseMeasured = sec.Rows[0].PlannedEngine, sec.Rows[0].MeasuredWinner
+	v.SparsePlanned, v.SparseMeasured = sec.Rows[1].PlannedEngine, sec.Rows[1].MeasuredWinner
+	v.Pass = sec.Rows[0].Agree && sec.Rows[1].Agree
+	rep.Planner = sec
+	status := "pass"
+	if !v.Pass {
+		status = "FAIL"
+	}
+	fmt.Printf("planner verdict: %s\n", status)
+	return nil
 }
 
 // runOutOfCore measures the segmented miner under the sync and the

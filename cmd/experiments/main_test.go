@@ -112,7 +112,7 @@ func TestRunOutOfCore(t *testing.T) {
 }
 
 // TestRunDensitySweep drives the ccpd-vs-vbit crossover study end to end at
-// the tiniest scale: the table must cover both sides of the auto-selector's
+// the tiniest scale: the table must cover both sides of the planner's
 // default crossover density, and an unknown sweep name is a usage error.
 func TestRunDensitySweep(t *testing.T) {
 	var buf bytes.Buffer
@@ -120,7 +120,7 @@ func TestRunDensitySweep(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"Density sweep", "auto-selector default crossover", "vbit", "ccpd"} {
+	for _, want := range []string{"Density sweep", "planner default crossover", "vbit", "ccpd"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("density sweep output missing %q:\n%s", want, out)
 		}

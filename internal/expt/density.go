@@ -1,8 +1,8 @@
-// Density sweep: the engine-selection study behind the vbit auto-selector.
+// Density sweep: the engine-selection study behind the cost-based planner.
 // The paper's horizontal CCPD kernel and the vertical bitmap engine trade
 // places as the database gets denser; this sweep holds the transaction shape
 // fixed and shrinks the item universe so the density T/N walks across the
-// selector's crossover, recording both engines' wall clock at every point.
+// planner's crossover, recording both engines' wall clock at every point.
 package expt
 
 import (
@@ -11,7 +11,7 @@ import (
 	"time"
 
 	"repro/internal/apriori"
-	"repro/internal/ccpd"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/vbit"
 )
@@ -22,19 +22,21 @@ import (
 var densityUniverses = []int{50, 100, 200, 400, 800, 1600, 3200}
 
 // DensitySweep mines one database per universe size with both the
-// horizontal CCPD engine and the vertical bitmap engine, printing density,
-// per-engine wall clock (best of three) and the engine the auto-selector
-// would pick, then reports the measured crossover next to the configured
-// default. The two results are cross-checked for agreement at every point —
-// the sweep doubles as an equivalence probe across the density range.
+// horizontal CCPD engine and the vertical bitmap engine — dispatched through
+// the unified Miner interface — printing density, per-engine wall clock
+// (best of three), the engine the cost-based planner picks, and the engine
+// that actually won, then reports the measured crossover next to the
+// configured default. The two results are cross-checked for agreement at
+// every point — the sweep doubles as an equivalence probe across the density
+// range.
 func (r *Runner) DensitySweep(w io.Writer) error {
 	base := gen.Params{T: 10, I: 4, D: 100000}
 	procs := r.Procs[len(r.Procs)-1]
 
 	tab := &Table{
-		Title: "Density sweep: ccpd vs vbit (engine auto-selector study)",
+		Title: "Density sweep: ccpd vs vbit (cost-based planner study)",
 		Header: []string{"N", "density", "F", "ccpd ms", "vbit ms",
-			"vbit/ccpd", "auto", "winner"},
+			"vbit/ccpd", "planned", "winner"},
 	}
 	// measuredCross is the smallest density at which vbit still won; the
 	// rows walk dense → sparse, so it tracks where the advantage runs out.
@@ -50,62 +52,58 @@ func (r *Runner) DensitySweep(w io.Writer) error {
 			return err
 		}
 		sup := absSupport(d.Len(), 0.01)
-		copts := ccpd.Options{
-			Options: apriori.Options{AbsSupport: sup, ShortCircuit: true},
-			Procs:   procs,
+		spec := engine.Spec{
+			Mining: apriori.Options{AbsSupport: sup, ShortCircuit: true},
+			Procs:  procs,
 		}
-		vopts := vbit.Options{AbsSupport: sup, Procs: procs}
 
-		var cres, vres *apriori.Result
-		cWall, vWall := time.Duration(0), time.Duration(0)
+		walls := map[string]time.Duration{}
+		results := map[string]*apriori.Result{}
 		for try := 0; try < 3; try++ {
-			t0 := time.Now()
-			res, _, err := ccpd.Mine(d, copts)
-			if err != nil {
-				return fmt.Errorf("ccpd N=%d: %w", n, err)
+			for _, name := range []string{"ccpd", "vbit"} {
+				m, ok := engine.Lookup(name)
+				if !ok {
+					return fmt.Errorf("engine %q not registered", name)
+				}
+				t0 := time.Now()
+				res, _, err := m.Mine(d, spec)
+				if err != nil {
+					return fmt.Errorf("%s N=%d: %w", name, n, err)
+				}
+				if el := time.Since(t0); try == 0 || el < walls[name] {
+					walls[name] = el
+				}
+				results[name] = res
 			}
-			if el := time.Since(t0); try == 0 || el < cWall {
-				cWall = el
-			}
-			cres = res
-
-			t0 = time.Now()
-			res, _, err = vbit.Mine(d, vopts)
-			if err != nil {
-				return fmt.Errorf("vbit N=%d: %w", n, err)
-			}
-			if el := time.Since(t0); try == 0 || el < vWall {
-				vWall = el
-			}
-			vres = res
 		}
+		cres, vres := results["ccpd"], results["vbit"]
 		if cres.NumFrequent() != vres.NumFrequent() {
 			return fmt.Errorf("N=%d: engines disagree (%d vs %d frequent)",
 				n, cres.NumFrequent(), vres.NumFrequent())
 		}
 
-		st := vbit.Characterize(d)
-		auto := vbit.AutoSelect(st)
-		winner := vbit.EngineCCPD
-		if vWall < cWall {
-			winner = vbit.EngineVBit
-			if measuredCross < 0 || st.Density < measuredCross {
-				measuredCross = st.Density
+		info := engine.Characterize(d)
+		plan := engine.Planner{Procs: procs}.Plan(info)
+		winner := "ccpd"
+		if walls["vbit"] < walls["ccpd"] {
+			winner = "vbit"
+			if measuredCross < 0 || info.Density < measuredCross {
+				measuredCross = info.Density
 			}
 		}
 		tab.AddRow(
 			fmt.Sprintf("%d", n),
-			fmt.Sprintf("%.4f", st.Density),
+			fmt.Sprintf("%.4f", info.Density),
 			fmt.Sprintf("%d", cres.NumFrequent()),
-			f2s(float64(cWall.Microseconds())/1000),
-			f2s(float64(vWall.Microseconds())/1000),
-			f2s(float64(vWall)/float64(cWall)),
-			auto.String(),
-			winner.String(),
+			f2s(float64(walls["ccpd"].Microseconds())/1000),
+			f2s(float64(walls["vbit"].Microseconds())/1000),
+			f2s(float64(walls["vbit"])/float64(walls["ccpd"])),
+			plan.Engine,
+			winner,
 		)
 	}
 	tab.Fprint(w)
-	fmt.Fprintf(w, "\nauto-selector default crossover: density >= %.4f (1/128) -> vbit\n",
+	fmt.Fprintf(w, "\nplanner default crossover: density >= %.4f (1/128) -> vbit\n",
 		vbit.DefaultCrossoverDensity)
 	if measuredCross >= 0 {
 		fmt.Fprintf(w, "measured on this host: vbit still wins down to density %.4f\n", measuredCross)

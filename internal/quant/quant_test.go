@@ -106,6 +106,22 @@ func TestEncodeWithMerge(t *testing.T) {
 	}
 }
 
+// TestMineSupportCeiling checks quantitative mining inherits the shared
+// fractional-support ceiling (apriori.CeilSupport) through its Mining
+// options: 1% of 300 rows is a minimum count of exactly 3.
+func TestMineSupportCeiling(t *testing.T) {
+	res, err := Mine(ageIncomeTable(300, 1), Options{
+		Intervals: 4,
+		Mining:    apriori.Options{MinSupport: 0.01},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mining.MinCount != 3 {
+		t.Errorf("0.01 × 300: MinCount = %d, want 3", res.Mining.MinCount)
+	}
+}
+
 func TestMineFindsCorrelation(t *testing.T) {
 	tab := ageIncomeTable(1000, 3)
 	res, err := Mine(tab, Options{

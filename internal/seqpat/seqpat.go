@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/apriori"
 	"repro/internal/itemset"
 )
 
@@ -126,11 +127,11 @@ func (o Options) minCount(n int) int64 {
 	if o.AbsSupport > 0 {
 		return o.AbsSupport
 	}
-	c := int64(o.MinSupport * float64(n))
-	if c < 1 {
-		c = 1
-	}
-	return c
+	// Shared ceiling semantics with itemset mining: "support 1%" means at
+	// least 1% of customers, so a fractional product rounds UP. The old
+	// int64(...) truncation admitted patterns one customer short of the
+	// threshold (0.01 × 300 → 2, not 3).
+	return apriori.CeilSupport(o.MinSupport, n)
 }
 
 // Result holds the frequent patterns by length.

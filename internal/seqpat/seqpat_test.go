@@ -91,6 +91,58 @@ func TestMineTinyDataset(t *testing.T) {
 	}
 }
 
+// TestMineSupportCeiling guards the fractional-threshold boundary: the
+// minimum count must be the CEILING of MinSupport × customers, shared with
+// itemset mining via apriori.CeilSupport. The old int64(...) truncation
+// admitted patterns one customer short of the threshold, and a naive
+// math.Ceil overshoots when the float product lands epsilon above an
+// integer (0.01 × 300 must be 3, not 2 and not 4).
+func TestMineSupportCeiling(t *testing.T) {
+	build := func(n int) *Dataset {
+		d := &Dataset{NumItems: 4}
+		for c := 0; c < n; c++ {
+			switch {
+			case c < 3: // event 1 in exactly 3 customers
+				d.Append(seq(1, 0))
+			case c < 5: // event 2 in exactly 2 customers
+				d.Append(seq(2, 0))
+			default:
+				d.Append(seq(0))
+			}
+		}
+		return d
+	}
+
+	// 0.01 × 300 is an exact integer boundary: MinCount 3, so support 3 is
+	// in and support 2 is out.
+	res, err := Mine(build(300), Options{MinSupport: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MinCount != 3 {
+		t.Fatalf("0.01 × 300: MinCount = %d, want 3", res.MinCount)
+	}
+	if got := res.SupportOf(seq(1)); got != 3 {
+		t.Errorf("<1> support = %d, want 3 (exactly at threshold)", got)
+	}
+	if got := res.SupportOf(seq(2)); got != 0 {
+		t.Errorf("<2> reported frequent with support 2 < MinCount 3")
+	}
+
+	// 0.01 × 350 = 3.5 is fractional: "at least 1% of customers" means 4,
+	// and the old truncation floor admitted support-3 patterns here.
+	res, err = Mine(build(350), Options{MinSupport: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MinCount != 4 {
+		t.Fatalf("0.01 × 350: MinCount = %d, want 4 (ceiling of 3.5)", res.MinCount)
+	}
+	if got := res.SupportOf(seq(1)); got != 0 {
+		t.Errorf("<1> (support 3, 0.857%%) reported frequent at 1%% of 350")
+	}
+}
+
 // bruteMine enumerates frequent patterns exhaustively (grow-by-append over
 // frequent events).
 func bruteMine(d *Dataset, minCount int64, maxLen int) map[string]int64 {

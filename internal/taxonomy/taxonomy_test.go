@@ -123,6 +123,24 @@ func TestMineGeneralizedRules(t *testing.T) {
 	}
 }
 
+// TestMineSupportCeiling checks generalized mining inherits the shared
+// fractional-support ceiling (apriori.CeilSupport) through its Mining
+// options: 1% of 300 transactions is a minimum count of exactly 3.
+func TestMineSupportCeiling(t *testing.T) {
+	d := db.New(10)
+	for i := 0; i < 300; i++ {
+		d.Append(int64(i+1), itemset.New(3))
+	}
+	tx := smallTaxonomy(t)
+	res, err := Mine(d, tx, Options{Mining: apriori.Options{MinSupport: 0.01}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Raw.MinCount != 3 {
+		t.Errorf("0.01 × 300: MinCount = %d, want 3", res.Raw.MinCount)
+	}
+}
+
 func TestMineParallelMatchesSequential(t *testing.T) {
 	d, err := gen.Generate(gen.Params{N: 50, L: 12, I: 3, T: 6, D: 400, Seed: 3})
 	if err != nil {
