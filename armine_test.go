@@ -49,7 +49,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatalf("pccd %d vs seq %d", pccd.NumFrequent(), seq.NumFrequent())
 	}
 
-	rules := GenerateRules(seq, RuleOptions{MinConfidence: 0.6, DBSize: loaded.Len()})
+	rules := GenerateRules(seq, RuleOptions{MinConfidence: 0.6, DBSize: int64(loaded.Len())})
 	for _, r := range rules {
 		if r.Confidence < 0.6-1e-9 {
 			t.Errorf("rule below threshold: %v", r)

@@ -287,7 +287,7 @@ func BenchmarkRules(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rules.Generate(res, rules.Options{MinConfidence: 0.5, DBSize: d.Len()})
+		rules.Generate(res, rules.Options{MinConfidence: 0.5, DBSize: int64(d.Len())})
 	}
 }
 

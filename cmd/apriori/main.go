@@ -417,11 +417,14 @@ func runBaseline(algo string, d *db.Database, opts apriori.Options, o cliOptions
 // detailed) statistics, and the generated rules — one print path for every
 // engine and both data sources.
 func report(res *apriori.Result, stats *engine.Stats, o cliOptions, d *db.Database, r *seg.Reader) error {
-	dbSize := 0
+	// rules.Options.DBSize is a wide int64, so a segmented store's full
+	// transaction count flows into SupportFrac/Lift without narrowing (the
+	// old int conversion silently truncated past 2³¹ on 32-bit builds).
+	var dbSize int64
 	if d != nil {
-		dbSize = d.Len()
+		dbSize = int64(d.Len())
 	} else if r != nil {
-		dbSize = int(r.NumTx()) //armlint:narrowok int is 64-bit on every supported target, so the int64 transaction count converts losslessly
+		dbSize = r.NumTx()
 	}
 
 	fmt.Printf("min support: %d transactions (%.3f%%)\n", res.MinCount, o.Support*100)

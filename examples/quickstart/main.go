@@ -35,7 +35,7 @@ func main() {
 	fmt.Printf("mining time: %v (support counting %v)\n", stats.Total, stats.TotalCount())
 
 	// 3. Rules at 90% confidence.
-	rules := armine.GenerateRules(res, armine.RuleOptions{MinConfidence: 0.9, DBSize: d.Len()})
+	rules := armine.GenerateRules(res, armine.RuleOptions{MinConfidence: 0.9, DBSize: int64(d.Len())})
 	fmt.Printf("rules at >=90%% confidence: %d; top 5:\n", len(rules))
 	for i, r := range rules {
 		if i == 5 {

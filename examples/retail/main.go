@@ -73,7 +73,7 @@ func main() {
 	}
 
 	rules := armine.GenerateRules(res, armine.RuleOptions{
-		MinConfidence: 0.75, DBSize: d.Len(), MaxConsequent: 1,
+		MinConfidence: 0.75, DBSize: int64(d.Len()), MaxConsequent: 1,
 	})
 	fmt.Printf("\nactionable rules (>=75%% confidence, single consequent): %d\n", len(rules))
 	for i, r := range rules {

@@ -127,6 +127,26 @@ func (d *Database) Append(tid int64, items itemset.Itemset) {
 	}
 }
 
+// SnapshotView returns an O(1) immutable view of the database's current
+// prefix: the returned Database aliases the receiver's columns, sliced and
+// capacity-capped at today's lengths. Appends to the receiver never mutate
+// the view — existing elements are write-once (TryAppend only extends), and
+// a growth reallocation leaves the view on the old backing array — so a
+// miner can run over the view while ingestion keeps appending to the
+// receiver. This is the armined ingest→re-mine split: take the view under
+// the ingest lock, mine it outside. The capped capacities also make an
+// accidental append to the view reallocate instead of stomping the parent.
+func (d *Database) SnapshotView() *Database {
+	n := len(d.tids)
+	m := len(d.arena)
+	return &Database{
+		tids:    d.tids[:n:n],
+		offsets: d.offsets[:n+1 : n+1],
+		arena:   d.arena[:m:m],
+		numItem: d.numItem,
+	}
+}
+
 // Len returns the number of transactions D.
 func (d *Database) Len() int { return len(d.tids) }
 

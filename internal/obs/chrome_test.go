@@ -141,8 +141,8 @@ func TestWriteTraceValidJSON(t *testing.T) {
 		}
 	}
 	for p := 0; p < 2; p++ {
-		if chunkB[p] != r.Worker(p).claimed {
-			t.Errorf("tid %d: %d chunk spans, claimed counter says %d", p, chunkB[p], r.Worker(p).claimed)
+		if claimed := r.Worker(p).claimed.Load(); chunkB[p] != claimed {
+			t.Errorf("tid %d: %d chunk spans, claimed counter says %d", p, chunkB[p], claimed)
 		}
 	}
 

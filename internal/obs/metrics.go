@@ -17,7 +17,12 @@ type WorkerStats struct {
 }
 
 // Snapshot is a point-in-time aggregate of everything the recorder holds,
-// safe to serialize or assert against. Take it only after a pool barrier.
+// safe to serialize or assert against. Unlike the trace export (which walks
+// the single-writer ring segments and still requires a pool barrier), a
+// Snapshot may be taken while a mine is running: the per-worker counters
+// are atomics, and the master-side statistics are mutex-guarded, so a live
+// /metrics scrape observes a consistent-enough view without synchronizing
+// with the workers.
 type Snapshot struct {
 	Procs   int
 	Workers []WorkerStats // one entry per processor (master track excluded)
@@ -27,6 +32,9 @@ type Snapshot struct {
 }
 
 // Snapshot aggregates the per-worker counters and master-side statistics.
+// Safe to call concurrently with a running mine; after a pool barrier it is
+// exact (the post-barrier values are bit-identical to the pre-atomic
+// implementation — TestObsEquivalence pins this).
 func (r *Recorder) Snapshot() *Snapshot {
 	if r == nil {
 		return &Snapshot{}
@@ -34,14 +42,14 @@ func (r *Recorder) Snapshot() *Snapshot {
 	s := &Snapshot{Procs: r.procs}
 	for p := 0; p < r.procs; p++ {
 		w := &r.workers[p]
-		n := len(w.cur)
-		for _, seg := range w.full {
-			n += len(seg)
-		}
+		// dropped is loaded before recorded: recorded only grows, so the
+		// buffered-event gauge (recorded − dropped) can never go negative
+		// even when a recycle lands between the two loads.
+		dropped := w.dropped.Load()
 		s.Workers = append(s.Workers, WorkerStats{
-			Proc: p, Claimed: w.claimed, Stolen: w.stolen,
-			Flushes: w.flushes, WorkUnits: w.workUnits,
-			Events: n, Dropped: w.dropped,
+			Proc: p, Claimed: w.claimed.Load(), Stolen: w.stolen.Load(),
+			Flushes: w.flushes.Load(), WorkUnits: w.workUnits.Load(),
+			Events: int(w.recorded.Load() - dropped), Dropped: dropped,
 		})
 	}
 	r.mu.Lock()
@@ -55,7 +63,9 @@ func (r *Recorder) Snapshot() *Snapshot {
 // WriteMetrics renders the snapshot in Prometheus text exposition format:
 // per-processor chunk/steal/flush/work counters, counting idle time, per-k
 // candidate and frequent series, and any gauges (e.g. cachesim miss rates
-// when a placement replay ran). Output order is deterministic.
+// when a placement replay ran). Output order is deterministic. Safe to call
+// concurrently with a running mine — this is the armined /metrics scrape
+// path.
 func (r *Recorder) WriteMetrics(w io.Writer) error {
 	return r.Snapshot().WritePrometheus(w)
 }

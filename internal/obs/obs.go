@@ -128,28 +128,35 @@ const (
 )
 
 // Worker is one processor's event buffer plus live counters. Exactly one
-// goroutine (the owning pool worker) writes to it between barriers; readers
-// (export, snapshot) run only after a pool barrier. The struct's size is a
-// multiple of the 64-byte cache line — workers live in a []Worker — so one
-// worker's hot counters never share a line with a neighbour's (armlint
-// falseshare rule 1; TestWorkerPadding pins the layout).
+// goroutine (the owning pool worker) writes to it between barriers; the
+// event segments (cur/full/free) are read only after a pool barrier, but
+// the scalar counters are atomics so a live /metrics scrape (Snapshot,
+// WriteMetrics) mid-mine reads them race-free — the writes stay
+// single-owner and uncontended, so the atomic costs nothing on the hot
+// path. The struct's size is a multiple of the 64-byte cache line —
+// workers live in a []Worker — so one worker's hot counters never share a
+// line with a neighbour's (armlint falseshare rule 1; TestWorkerPadding
+// pins the layout).
 type Worker struct {
 	rec *Recorder
 	id  int64
 	//armlint:hot
 	cur []event // active segment; append is alloc-free below cap
 	//armlint:hot
-	claimed int64 // chunks claimed
+	claimed atomic.Int64 // chunks claimed
 	//armlint:hot
-	stolen int64 // chunks stolen from other workers
+	stolen atomic.Int64 // chunks stolen from other workers
 	//armlint:hot
-	flushes int64 // batched counter flushes
+	flushes atomic.Int64 // batched counter flushes
 	//armlint:hot
-	workUnits int64 // deterministic work units
+	workUnits atomic.Int64 // deterministic work units
 	//armlint:hot
-	dropped int64 // events recycled out of a saturated ring
-	full    [][]event
-	free    [][]event
+	dropped atomic.Int64 // events recycled out of a saturated ring
+	//armlint:hot
+	recorded atomic.Int64 // events ever recorded (buffered = recorded − dropped)
+	full     [][]event
+	free     [][]event
+	_        [56]byte // pad to a 64-byte multiple (falseshare rule 1)
 }
 
 // Recorder owns the per-worker buffers, the master track, and the
@@ -376,7 +383,12 @@ func (r *Recorder) Reset() {
 		}
 		w.full = w.full[:0]
 		w.cur = w.cur[:0]
-		w.claimed, w.stolen, w.flushes, w.workUnits, w.dropped = 0, 0, 0, 0, 0
+		w.claimed.Store(0)
+		w.stolen.Store(0)
+		w.flushes.Store(0)
+		w.workUnits.Store(0)
+		w.dropped.Store(0)
+		w.recorded.Store(0)
 	}
 	r.mu.Lock()
 	r.iters = r.iters[:0]
@@ -388,12 +400,14 @@ func (r *Recorder) Reset() {
 
 // record appends one event, recycling the ring's oldest segment when
 // saturated. Steady-state (segment already allocated) this performs no heap
-// allocation: the append below is always within capacity.
+// allocation: the append below is always within capacity, and the recorded
+// counter is an uncontended atomic on the worker's own cache line.
 func (w *Worker) record(ev event) {
 	if len(w.cur) == cap(w.cur) {
 		w.grow()
 	}
 	w.cur = append(w.cur, ev)
+	w.recorded.Add(1)
 }
 
 // grow seals the active segment and installs an empty one: a freed segment
@@ -412,7 +426,7 @@ func (w *Worker) grow() {
 		oldest := w.full[0]
 		copy(w.full, w.full[1:])
 		w.full = w.full[:len(w.full)-1]
-		w.dropped += int64(len(oldest))
+		w.dropped.Add(int64(len(oldest)))
 		w.cur = oldest[:0]
 	}
 }
@@ -422,7 +436,7 @@ func (w *Worker) BeginChunk(k, chunk int) {
 	if w == nil {
 		return
 	}
-	w.claimed++
+	w.claimed.Add(1)
 	w.record(event{ts: w.rec.now(), arg: int64(chunk), k: int32(k), kind: evBeginChunk, phase: uint8(PhaseCount)})
 }
 
@@ -440,7 +454,7 @@ func (w *Worker) Steal(k, chunk, victim int) {
 	if w == nil {
 		return
 	}
-	w.stolen++
+	w.stolen.Add(1)
 	w.record(event{ts: w.rec.now(), arg: int64(chunk), aux: int32(victim), k: int32(k), kind: evSteal, phase: uint8(PhaseCount)})
 }
 
@@ -449,7 +463,7 @@ func (w *Worker) Flush(k, n int) {
 	if w == nil {
 		return
 	}
-	w.flushes++
+	w.flushes.Add(1)
 	w.record(event{ts: w.rec.now(), arg: int64(n), k: int32(k), kind: evFlush, phase: uint8(PhaseCount)})
 }
 
@@ -475,7 +489,7 @@ func (w *Worker) AddWork(units int64) {
 	if w == nil {
 		return
 	}
-	w.workUnits += units
+	w.workUnits.Add(units)
 }
 
 // events returns the worker's buffered events in recording order.

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"io"
+	"sync"
 	"testing"
 	"time"
 	"unsafe"
@@ -100,8 +101,8 @@ func TestRingSegmentBoundary(t *testing.T) {
 		}
 		i++
 	})
-	if w.claimed != n {
-		t.Errorf("claimed = %d, want %d", w.claimed, n)
+	if got := w.claimed.Load(); got != n {
+		t.Errorf("claimed = %d, want %d", got, n)
 	}
 }
 
@@ -118,10 +119,10 @@ func TestRingRecyclesOldest(t *testing.T) {
 	if got := r.NumEvents(); got > maxSegs*segEvents {
 		t.Errorf("ring grew past its bound: %d events > %d", got, maxSegs*segEvents)
 	}
-	if w.dropped == 0 {
+	if w.dropped.Load() == 0 {
 		t.Error("saturated ring reported no dropped events")
 	}
-	if got := w.dropped + int64(r.NumEvents()); got != n {
+	if got := w.dropped.Load() + int64(r.NumEvents()); got != n {
 		t.Errorf("dropped+buffered = %d, want %d (events silently lost)", got, n)
 	}
 	// The surviving events must be the newest, still in order.
@@ -139,8 +140,8 @@ func TestRingRecyclesOldest(t *testing.T) {
 	if prev != n-1 {
 		t.Errorf("newest surviving event is chunk %d, want %d", prev, n-1)
 	}
-	if first != w.dropped {
-		t.Errorf("oldest surviving event is chunk %d, want %d (oldest must be dropped first)", first, w.dropped)
+	if dropped := w.dropped.Load(); first != dropped {
+		t.Errorf("oldest surviving event is chunk %d, want %d (oldest must be dropped first)", first, dropped)
 	}
 }
 
@@ -155,7 +156,7 @@ func TestResetBanksSegments(t *testing.T) {
 	r.IterStats(2, 100, 50)
 	r.SetGauge("g", 1)
 	r.Reset()
-	if r.NumEvents() != 0 || w.claimed != 0 {
+	if r.NumEvents() != 0 || w.claimed.Load() != 0 {
 		t.Fatal("Reset did not clear events/counters")
 	}
 	s := r.Snapshot()
@@ -211,4 +212,63 @@ func TestSnapshotAggregates(t *testing.T) {
 	if len(s.Gauges) != 1 || s.Gauges[0].Value != 0.5 {
 		t.Errorf("gauges = %+v", s.Gauges)
 	}
+}
+
+// TestScrapeDuringRecording is the scrape-safety gate: Snapshot and
+// WriteMetrics must be callable while every worker track is recording at
+// full rate — the armined /metrics endpoint scrapes mid-mine, with no pool
+// barrier. The race detector vets the atomic counter reads; the assertions
+// check a mid-flight snapshot is sane (monotone counters, no negative
+// buffered-event gauge even while rings recycle).
+func TestScrapeDuringRecording(t *testing.T) {
+	const procs = 4
+	r := NewRecorder(procs)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			w := r.Worker(p)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w.BeginChunk(2, i)
+				w.Steal(2, i, (p+1)%procs)
+				w.Flush(2, 64)
+				w.AddWork(10)
+				w.EndChunk(2, i)
+			}
+		}(p)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			r.IterStats(2, i, i/2)
+			r.SetGauge("live", float64(i))
+		}
+	}()
+
+	var prev []WorkerStats
+	for i := 0; i < 200; i++ {
+		s := r.Snapshot()
+		if err := s.WritePrometheus(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		for p, ws := range s.Workers {
+			if ws.Events < 0 {
+				t.Fatalf("proc %d: negative buffered-event gauge %d", p, ws.Events)
+			}
+			if prev != nil && ws.Claimed < prev[p].Claimed {
+				t.Fatalf("proc %d: claimed went backwards (%d after %d)", p, ws.Claimed, prev[p].Claimed)
+			}
+		}
+		prev = s.Workers
+	}
+	close(stop)
+	wg.Wait()
 }

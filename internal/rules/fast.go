@@ -1,8 +1,6 @@
 package rules
 
 import (
-	"sort"
-
 	"repro/internal/apriori"
 	"repro/internal/itemset"
 )
@@ -22,26 +20,9 @@ func GenerateFast(res *apriori.Result, opts Options) []Rule {
 	}
 	var out []Rule
 	emit := func(x itemset.Itemset, xCount int64, y itemset.Itemset) bool {
-		ante := x.Minus(y)
-		anteSup, ok := sup[ante.Key()]
-		if !ok || anteSup == 0 {
+		r, ok := evalRule(sup, x, xCount, y, opts)
+		if !ok {
 			return false
-		}
-		conf := float64(xCount) / float64(anteSup)
-		if conf+1e-12 < opts.MinConfidence {
-			return false
-		}
-		r := Rule{
-			Antecedent: ante,
-			Consequent: y.Clone(),
-			Support:    xCount,
-			Confidence: conf,
-		}
-		if opts.DBSize > 0 {
-			r.SupportFrac = float64(xCount) / float64(opts.DBSize)
-			if cSup, ok := sup[y.Key()]; ok && cSup > 0 {
-				r.Lift = conf / (float64(cSup) / float64(opts.DBSize))
-			}
 		}
 		out = append(out, r)
 		return true
@@ -74,14 +55,6 @@ func GenerateFast(res *apriori.Result, opts Options) []Rule {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Confidence != out[j].Confidence {
-			return out[i].Confidence > out[j].Confidence
-		}
-		if out[i].Support != out[j].Support {
-			return out[i].Support > out[j].Support
-		}
-		return out[i].Antecedent.Less(out[j].Antecedent)
-	})
+	sortRules(out)
 	return out
 }

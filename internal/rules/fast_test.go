@@ -27,7 +27,7 @@ func TestGenerateFastMatchesGenerate(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, conf := range []float64{0, 0.5, 0.8, 0.95} {
-			opts := Options{MinConfidence: conf, DBSize: d.Len()}
+			opts := Options{MinConfidence: conf, DBSize: int64(d.Len())}
 			slow := Generate(res, opts)
 			fast := GenerateFast(res, opts)
 			if len(slow) != len(fast) {

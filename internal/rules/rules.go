@@ -6,7 +6,6 @@ package rules
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/apriori"
 	"repro/internal/itemset"
@@ -35,16 +34,21 @@ func (r Rule) String() string {
 type Options struct {
 	// MinConfidence filters rules below this confidence (e.g. 0.8).
 	MinConfidence float64
-	// DBSize, when > 0, enables SupportFrac and Lift computation.
-	DBSize int
+	// DBSize, when > 0, enables SupportFrac and Lift computation. It is a
+	// wide int64 transaction count — segmented stores (seg.Reader.NumTx)
+	// address more than 2³¹ transactions, and an int here silently
+	// truncated their SupportFrac and Lift denominators on 32-bit builds.
+	//armlint:wide
+	DBSize int64
 	// MaxConsequent bounds the consequent size; 0 means no bound.
 	MaxConsequent int
 }
 
 // Generate derives all rules meeting the confidence threshold from a mining
 // result. For every frequent itemset X (|X| ≥ 2) and every non-empty proper
-// subset Y ⊂ X it evaluates X−Y ⇒ Y. Rules come back sorted by descending
-// confidence, then support, then antecedent.
+// subset Y ⊂ X it evaluates X−Y ⇒ Y. Rules come back in the deterministic
+// shared order of sortRules: descending confidence, then support, then
+// antecedent, then consequent.
 func Generate(res *apriori.Result, opts Options) []Rule {
 	sup := make(map[string]int64)
 	for _, f := range res.All() {
@@ -61,43 +65,14 @@ func Generate(res *apriori.Result, opts Options) []Rule {
 			}
 			for cs := 1; cs <= maxC; cs++ {
 				x.ForEachSubset(cs, func(y itemset.Itemset) bool {
-					ante := x.Minus(y)
-					anteSup, ok := sup[ante.Key()]
-					if !ok || anteSup == 0 {
-						// Cannot happen for a correct miner (downward
-						// closure) but guard anyway.
-						return true
+					if r, ok := evalRule(sup, x, f.Count, y, opts); ok {
+						out = append(out, r)
 					}
-					conf := float64(f.Count) / float64(anteSup)
-					if conf+1e-12 < opts.MinConfidence {
-						return true
-					}
-					r := Rule{
-						Antecedent: ante,
-						Consequent: y.Clone(),
-						Support:    f.Count,
-						Confidence: conf,
-					}
-					if opts.DBSize > 0 {
-						r.SupportFrac = float64(f.Count) / float64(opts.DBSize)
-						if cSup, ok := sup[y.Key()]; ok && cSup > 0 {
-							r.Lift = conf / (float64(cSup) / float64(opts.DBSize))
-						}
-					}
-					out = append(out, r)
 					return true
 				})
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Confidence != out[j].Confidence {
-			return out[i].Confidence > out[j].Confidence
-		}
-		if out[i].Support != out[j].Support {
-			return out[i].Support > out[j].Support
-		}
-		return out[i].Antecedent.Less(out[j].Antecedent)
-	})
+	sortRules(out)
 	return out
 }

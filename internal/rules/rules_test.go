@@ -151,7 +151,7 @@ func TestGenerateOnSyntheticData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs := Generate(res, Options{MinConfidence: 0.5, DBSize: d.Len()})
+	rs := Generate(res, Options{MinConfidence: 0.5, DBSize: int64(d.Len())})
 	// Verify each rule's confidence against raw data.
 	for _, r := range rs[:min(len(rs), 30)] {
 		x := r.Antecedent.Union(r.Consequent)
